@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables or figures and
+prints the reproduced rows (paper value in parentheses where the paper reports
+one), so running ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+artefact-regeneration script.  The heavy accuracy-training parts run at the
+reduced synthetic scale defined here; the speedup columns always use the
+paper-scale analytical timing model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ReducedScale
+
+
+@pytest.fixture(scope="session")
+def accuracy_scale() -> ReducedScale:
+    """Reduced training scale used by benchmarks that train for accuracy."""
+    return ReducedScale(
+        mlp_hidden=256, mlp_train_samples=2000, mlp_test_samples=600, mlp_epochs=12,
+        mlp_batch_size=64, lstm_vocab=150, lstm_hidden=48, lstm_train_tokens=4000,
+        lstm_eval_tokens=1000, lstm_epochs=1, lstm_batch_size=8, lstm_seq_len=15)

@@ -1,0 +1,34 @@
+"""Ablation — TDP tile size vs. speedup (DESIGN.md design-choice ablation).
+
+The paper fixes the tile at 32x32 to match the 32 shared-memory banks.  This
+ablation sweeps the tile edge used by the timing model's bookkeeping and the
+pattern granularity, showing that (a) the speedup is fairly insensitive to the
+tile size at paper-scale layers, and (b) smaller tiles admit more sub-models
+(diversity) at the cost of more bookkeeping.
+"""
+
+import pytest
+
+from repro.dropout import TileDropoutPattern
+from repro.gpu import DropoutTimingConfig, MLPTimingModel
+
+
+@pytest.mark.parametrize("tile", [8, 16, 32, 64])
+def test_tile_size_speedup(benchmark, tile):
+    model = MLPTimingModel([784, 2048, 2048, 10], 128)
+
+    def run():
+        baseline = model.iteration(DropoutTimingConfig("baseline", (0.7, 0.7), tile=tile))
+        accelerated = model.iteration(DropoutTimingConfig("tile", (0.7, 0.7), tile=tile))
+        return accelerated.speedup_over(baseline)
+
+    speedup = benchmark(run)
+    sub_models = TileDropoutPattern(2048, 2048, dp=1, bias=0, tile=tile).num_tiles
+    print(f"\ntile={tile}: speedup={speedup:.2f}, available tiles={sub_models}")
+    assert speedup > 1.3
+
+
+def test_smaller_tiles_give_more_sub_models():
+    counts = [TileDropoutPattern(2048, 2048, dp=1, bias=0, tile=t).num_tiles
+              for t in (8, 16, 32, 64)]
+    assert counts == sorted(counts, reverse=True)

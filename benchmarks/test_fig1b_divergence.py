@@ -1,0 +1,15 @@
+"""Fig. 1(b) — the naive branch-skipping strawman vs. the regular patterns."""
+
+from repro.experiments import run_fig1b
+
+
+def test_fig1b_divergence_analysis(benchmark):
+    table = benchmark(run_fig1b)
+    print("\n" + table.format(2))
+    for row in table.rows:
+        # Naive conditional skipping never helps (the paper's motivation)...
+        assert row.values["naive_iteration_speedup"] < 1.1
+        assert row.values["naive_warp_speedup"] < 1.1
+        # ...while the regular pattern realises a real fraction of the ideal.
+        assert row.values["row_iteration_speedup"] > 1.2
+        assert row.values["row_iteration_speedup"] <= row.values["ideal_speedup"]

@@ -1,0 +1,29 @@
+"""Fig. 4 — speedup and accuracy across dropout-rate pairs (RDP and TDP panels)."""
+
+import pytest
+
+from repro.experiments import run_fig4
+
+
+@pytest.mark.parametrize("pattern", ["ROW", "TILE"])
+def test_fig4_speedup_panel(benchmark, pattern):
+    """Regenerate the Fig. 4 speedup series for one pattern family."""
+    table = benchmark(run_fig4, pattern=pattern, train_accuracy=False)
+    print("\n" + table.format(2))
+    speedups = table.column("speedup")
+    assert speedups[-1] > speedups[0] > 1.0          # grows with the dropout rate
+    assert 1.1 < speedups[0] < 1.6                   # ~1.2-1.3x at (0.3, 0.3)
+    assert 1.5 < speedups[-1] < 2.2                  # ~1.6-1.8x at (0.7, 0.7)
+
+
+def test_fig4_accuracy_row_panel(benchmark, accuracy_scale):
+    """Accuracy comparison (reduced scale) for the ROW panel's corner rate pairs."""
+    table = benchmark.pedantic(
+        run_fig4,
+        kwargs={"pattern": "ROW", "scale": accuracy_scale,
+                "rate_pairs": ((0.3, 0.3), (0.5, 0.5))},
+        iterations=1, rounds=1)
+    print("\n" + table.format(3))
+    for row in table.rows:
+        assert row.values["baseline_accuracy"] > 0.5
+        assert row.values["accuracy_drop"] < 0.15

@@ -1,0 +1,22 @@
+"""Fig. 6(a) — PTB-style 3-layer LSTM: speedup and perplexity vs. dropout rate."""
+
+from repro.experiments import run_fig6a
+
+
+def test_fig6a_speedup_sweep(benchmark):
+    table = benchmark(run_fig6a, train_perplexity=False)
+    print("\n" + table.format(2))
+    speedups = table.column("speedup")
+    assert speedups == sorted(speedups)           # grows with the dropout rate
+    assert speedups[0] > 1.1
+    assert speedups[-1] > 1.4
+
+
+def test_fig6a_perplexity(benchmark, accuracy_scale):
+    table = benchmark.pedantic(
+        run_fig6a, kwargs={"scale": accuracy_scale, "rates": (0.3, 0.7)},
+        iterations=1, rounds=1)
+    print("\n" + table.format(3))
+    for row in table.rows:
+        assert row.values["baseline_perplexity"] < accuracy_scale.lstm_vocab
+        assert row.values["row_perplexity"] < accuracy_scale.lstm_vocab

@@ -1,0 +1,24 @@
+"""Fig. 6(b) — speedup and perplexity vs. batch size at dropout rate 0.7."""
+
+from repro.experiments import run_fig6b
+
+
+def test_fig6b_batch_size_sweep(benchmark):
+    table = benchmark(run_fig6b, train_perplexity=False)
+    print("\n" + table.format(3))
+    speedups = table.column("speedup")
+    # Paper shape: a larger batch raises the speedup (the accelerable GEMM work
+    # grows relative to the fixed per-iteration costs).
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > speedups[0]
+
+
+def test_fig6b_perplexity_trend(benchmark, accuracy_scale):
+    table = benchmark.pedantic(
+        run_fig6b, kwargs={"scale": accuracy_scale, "batch_sizes": (20, 40)},
+        iterations=1, rounds=1)
+    print("\n" + table.format(3))
+    small_batch, large_batch = table.rows[0], table.rows[-1]
+    # Paper shape: the larger batch shares one pattern over more samples, so
+    # perplexity does not improve (and typically worsens slightly).
+    assert large_batch.values["row_perplexity"] >= small_batch.values["row_perplexity"] - 2.0

@@ -1,0 +1,15 @@
+"""Algorithm 1 — distribution-search behaviour and statistical equivalence."""
+
+from repro.experiments import run_algorithm1
+
+
+def test_algorithm1_equivalence(benchmark):
+    table = benchmark.pedantic(run_algorithm1,
+                               kwargs={"monte_carlo_iterations": 800,
+                                       "rates": (0.3, 0.5, 0.7)},
+                               iterations=1, rounds=1)
+    print("\n" + table.format(3))
+    for row in table.rows:
+        assert row.values["rate_error"] < 0.03
+        assert row.values["unit_rate_error"] < 0.06
+        assert row.values["effective_sub_models"] > 1.5

@@ -1,0 +1,31 @@
+"""Table I — speedup and accuracy across network sizes at dropout rate 0.7."""
+
+from repro.experiments import run_table1
+
+
+def test_table1_speedup_sweep(benchmark):
+    """Regenerate Table I's speedup columns at the paper's exact layer widths."""
+    table = benchmark(run_table1, train_accuracy=False)
+    print("\n" + table.format(2))
+    row_speedups = [r.values["speedup"] for r in table.rows if "ROW" in r.label]
+    tile_speedups = [r.values["speedup"] for r in table.rows if "TILE" in r.label]
+    # Shape: speedup grows with network size, ROW >= TILE, ~2x at 4096x4096.
+    assert row_speedups == sorted(row_speedups)
+    assert all(row >= tile for row, tile in zip(row_speedups, tile_speedups))
+    assert row_speedups[-1] > 1.75
+    # Within 20% of every speedup the paper reports.
+    for row in table.rows:
+        paper = row.paper["speedup"]
+        assert abs(row.values["speedup"] - paper) / paper < 0.2
+
+
+def test_table1_accuracy_proxy(benchmark, accuracy_scale):
+    """Accuracy-change columns from the reduced-scale proxy training."""
+    table = benchmark.pedantic(
+        run_table1,
+        kwargs={"scale": accuracy_scale, "network_sizes": ((2048, 2048),)},
+        iterations=1, rounds=1)
+    print("\n" + table.format(3))
+    for row in table.rows:
+        assert row.values["baseline_accuracy"] > 0.5
+        assert row.values["accuracy_change"] > -0.2

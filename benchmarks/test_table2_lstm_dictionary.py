@@ -1,0 +1,27 @@
+"""Table II — LSTM dictionary task: speedup and next-word accuracy per rate."""
+
+from repro.experiments import run_table2
+
+
+def test_table2_speedup_sweep(benchmark):
+    """Regenerate Table II's speedup rows at the paper's LSTM dimensions."""
+    table = benchmark(run_table2, train_accuracy=False)
+    print("\n" + table.format(2))
+    row_speedups = [r.values["speedup"] for r in table.rows if "ROW" in r.label]
+    tile_speedups = [r.values["speedup"] for r in table.rows if "TILE" in r.label]
+    assert row_speedups == sorted(row_speedups)
+    assert 1.1 < row_speedups[0] < 1.3      # ~1.18x at rate 0.3
+    assert 1.3 < row_speedups[-1] < 1.8     # ~1.5x at rate 0.7
+    assert all(row >= tile for row, tile in zip(row_speedups, tile_speedups))
+
+
+def test_table2_accuracy(benchmark, accuracy_scale):
+    """Next-word accuracy comparison at reduced scale (rate 0.5, both patterns)."""
+    table = benchmark.pedantic(
+        run_table2,
+        kwargs={"scale": accuracy_scale, "rates": (0.5,), "patterns": ("ROW", "TILE")},
+        iterations=1, rounds=1)
+    print("\n" + table.format(3))
+    for row in table.rows:
+        assert 0.0 <= row.values["pattern_accuracy"] <= 1.0
+        assert row.values["accuracy_change"] > -0.2

@@ -1,0 +1,33 @@
+"""Synthetic datasets standing in for MNIST and the paper's text corpora.
+
+The execution environment has no network access, so the reproduction cannot
+download MNIST, the 8800-word dictionary corpus or the Penn Treebank.  The
+generators here produce deterministic synthetic equivalents that exercise the
+same code paths and keep the *relative* comparisons between dropout variants
+meaningful (see DESIGN.md, "Substitutions"):
+
+* :func:`~repro.data.synthetic_mnist.make_synthetic_mnist` — a 28x28, 10-class
+  digit-like classification task built from class-conditional stroke
+  templates plus per-sample noise and distortion, difficult enough that
+  regularisation matters.
+* :func:`~repro.data.synthetic_text.make_synthetic_corpus` — a Zipf-distributed
+  word stream with Markov (bigram) structure so a language model has something
+  to learn; configurable vocabulary size (8800 for the dictionary task,
+  10 000 for the PTB-like task).
+* Batch iterators for classification (:class:`~repro.data.batching.BatchIterator`)
+  and truncated-BPTT language modelling
+  (:class:`~repro.data.batching.BPTTBatcher`).
+"""
+
+from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
+from repro.data.synthetic_text import SyntheticCorpus, make_synthetic_corpus
+from repro.data.batching import BatchIterator, BPTTBatcher
+
+__all__ = [
+    "SyntheticMNIST",
+    "make_synthetic_mnist",
+    "SyntheticCorpus",
+    "make_synthetic_corpus",
+    "BatchIterator",
+    "BPTTBatcher",
+]

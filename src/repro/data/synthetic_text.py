@@ -1,0 +1,141 @@
+"""Synthetic word-level corpora (stand-ins for the 8800-word dictionary corpus
+and the Penn Treebank).
+
+The generator produces a token stream with the two statistical properties a
+language model can exploit:
+
+* a Zipfian unigram distribution (a few very frequent words, a long tail), and
+* first-order Markov structure: each word has a small set of likely successor
+  words, so a model that learns the bigram transitions beats the unigram
+  baseline and perplexity comparisons between dropout variants are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SyntheticCorpus:
+    """A train/validation/test token-id stream plus its generator metadata.
+
+    Attributes
+    ----------
+    train, valid, test:
+        1-D integer arrays of token ids in ``[0, vocab_size)``.
+    vocab_size:
+        Number of distinct words.
+    """
+
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+    vocab_size: int
+
+    def __post_init__(self):
+        for split_name, split in (("train", self.train), ("valid", self.valid),
+                                  ("test", self.test)):
+            split = np.asarray(split)
+            if split.ndim != 1:
+                raise ValueError(f"{split_name} split must be a 1-D token stream")
+            if split.size and (split.min() < 0 or split.max() >= self.vocab_size):
+                raise ValueError(f"{split_name} split contains out-of-vocabulary ids")
+
+    @property
+    def num_train_tokens(self) -> int:
+        return int(self.train.size)
+
+
+def _zipf_weights(vocab_size: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def _build_transition_structure(rng: np.random.Generator, vocab_size: int,
+                                successors_per_word: int, exponent: float,
+                                ) -> tuple[np.ndarray, np.ndarray]:
+    """For each word, a small successor set and its (normalised) probabilities.
+
+    Successors are drawn from the Zipfian unigram distribution so frequent
+    words remain frequent as targets, then each word's successor probabilities
+    are themselves skewed so that the corpus has learnable bigram structure.
+    """
+    unigram = _zipf_weights(vocab_size, exponent)
+    successors = rng.choice(vocab_size, size=(vocab_size, successors_per_word), p=unigram)
+    raw = rng.random((vocab_size, successors_per_word)) ** 2 + 1e-3
+    probabilities = raw / raw.sum(axis=1, keepdims=True)
+    return successors, probabilities
+
+
+def _generate_stream(rng: np.random.Generator, length: int, vocab_size: int,
+                     successors: np.ndarray, probabilities: np.ndarray,
+                     unigram: np.ndarray, reset_probability: float) -> np.ndarray:
+    """Walk the bigram graph, occasionally resetting from the unigram prior."""
+    stream = np.empty(length, dtype=np.int64)
+    current = int(rng.choice(vocab_size, p=unigram))
+    resets = rng.random(length) < reset_probability
+    successor_draws = rng.random(length)
+    for position in range(length):
+        stream[position] = current
+        if resets[position]:
+            current = int(rng.choice(vocab_size, p=unigram))
+            continue
+        row_probabilities = probabilities[current]
+        cumulative = np.cumsum(row_probabilities)
+        choice = int(np.searchsorted(cumulative, successor_draws[position]))
+        choice = min(choice, row_probabilities.shape[0] - 1)
+        current = int(successors[current, choice])
+    return stream
+
+
+def make_synthetic_corpus(vocab_size: int = 8800, num_train_tokens: int = 60000,
+                          num_valid_tokens: int = 6000, num_test_tokens: int = 6000,
+                          successors_per_word: int = 8, zipf_exponent: float = 1.05,
+                          reset_probability: float = 0.08,
+                          seed: int = 0) -> SyntheticCorpus:
+    """Generate a deterministic synthetic language-modelling corpus.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of distinct words (8800 mirrors the paper's dictionary task,
+        10 000 the PTB vocabulary).
+    num_train_tokens, num_valid_tokens, num_test_tokens:
+        Lengths of the three splits.
+    successors_per_word:
+        Size of each word's likely-successor set; smaller values make the
+        corpus more predictable (lower achievable perplexity).
+    zipf_exponent:
+        Skew of the unigram distribution.
+    reset_probability:
+        Probability of restarting the Markov walk from the unigram prior at
+        each step (keeps the chain mixing over the whole vocabulary).
+    seed:
+        Controls the transition structure and all three splits.
+    """
+    if vocab_size < 2:
+        raise ValueError("vocab_size must be at least 2")
+    for label, value in (("num_train_tokens", num_train_tokens),
+                         ("num_valid_tokens", num_valid_tokens),
+                         ("num_test_tokens", num_test_tokens)):
+        if value <= 0:
+            raise ValueError(f"{label} must be positive")
+    if successors_per_word < 1:
+        raise ValueError("successors_per_word must be at least 1")
+    if not 0.0 <= reset_probability <= 1.0:
+        raise ValueError("reset_probability must be in [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    unigram = _zipf_weights(vocab_size, zipf_exponent)
+    successors, probabilities = _build_transition_structure(
+        rng, vocab_size, successors_per_word, zipf_exponent)
+    train = _generate_stream(rng, num_train_tokens, vocab_size, successors,
+                             probabilities, unigram, reset_probability)
+    valid = _generate_stream(rng, num_valid_tokens, vocab_size, successors,
+                             probabilities, unigram, reset_probability)
+    test = _generate_stream(rng, num_test_tokens, vocab_size, successors,
+                            probabilities, unigram, reset_probability)
+    return SyntheticCorpus(train=train, valid=valid, test=test, vocab_size=vocab_size)

@@ -1,0 +1,65 @@
+"""Approximate Random Dropout — the paper's core contribution.
+
+The package contains:
+
+* :mod:`repro.dropout.patterns` — the two regular dropout-pattern families,
+  Row-based Dropout Pattern (RDP) and Tile-based Dropout Pattern (TDP), and
+  their compaction machinery (which rows/tiles survive, how the compact GEMM
+  operands are built and how results are scattered back).
+* :mod:`repro.dropout.search` — the SGD-based Search Algorithm (Algorithm 1)
+  that produces the distribution ``K`` over pattern periods so that the global
+  dropout rate matches a target Bernoulli rate while maximising sub-model
+  diversity.
+* :mod:`repro.dropout.sampler` — per-iteration sampling of a concrete pattern
+  ``(dp, b)`` from ``K``.
+* :mod:`repro.dropout.layers` — drop-in layer implementations that run compact
+  GEMMs: :class:`ApproxRandomDropoutLinear` (RDP, neuron dropout) and
+  :class:`ApproxDropConnectLinear` (TDP, structured DropConnect).
+* :mod:`repro.dropout.statistics` — the statistical-equivalence analysis of
+  Section III-D (per-neuron drop probability vs. the global dropout rate).
+"""
+
+from repro.dropout.patterns import (
+    RowDropoutPattern,
+    TileDropoutPattern,
+    row_pattern_mask,
+    tile_pattern_mask,
+    max_row_patterns,
+    max_tile_patterns,
+)
+from repro.dropout.search import PatternDistributionSearch, SearchResult, pattern_drop_rates
+from repro.dropout.sampler import PatternSampler, PatternSchedule
+from repro.dropout.layers import (
+    ApproxRandomDropout,
+    ApproxBlockDropout,
+    ApproxRandomDropoutLinear,
+    ApproxDropConnectLinear,
+)
+from repro.dropout.statistics import (
+    empirical_unit_drop_rate,
+    expected_global_drop_rate,
+    equivalence_report,
+    sub_model_count,
+)
+
+__all__ = [
+    "RowDropoutPattern",
+    "TileDropoutPattern",
+    "row_pattern_mask",
+    "tile_pattern_mask",
+    "max_row_patterns",
+    "max_tile_patterns",
+    "PatternDistributionSearch",
+    "SearchResult",
+    "pattern_drop_rates",
+    "PatternSampler",
+    "PatternSchedule",
+    "ApproxRandomDropout",
+    "ApproxBlockDropout",
+    "ApproxRandomDropoutLinear",
+    "ApproxDropConnectLinear",
+    "empirical_unit_drop_rate",
+    "expected_global_drop_rate",
+    "equivalence_report",
+    "sub_model_count",
+]

@@ -1,0 +1,208 @@
+"""Differentiable compact GEMM operations for the approximate dropout patterns.
+
+These are the software equivalents of the modified GPU kernels the paper adds
+to Caffe: instead of running the dense GEMM and then masking the output, the
+forward pass *only touches the surviving rows/tiles* of the weight matrix and
+scatters the compact result back into a zero-filled full-size output.  The
+backward pass mirrors the same structure, so dropped neurons/synapses receive
+exactly zero gradient — identical semantics to mask-based dropout, but with
+``≈ 1/dp`` of the arithmetic.
+
+Two operations are provided:
+
+* :func:`row_compact_linear` — Row-based Dropout Pattern (RDP) applied to the
+  output neurons of an affine layer, with optional compaction along the input
+  dimension when the *previous* layer's pattern is known (dropped inputs are
+  zero, so their columns can be skipped too).
+* :func:`tile_compact_linear` — Tile-based Dropout Pattern (TDP) applied to
+  the weight matrix of an affine layer (structured DropConnect).
+
+Both return ordinary :class:`~repro.tensor.Tensor` objects wired into the
+autodiff tape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.tensor import Tensor
+
+
+def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
+                       pattern: RowDropoutPattern,
+                       input_pattern: RowDropoutPattern | None = None,
+                       scale_factor: float = 1.0) -> Tensor:
+    """Affine layer forward that only computes the rows kept by ``pattern``.
+
+    Parameters
+    ----------
+    x:
+        Input activations of shape ``(batch, in_features)``.
+    weight:
+        Weight tensor of shape ``(out_features, in_features)``.
+    bias:
+        Optional bias tensor of shape ``(out_features,)``.
+    pattern:
+        RDP pattern over the ``out_features`` neurons of this layer; dropped
+        rows of the output are zero-filled.
+    input_pattern:
+        Optional RDP pattern of the *previous* layer over ``in_features``.
+        When given, the columns of the weight matrix (and of ``x``) belonging
+        to dropped inputs are skipped as well — they would be multiplied by
+        zero anyway.
+    scale_factor:
+        Constant multiplier applied to the surviving outputs.  The layers pass
+        ``1 / (1 - target_rate)`` (inverted dropout with the *expected* keep
+        probability), so no rescaling is needed at inference time and a single
+        aggressive pattern draw cannot blow up the activations.
+
+    Returns
+    -------
+    Tensor of shape ``(batch, out_features)``.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"row_compact_linear expects 2-D input, got shape {x.shape}")
+    out_features, in_features = weight.shape
+    if pattern.num_units != out_features:
+        raise ValueError(
+            f"pattern covers {pattern.num_units} units but the layer has {out_features} outputs")
+    if x.shape[1] != in_features:
+        raise ValueError(
+            f"input feature dimension {x.shape[1]} does not match weight columns {in_features}")
+    if input_pattern is not None and input_pattern.num_units != in_features:
+        raise ValueError(
+            f"input_pattern covers {input_pattern.num_units} units but the layer "
+            f"has {in_features} inputs")
+
+    kept_rows = pattern.kept_indices
+
+    weight_compact = weight.data[kept_rows]
+    if input_pattern is not None:
+        kept_cols = input_pattern.kept_indices
+        weight_compact = weight_compact[:, kept_cols]
+        x_compact = x.data[:, kept_cols]
+    else:
+        kept_cols = None
+        x_compact = x.data
+
+    out_compact = x_compact @ weight_compact.T
+    if bias is not None:
+        out_compact = out_compact + bias.data[kept_rows]
+    out_compact = out_compact * scale_factor
+
+    batch = x.shape[0]
+    out_full = np.zeros((batch, out_features), dtype=out_compact.dtype)
+    out_full[:, kept_rows] = out_compact
+
+    def backward_x(grad: np.ndarray) -> np.ndarray:
+        grad_compact = grad[:, kept_rows] * scale_factor
+        grad_x = np.zeros_like(x.data)
+        if kept_cols is not None:
+            grad_x[:, kept_cols] = grad_compact @ weight_compact
+        else:
+            grad_x[:, :] = grad_compact @ weight_compact
+        return grad_x
+
+    def backward_weight(grad: np.ndarray) -> np.ndarray:
+        grad_compact = grad[:, kept_rows] * scale_factor
+        grad_weight = np.zeros_like(weight.data)
+        if kept_cols is not None:
+            grad_weight[np.ix_(kept_rows, kept_cols)] = grad_compact.T @ x_compact
+        else:
+            grad_weight[kept_rows] = grad_compact.T @ x_compact
+        return grad_weight
+
+    parents = [(x, backward_x), (weight, backward_weight)]
+    if bias is not None:
+        def backward_bias(grad: np.ndarray) -> np.ndarray:
+            grad_compact = grad[:, kept_rows] * scale_factor
+            grad_bias = np.zeros_like(bias.data)
+            grad_bias[kept_rows] = grad_compact.sum(axis=0)
+            return grad_bias
+
+        parents.append((bias, backward_bias))
+
+    return Tensor.from_op(out_full, parents, "row_compact_linear")
+
+
+def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
+                        pattern: TileDropoutPattern,
+                        scale_factor: float = 1.0) -> Tensor:
+    """Affine layer forward that only multiplies the weight tiles kept by ``pattern``.
+
+    Parameters
+    ----------
+    x:
+        Input activations of shape ``(batch, in_features)``.
+    weight:
+        Weight tensor of shape ``(out_features, in_features)``; the pattern's
+        ``(rows, cols)`` must match.
+    bias:
+        Optional bias of shape ``(out_features,)`` (never dropped).
+    pattern:
+        TDP pattern over the weight matrix.
+    scale_factor:
+        Constant multiplier applied to the surviving tiles' contribution
+        (inverted DropConnect with the expected keep probability).
+
+    Returns
+    -------
+    Tensor of shape ``(batch, out_features)``.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"tile_compact_linear expects 2-D input, got shape {x.shape}")
+    out_features, in_features = weight.shape
+    if (pattern.rows, pattern.cols) != (out_features, in_features):
+        raise ValueError(
+            f"pattern shape ({pattern.rows}, {pattern.cols}) does not match weight "
+            f"shape {weight.shape}")
+    if x.shape[1] != in_features:
+        raise ValueError(
+            f"input feature dimension {x.shape[1]} does not match weight columns {in_features}")
+
+    mask = pattern.mask()
+
+    out = pattern.block_sparse_matmul(x.data, weight.data)
+    out = out * scale_factor
+    if bias is not None:
+        out = out + bias.data
+
+    def backward_x(grad: np.ndarray) -> np.ndarray:
+        return (grad * scale_factor) @ (weight.data * mask)
+
+    def backward_weight(grad: np.ndarray) -> np.ndarray:
+        return ((grad * scale_factor).T @ x.data) * mask
+
+    parents = [(x, backward_x), (weight, backward_weight)]
+    if bias is not None:
+        parents.append((bias, lambda grad: grad.sum(axis=0)))
+
+    return Tensor.from_op(out, parents, "tile_compact_linear")
+
+
+def dense_masked_linear_reference(x: np.ndarray, weight: np.ndarray,
+                                  bias: np.ndarray | None,
+                                  mask: np.ndarray, scale_factor: float = 1.0,
+                                  mask_axis: str = "rows") -> np.ndarray:
+    """Dense reference implementation used by the tests.
+
+    Computes the full GEMM and then applies the mask — exactly what a
+    conventional dropout implementation does (Fig. 1(a)) — so the compact
+    kernels above can be checked for numerical equivalence.
+
+    ``mask_axis="rows"`` masks output rows (RDP/neuron dropout);
+    ``mask_axis="weight"`` masks individual weights (TDP/DropConnect), in
+    which case ``mask`` must have the weight's shape.
+    """
+    if mask_axis == "rows":
+        out = x @ weight.T
+        if bias is not None:
+            out = out + bias
+        return out * mask[None, :] * scale_factor
+    if mask_axis == "weight":
+        out = x @ (weight * mask).T * scale_factor
+        if bias is not None:
+            out = out + bias
+        return out
+    raise ValueError(f"unknown mask_axis {mask_axis!r}")

@@ -1,0 +1,344 @@
+"""Drop-in layers implementing approximate random dropout.
+
+Three modules are provided:
+
+* :class:`ApproxRandomDropout` — activation-level RDP dropout.  It replaces a
+  conventional :class:`repro.nn.Dropout` module: instead of an i.i.d.
+  Bernoulli mask, the layer applies the regular row pattern sampled for the
+  current iteration.  It is the integration point used inside the LSTM, where
+  the dropped hidden units make the *next* GEMM's rows/columns skippable.
+* :class:`ApproxRandomDropoutLinear` — a fully-connected layer whose output
+  neurons are dropped by an RDP pattern and whose forward/backward passes only
+  compute the surviving rows (and, when the previous layer's pattern is known,
+  only the surviving input columns).  This is the "reduce the scale of the
+  matrices" kernel of Section III-A.
+* :class:`ApproxDropConnectLinear` — a fully-connected layer whose weight
+  matrix is dropped tile-by-tile (TDP, Section III-B), computing only the
+  surviving 32x32 tiles.
+
+All three share the same lifecycle: :meth:`resample` is called once per
+training iteration (usually through :class:`repro.dropout.sampler.PatternSchedule`
+or by the trainer), which draws a fresh ``(dp, bias)`` from the searched
+distribution.  In eval mode they behave exactly like a plain linear layer /
+identity, matching inverted-dropout semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dropout.compact_ops import row_compact_linear, tile_compact_linear
+from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.dropout.sampler import PatternSampler
+from repro.nn import initializers
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+
+#: Hard cap on the default pattern period ``dp``.  The paper allows ``dp_max``
+#: up to the layer width / tile count, but with the entropy-maximising
+#: distribution a very large cap assigns non-trivial probability to patterns
+#: that keep almost nothing of the layer in a single iteration, which hurts
+#: accuracy at the modest layer widths this reproduction trains.  The default
+#: period is therefore chosen adaptively per layer by
+#: :func:`default_max_period` and clipped to this cap; callers can always pass
+#: ``max_period`` explicitly to explore larger values (see the ablation
+#: benchmarks).
+DEFAULT_MAX_PERIOD = 16
+
+
+def default_max_period(drop_rate: float, available: int,
+                       cap: int = DEFAULT_MAX_PERIOD) -> int:
+    """Adaptive default for ``dp_max`` given a target rate and the layer size.
+
+    The period must be able to express the target rate (``(dp-1)/dp > rate``),
+    so the default is a couple of steps above ``1 / (1 - rate)``; it is clipped
+    to the number of available units/tiles and to ``cap``.
+    """
+    if not 0.0 <= drop_rate < 1.0:
+        raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+    if available < 1:
+        raise ValueError("available must be >= 1")
+    if drop_rate == 0.0:
+        return 1
+    needed = int(np.ceil(1.0 / (1.0 - drop_rate)))
+    return max(1, min(max(needed, 3), available, cap))
+
+
+class ApproxRandomDropout(Module):
+    """Activation-level approximate random dropout (RDP over feature units).
+
+    Parameters
+    ----------
+    num_units:
+        Width of the activation this layer masks.
+    drop_rate:
+        Target global dropout rate ``p``.
+    max_period:
+        ``dp_max`` for the distribution search; defaults to
+        ``min(num_units, 64)``.
+    scale:
+        Use inverted-dropout scaling of the surviving activations.
+    rng:
+        Random generator for pattern sampling.
+    """
+
+    def __init__(self, num_units: int, drop_rate: float,
+                 max_period: int | None = None, scale: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if num_units <= 0:
+            raise ValueError("num_units must be positive")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self.num_units = num_units
+        self.drop_rate = float(drop_rate)
+        self.scale = scale
+        self.rng = rng or np.random.default_rng()
+        self.max_period = max_period or default_max_period(self.drop_rate, num_units)
+        self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
+        self.pattern: RowDropoutPattern | None = None
+        if self.drop_rate > 0.0:
+            self.resample()
+
+    def resample(self) -> RowDropoutPattern:
+        """Draw a fresh pattern for the next iteration."""
+        self.pattern = self.sampler.sample_row_pattern(self.num_units)
+        return self.pattern
+
+    def set_pattern(self, pattern: RowDropoutPattern) -> None:
+        """Explicitly install a pattern (used by tests and by schedules)."""
+        if pattern.num_units != self.num_units:
+            raise ValueError(
+                f"pattern covers {pattern.num_units} units, layer has {self.num_units}")
+        self.pattern = pattern
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.drop_rate == 0.0:
+            return x
+        if not self.training:
+            # Non-inverted dropout semantics: the expected train-time output of
+            # a unit is (1 - p) times its full value, so evaluation rescales.
+            return x * (1.0 - self.drop_rate) if self.scale else x
+        if self.pattern is None:
+            self.resample()
+        mask = self.pattern.mask()
+        return F.apply_mask(x, mask)
+
+    def __repr__(self) -> str:
+        return (f"ApproxRandomDropout(num_units={self.num_units}, "
+                f"drop_rate={self.drop_rate}, max_period={self.max_period})")
+
+
+class ApproxBlockDropout(Module):
+    """Activation-level tile-style dropout: contiguous blocks of units dropped.
+
+    This is the activation-space analogue of the Tile-based Dropout Pattern:
+    the feature vector is divided into blocks of ``block`` consecutive units
+    (32 by default, matching the paper's tile edge / shared-memory bank
+    count), and ``dp - 1`` out of every ``dp`` blocks are dropped according to
+    a row pattern over the block indices.  It is used for the non-recurrent
+    connections of the LSTM under the TILE configuration, where tile-dropping
+    the consumer GEMM's columns is equivalent to block-dropping its input
+    activations.
+    """
+
+    def __init__(self, num_units: int, drop_rate: float, block: int = 32,
+                 max_period: int | None = None, scale: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if num_units <= 0:
+            raise ValueError("num_units must be positive")
+        if block <= 0:
+            raise ValueError("block must be positive")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self.num_units = num_units
+        self.drop_rate = float(drop_rate)
+        self.scale = scale
+        self.rng = rng or np.random.default_rng()
+        # Shrink the block size when the feature vector is too narrow for the
+        # requested rate to be expressible at the nominal block granularity
+        # (e.g. a 16-unit activation cannot drop half of its 32-wide blocks).
+        needed = 1 if self.drop_rate == 0.0 else int(np.ceil(1.0 / (1.0 - self.drop_rate)))
+        self.block = block
+        while self.block > 1 and int(np.ceil(num_units / self.block)) < needed:
+            self.block //= 2
+        self.num_blocks = max(1, int(np.ceil(num_units / self.block)))
+        self.max_period = max_period or default_max_period(self.drop_rate, self.num_blocks)
+        self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
+        self.pattern: RowDropoutPattern | None = None
+        if self.drop_rate > 0.0:
+            self.resample()
+
+    def resample(self) -> RowDropoutPattern:
+        """Draw a fresh block pattern (a row pattern over block indices)."""
+        self.pattern = self.sampler.sample_row_pattern(self.num_blocks)
+        return self.pattern
+
+    def unit_mask(self) -> np.ndarray:
+        """Expand the block pattern to a 0/1 keep-mask over individual units."""
+        if self.pattern is None:
+            return np.ones(self.num_units)
+        block_mask = self.pattern.mask()
+        return np.repeat(block_mask, self.block)[:self.num_units]
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.drop_rate == 0.0:
+            return x
+        if not self.training:
+            return x * (1.0 - self.drop_rate) if self.scale else x
+        if self.pattern is None:
+            self.resample()
+        mask = self.unit_mask()
+        return F.apply_mask(x, mask)
+
+    def __repr__(self) -> str:
+        return (f"ApproxBlockDropout(num_units={self.num_units}, "
+                f"drop_rate={self.drop_rate}, block={self.block})")
+
+
+class ApproxRandomDropoutLinear(Module):
+    """Linear layer with Row-based Dropout Pattern on its output neurons.
+
+    During training the forward pass gathers only the surviving weight rows
+    into a compact matrix, runs the small GEMM and scatters the result into a
+    zero-filled full-width output — the software analogue of the modified
+    Caffe kernel in Fig. 3(a).  When ``chain_input_pattern`` is enabled and an
+    input pattern is supplied (the previous layer's RDP pattern), the weight
+    columns of dropped inputs are skipped too.
+
+    In eval mode the layer is an ordinary dense linear layer.
+    """
+
+    def __init__(self, in_features: int, out_features: int, drop_rate: float,
+                 bias: bool = True, max_period: int | None = None,
+                 scale: bool = True, init: str = "xavier_uniform",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.drop_rate = float(drop_rate)
+        self.scale = scale
+        self.rng = rng or np.random.default_rng()
+        init_fn = initializers.get(init)
+        self.weight = Parameter(init_fn((out_features, in_features), self.rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.max_period = max_period or default_max_period(self.drop_rate, out_features)
+        self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
+        self.pattern: RowDropoutPattern | None = None
+        if self.drop_rate > 0.0:
+            self.resample()
+
+    def resample(self) -> RowDropoutPattern:
+        """Draw a fresh output pattern for the next iteration."""
+        self.pattern = self.sampler.sample_row_pattern(self.out_features)
+        return self.pattern
+
+    def set_pattern(self, pattern: RowDropoutPattern) -> None:
+        if pattern.num_units != self.out_features:
+            raise ValueError(
+                f"pattern covers {pattern.num_units} units, layer has {self.out_features} outputs")
+        self.pattern = pattern
+
+    def forward(self, x: Tensor,
+                input_pattern: RowDropoutPattern | None = None) -> Tensor:
+        if self.drop_rate == 0.0:
+            return F.linear(x, self.weight, self.bias)
+        if not self.training:
+            # Non-inverted dropout: train-time outputs are unscaled, so the
+            # evaluation-time output is rescaled by the expected keep fraction.
+            out = F.linear(x, self.weight, self.bias)
+            return out * (1.0 - self.drop_rate) if self.scale else out
+        if self.pattern is None:
+            self.resample()
+        return row_compact_linear(x, self.weight, self.bias, self.pattern,
+                                  input_pattern=input_pattern, scale_factor=1.0)
+
+    def __repr__(self) -> str:
+        return (f"ApproxRandomDropoutLinear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, drop_rate={self.drop_rate})")
+
+
+class ApproxDropConnectLinear(Module):
+    """Linear layer with Tile-based Dropout Pattern over its weight matrix.
+
+    ``dp - 1`` out of every ``dp`` ``tile x tile`` blocks of the weight matrix
+    are dropped each iteration; only the surviving tiles participate in the
+    forward and backward GEMMs (Fig. 3(b)).  In eval mode the layer is an
+    ordinary dense linear layer.
+    """
+
+    def __init__(self, in_features: int, out_features: int, drop_rate: float,
+                 bias: bool = True, tile: int = 32, max_period: int | None = None,
+                 scale: bool = True, init: str = "xavier_uniform",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        if tile <= 0:
+            raise ValueError("tile must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.drop_rate = float(drop_rate)
+        self.scale = scale
+        self.rng = rng or np.random.default_rng()
+        init_fn = initializers.get(init)
+        self.weight = Parameter(init_fn((out_features, in_features), self.rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        # Shrink the tile when the weight matrix is too small for the requested
+        # rate to be expressible with whole 32x32 tiles (small layers simply do
+        # not have enough tiles); the paper's choice of 32 targets large layers.
+        needed = 1 if self.drop_rate == 0.0 else int(np.ceil(1.0 / (1.0 - self.drop_rate)))
+        self.tile = tile
+        while self.tile > 1 and TileDropoutPattern(
+                rows=out_features, cols=in_features, dp=1, bias=0,
+                tile=self.tile).num_tiles < needed:
+            self.tile //= 2
+        reference = TileDropoutPattern(rows=out_features, cols=in_features,
+                                       dp=1, bias=0, tile=self.tile)
+        self.max_period = max_period or default_max_period(self.drop_rate,
+                                                           reference.num_tiles)
+        self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
+        self.pattern: TileDropoutPattern | None = None
+        if self.drop_rate > 0.0:
+            self.resample()
+
+    def resample(self) -> TileDropoutPattern:
+        """Draw a fresh tile pattern for the next iteration."""
+        self.pattern = self.sampler.sample_tile_pattern(
+            self.out_features, self.in_features, tile=self.tile)
+        return self.pattern
+
+    def set_pattern(self, pattern: TileDropoutPattern) -> None:
+        if (pattern.rows, pattern.cols) != (self.out_features, self.in_features):
+            raise ValueError(
+                f"pattern shape ({pattern.rows}, {pattern.cols}) does not match layer "
+                f"({self.out_features}, {self.in_features})")
+        self.pattern = pattern
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.drop_rate == 0.0:
+            return F.linear(x, self.weight, self.bias)
+        if not self.training:
+            # Non-inverted DropConnect: rescale the weight contribution by the
+            # expected keep fraction at evaluation time (the bias is never
+            # dropped, so it is not rescaled).
+            if not self.scale:
+                return F.linear(x, self.weight, self.bias)
+            out = F.linear(x, self.weight * (1.0 - self.drop_rate), None)
+            return out + self.bias if self.bias is not None else out
+        if self.pattern is None:
+            self.resample()
+        return tile_compact_linear(x, self.weight, self.bias, self.pattern,
+                                   scale_factor=1.0)
+
+    def __repr__(self) -> str:
+        return (f"ApproxDropConnectLinear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, drop_rate={self.drop_rate}, "
+                f"tile={self.tile})")

@@ -1,0 +1,180 @@
+"""Per-iteration dropout-pattern sampling (Section III-D of the paper).
+
+Once Algorithm 1 has produced the distribution ``K`` over pattern periods, the
+training loop draws one concrete pattern per iteration:
+
+1. sample a period ``dp ~ K``;
+2. sample a bias ``b`` uniformly from the ``dp`` possible phases;
+3. instantiate the RDP/TDP pattern for the layer being dropped.
+
+The :class:`PatternSampler` caches the searched distribution per (target rate,
+max period) pair because the search is a one-time effort ("SGD based search
+and data initialization are an one-time effort" — Section IV-C), and the
+:class:`PatternSchedule` groups one sampler per dropout site so a whole model
+can resample all of its patterns at the top of each iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.dropout.search import PatternDistributionSearch, SearchResult
+
+
+class PatternSampler:
+    """Samples ``(dp, bias)`` pairs from a searched pattern distribution.
+
+    Parameters
+    ----------
+    target_rate:
+        The global dropout rate ``p`` the pattern stream should realise.
+    max_period:
+        ``N`` (``dp_max``), the largest period available to the search.
+    rng:
+        Random generator for the per-iteration draws.
+    search:
+        Optional pre-configured :class:`PatternDistributionSearch`; a default
+        one is built when omitted.
+    """
+
+    def __init__(self, target_rate: float, max_period: int,
+                 rng: np.random.Generator | None = None,
+                 search: PatternDistributionSearch | None = None):
+        if max_period < 1:
+            raise ValueError("max_period must be >= 1")
+        self.target_rate = float(target_rate)
+        self.max_period = int(max_period)
+        self.rng = rng or np.random.default_rng()
+        self._search = search or PatternDistributionSearch(max_period=self.max_period)
+        self._result: SearchResult | None = None
+
+    @property
+    def result(self) -> SearchResult:
+        """The searched distribution (computed lazily, once)."""
+        if self._result is None:
+            self._result = self._search.search(self.target_rate)
+        return self._result
+
+    @property
+    def distribution(self) -> np.ndarray:
+        return self.result.distribution
+
+    def sample_period(self) -> int:
+        """Draw a period ``dp ∈ {1..N}`` from the searched distribution."""
+        return int(self.rng.choice(self.max_period, p=self.distribution) + 1)
+
+    def sample_bias(self, period: int) -> int:
+        """Draw a bias uniformly from ``{0, .., period-1}``."""
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        return int(self.rng.integers(0, period))
+
+    def sample(self) -> tuple[int, int]:
+        """Draw a full ``(dp, bias)`` pattern parameterisation."""
+        period = self.sample_period()
+        return period, self.sample_bias(period)
+
+    def sample_row_pattern(self, num_units: int) -> RowDropoutPattern:
+        """Draw an RDP pattern for a layer with ``num_units`` neurons."""
+        period, bias = self.sample()
+        period = min(period, num_units)
+        bias = bias % period
+        return RowDropoutPattern(num_units=num_units, dp=period, bias=bias)
+
+    def sample_tile_pattern(self, rows: int, cols: int, tile: int = 32) -> TileDropoutPattern:
+        """Draw a TDP pattern for a ``rows x cols`` weight matrix."""
+        period, bias = self.sample()
+        pattern = TileDropoutPattern(rows=rows, cols=cols, dp=1, bias=0, tile=tile)
+        period = min(period, pattern.num_tiles)
+        bias = bias % period
+        return TileDropoutPattern(rows=rows, cols=cols, dp=period, bias=bias, tile=tile)
+
+    def expected_drop_rate(self) -> float:
+        """The expected global dropout rate of the sampled pattern stream."""
+        return self.result.achieved_rate
+
+
+@dataclass
+class _Site:
+    """One dropout site (a layer) managed by a :class:`PatternSchedule`."""
+
+    name: str
+    sampler: PatternSampler
+    kind: str  # "row" or "tile"
+    num_units: int = 0
+    rows: int = 0
+    cols: int = 0
+    tile: int = 32
+    current: RowDropoutPattern | TileDropoutPattern | None = None
+
+
+class PatternSchedule:
+    """Coordinates pattern sampling across all dropout sites of a model.
+
+    The paper applies *one* pattern per layer per iteration (and the same
+    pattern across the whole batch); :meth:`resample` is called once at the
+    top of each training iteration and every registered site receives a fresh
+    pattern drawn from its own searched distribution.
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self.rng = rng or np.random.default_rng()
+        self._sites: dict[str, _Site] = {}
+        self.iteration = 0
+
+    def register_row_site(self, name: str, num_units: int, target_rate: float,
+                          max_period: int | None = None) -> PatternSampler:
+        """Register a neuron-dropout (RDP) site for a layer of ``num_units``."""
+        if name in self._sites:
+            raise ValueError(f"site {name!r} already registered")
+        if max_period is None:
+            from repro.dropout.layers import default_max_period
+            max_period = default_max_period(target_rate, num_units)
+        sampler = PatternSampler(target_rate, max_period, rng=self.rng)
+        self._sites[name] = _Site(name=name, sampler=sampler, kind="row",
+                                  num_units=num_units)
+        return sampler
+
+    def register_tile_site(self, name: str, rows: int, cols: int, target_rate: float,
+                           tile: int = 32, max_period: int | None = None) -> PatternSampler:
+        """Register a weight-tile (TDP) site for a ``rows x cols`` weight matrix."""
+        if name in self._sites:
+            raise ValueError(f"site {name!r} already registered")
+        reference = TileDropoutPattern(rows=rows, cols=cols, dp=1, bias=0, tile=tile)
+        if max_period is None:
+            from repro.dropout.layers import default_max_period
+            max_period = default_max_period(target_rate, reference.num_tiles)
+        sampler = PatternSampler(target_rate, max_period, rng=self.rng)
+        self._sites[name] = _Site(name=name, sampler=sampler, kind="tile",
+                                  rows=rows, cols=cols, tile=tile)
+        return sampler
+
+    def resample(self) -> dict[str, RowDropoutPattern | TileDropoutPattern]:
+        """Draw a fresh pattern for every site; returns the new patterns by name."""
+        self.iteration += 1
+        patterns: dict[str, RowDropoutPattern | TileDropoutPattern] = {}
+        for site in self._sites.values():
+            if site.kind == "row":
+                site.current = site.sampler.sample_row_pattern(site.num_units)
+            else:
+                site.current = site.sampler.sample_tile_pattern(site.rows, site.cols, site.tile)
+            patterns[site.name] = site.current
+        return patterns
+
+    def current(self, name: str) -> RowDropoutPattern | TileDropoutPattern:
+        """The pattern most recently sampled for ``name``."""
+        site = self._sites.get(name)
+        if site is None:
+            raise KeyError(f"unknown dropout site {name!r}")
+        if site.current is None:
+            raise RuntimeError(f"site {name!r} has no pattern yet; call resample() first")
+        return site.current
+
+    def sites(self) -> list[str]:
+        return list(self._sites)
+
+    def __len__(self) -> int:
+        return len(self._sites)

@@ -1,0 +1,215 @@
+"""SGD-based Search Algorithm for the dropout-pattern distribution (Algorithm 1).
+
+Given a target global dropout rate ``p`` and the maximum pattern period ``N``,
+the algorithm finds a categorical distribution ``K = {k_i}`` over pattern
+periods ``dp = i ∈ {1..N}`` minimising
+
+``loss = λ1 * || d·pu − p ||²  +  λ2 * (1/N) Σ_i d_i log d_i``
+
+where ``d = softmax(v)`` and ``pu_i = (i−1)/i`` is the global dropout rate of
+a period-``i`` pattern (period 1 keeps everything, period 2 drops half, period
+``i`` drops ``(i−1)/i``).  The first term pins the *expected* global dropout
+rate to the target; the second term is the (negative) entropy, so minimising
+it spreads probability mass over many periods and maximises sub-model
+diversity.
+
+The optimisation is plain gradient descent on the logits ``v`` with
+analytically derived gradients (no autodiff needed), exactly mirroring the
+paper's description: iterate until the loss change falls below a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def pattern_drop_rates(max_period: int) -> np.ndarray:
+    """The constant vector ``pu``: global dropout rate of each period ``1..N``.
+
+    ``pu = [0, 1/2, 2/3, ..., (N-1)/N]`` — line 2 of Algorithm 1.
+    """
+    if max_period < 1:
+        raise ValueError("max_period must be >= 1")
+    periods = np.arange(1, max_period + 1, dtype=np.float64)
+    return (periods - 1.0) / periods
+
+
+def softmax(v: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over a 1-D logit vector."""
+    shifted = v - np.max(v)
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+@dataclass
+class SearchResult:
+    """Outcome of the SGD-based search.
+
+    Attributes
+    ----------
+    distribution:
+        The probability ``k_i`` of each pattern period ``i = 1..N`` (sums to 1).
+    target_rate:
+        The requested global dropout rate ``p``.
+    achieved_rate:
+        The expected global dropout rate ``Σ k_i (i-1)/i`` under the result.
+    entropy:
+        Shannon entropy of the distribution in nats.
+    iterations:
+        Number of gradient steps performed.
+    loss_history:
+        Loss value after every step (useful for convergence tests/plots).
+    converged:
+        Whether the |Δloss| threshold was reached before the iteration cap.
+    """
+
+    distribution: np.ndarray
+    target_rate: float
+    achieved_rate: float
+    entropy: float
+    iterations: int
+    loss_history: list[float] = field(default_factory=list)
+    converged: bool = True
+
+    @property
+    def max_period(self) -> int:
+        return len(self.distribution)
+
+    def rate_error(self) -> float:
+        """Absolute difference between achieved and target global dropout rate."""
+        return abs(self.achieved_rate - self.target_rate)
+
+    def effective_sub_models(self) -> float:
+        """Perplexity of the distribution, ``exp(entropy)`` — a diversity measure."""
+        return float(np.exp(self.entropy))
+
+
+class PatternDistributionSearch:
+    """Implementation of Algorithm 1.
+
+    Parameters
+    ----------
+    max_period:
+        ``N`` — the largest pattern period considered (``dp_max``).  For RDP
+        this is bounded by the layer width; for TDP by the number of tiles.
+    lambda_rate:
+        ``λ1`` — weight on the squared rate error.
+    lambda_entropy:
+        ``λ2`` — weight on the negative entropy; the paper requires
+        ``λ1 + λ2 = 1``.
+    learning_rate, max_iterations, threshold:
+        SGD hyper-parameters; iteration stops when ``|Δloss| < threshold`` or
+        the cap is hit.  The step size decays as ``lr / (1 + t / decay)`` so
+        the iterates settle and the |Δloss| stopping rule is reachable.
+    decay:
+        Time constant (in iterations) of the learning-rate decay.
+    """
+
+    def __init__(self, max_period: int, lambda_rate: float = 0.95,
+                 lambda_entropy: float = 0.05, learning_rate: float = 0.5,
+                 max_iterations: int = 20000, threshold: float = 1e-9,
+                 decay: float = 200.0, seed: int | None = 0):
+        if max_period < 1:
+            raise ValueError("max_period must be >= 1")
+        if lambda_rate < 0 or lambda_entropy < 0:
+            raise ValueError("lambda weights must be non-negative")
+        if not np.isclose(lambda_rate + lambda_entropy, 1.0):
+            raise ValueError(
+                f"lambda_rate + lambda_entropy must equal 1 (paper constraint), "
+                f"got {lambda_rate} + {lambda_entropy}")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.max_period = int(max_period)
+        self.lambda_rate = float(lambda_rate)
+        self.lambda_entropy = float(lambda_entropy)
+        self.learning_rate = float(learning_rate)
+        self.max_iterations = int(max_iterations)
+        self.threshold = float(threshold)
+        if decay <= 0:
+            raise ValueError("decay must be positive")
+        self.decay = float(decay)
+        self.seed = seed
+        self.pattern_rates = pattern_drop_rates(self.max_period)
+
+    # ------------------------------------------------------------------
+    # loss and gradient
+    # ------------------------------------------------------------------
+    def loss(self, distribution: np.ndarray, target_rate: float) -> float:
+        """Evaluate the Algorithm 1 loss for a given distribution ``d``."""
+        d = np.asarray(distribution, dtype=np.float64)
+        rate_error = float(d @ self.pattern_rates - target_rate)
+        energy = self.lambda_rate * rate_error ** 2
+        entropy_term = self.lambda_entropy * float(
+            np.mean(d * np.log(np.clip(d, 1e-12, None))))
+        return energy + entropy_term
+
+    def _loss_and_grad(self, logits: np.ndarray, target_rate: float,
+                       ) -> tuple[float, np.ndarray, np.ndarray]:
+        d = softmax(logits)
+        safe_d = np.clip(d, 1e-12, None)
+        rate_error = float(d @ self.pattern_rates - target_rate)
+        loss = (self.lambda_rate * rate_error ** 2
+                + self.lambda_entropy * float(np.mean(d * np.log(safe_d))))
+        # dLoss/dd
+        grad_d = (self.lambda_rate * 2.0 * rate_error * self.pattern_rates
+                  + self.lambda_entropy * (np.log(safe_d) + 1.0) / self.max_period)
+        # Backprop through softmax: dv_i = d_i * (g_i - Σ_j g_j d_j).
+        grad_v = d * (grad_d - float(grad_d @ d))
+        return loss, grad_v, d
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, target_rate: float) -> SearchResult:
+        """Run the search for a target global dropout rate ``p``.
+
+        Returns a :class:`SearchResult` whose ``distribution`` satisfies
+        ``Σ k_i (i-1)/i ≈ p`` while remaining as spread-out as the entropy
+        weight allows.
+        """
+        if not 0.0 <= target_rate < 1.0:
+            raise ValueError(f"target dropout rate must be in [0, 1), got {target_rate}")
+        max_reachable = float(self.pattern_rates[-1])
+        if target_rate > max_reachable:
+            raise ValueError(
+                f"target rate {target_rate} exceeds the maximum reachable global rate "
+                f"{max_reachable:.3f} with max_period={self.max_period}; "
+                f"increase max_period")
+
+        rng = np.random.default_rng(self.seed)
+        logits = rng.normal(0.0, 0.1, size=self.max_period)
+        loss_history: list[float] = []
+        previous_loss = np.inf
+        converged = False
+        distribution = softmax(logits)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            loss, grad_v, distribution = self._loss_and_grad(logits, target_rate)
+            loss_history.append(loss)
+            if abs(previous_loss - loss) < self.threshold:
+                converged = True
+                break
+            previous_loss = loss
+            step = self.learning_rate / (1.0 + iterations / self.decay)
+            logits = logits - step * grad_v
+
+        distribution = softmax(logits)
+        achieved = float(distribution @ self.pattern_rates)
+        entropy = float(-np.sum(distribution * np.log(np.clip(distribution, 1e-12, None))))
+        return SearchResult(
+            distribution=distribution,
+            target_rate=float(target_rate),
+            achieved_rate=achieved,
+            entropy=entropy,
+            iterations=iterations,
+            loss_history=loss_history,
+            converged=converged,
+        )
+
+    def search_many(self, target_rates: list[float]) -> dict[float, SearchResult]:
+        """Convenience helper: run the search for several target rates."""
+        return {rate: self.search(rate) for rate in target_rates}

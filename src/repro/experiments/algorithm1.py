@@ -1,0 +1,72 @@
+"""Algorithm 1 behaviour — the SGD-based search for the pattern distribution.
+
+Not a numbered figure in the paper, but Section III-C/III-D make three
+verifiable claims about the search and the resulting distribution:
+
+1. the search converges (the loss stops changing);
+2. the expected global dropout rate of the result matches the target rate
+   (Eq. 3);
+3. the per-neuron drop probability realised by sampling patterns from the
+   result (with uniform bias) matches the target Bernoulli rate (Eq. 2), i.e.
+   approximate random dropout is statistically equivalent to conventional
+   dropout.
+
+This driver quantifies all three for a sweep of target rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dropout.sampler import PatternSampler
+from repro.dropout.search import PatternDistributionSearch
+from repro.dropout.statistics import empirical_unit_drop_rate
+from repro.experiments.records import ExperimentTable
+
+RATES: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def run_algorithm1(max_period: int = 16, num_units: int = 256,
+                   monte_carlo_iterations: int = 1500,
+                   rates: tuple[float, ...] = RATES,
+                   seed: int = 0) -> ExperimentTable:
+    """Verify the statistical-equivalence claims of Algorithm 1.
+
+    Parameters
+    ----------
+    max_period:
+        ``dp_max`` used by the search.
+    num_units:
+        Width of the layer used for the Monte-Carlo per-neuron estimate.
+    monte_carlo_iterations:
+        Number of sampled patterns in the empirical estimate.
+    """
+    table = ExperimentTable(
+        name="Algorithm 1 (SGD-based pattern-distribution search)",
+        description=("Convergence, achieved global dropout rate and empirical per-neuron "
+                     "drop rate for a sweep of target rates."),
+        columns=["converged", "achieved_rate", "rate_error", "entropy",
+                 "effective_sub_models", "empirical_unit_rate", "unit_rate_error"],
+    )
+    for rate in rates:
+        search = PatternDistributionSearch(max_period=max_period)
+        result = search.search(rate)
+        sampler = PatternSampler(rate, max_period,
+                                 rng=np.random.default_rng(seed), search=search)
+        empirical = empirical_unit_drop_rate(sampler, num_units,
+                                             iterations=monte_carlo_iterations)
+        empirical_mean = float(empirical.mean())
+        table.add_row(
+            f"p={rate}",
+            {
+                "converged": result.converged,
+                "achieved_rate": result.achieved_rate,
+                "rate_error": result.rate_error(),
+                "entropy": result.entropy,
+                "effective_sub_models": result.effective_sub_models(),
+                "empirical_unit_rate": empirical_mean,
+                "unit_rate_error": abs(empirical_mean - rate),
+            },
+            paper={"achieved_rate": rate, "empirical_unit_rate": rate},
+        )
+    return table

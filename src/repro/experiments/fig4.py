@@ -1,0 +1,95 @@
+"""Fig. 4 — accuracy and speedup across dropout-rate combinations.
+
+The paper varies the dropout-rate pair of the two hidden layers of a
+784-2048-2048-10 MLP over {0.3, 0.5, 0.7}^2 (nine combinations) and plots, for
+both the Row-based and the Tile-based pattern, the speedup over conventional
+dropout and the accuracies of both methods.
+
+Paper-reported shape: RDP speedup grows from ≈1.2x at (0.3, 0.3) to ≈1.8x at
+(0.7, 0.7); TDP speedup spans ≈1.18x–1.6x; accuracy loss stays under ≈0.5%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ReducedScale,
+    mlp_speedup,
+    timing_mode_for,
+    train_reduced_mlp,
+)
+from repro.experiments.records import ExperimentTable
+
+#: The rate pairs of Fig. 4, in the paper's x-axis order.
+RATE_PAIRS: tuple[tuple[float, float], ...] = (
+    (0.3, 0.3), (0.5, 0.3), (0.7, 0.3),
+    (0.3, 0.5), (0.5, 0.5), (0.7, 0.5),
+    (0.3, 0.7), (0.5, 0.7), (0.7, 0.7),
+)
+
+#: Approximate speedups read off the paper's Fig. 4 curves (used only for the
+#: paper-vs-measured column, not by any computation).
+PAPER_SPEEDUP_ROW = {
+    (0.3, 0.3): 1.20, (0.5, 0.3): 1.36, (0.7, 0.3): 1.53,
+    (0.3, 0.5): 1.36, (0.5, 0.5): 1.50, (0.7, 0.5): 1.65,
+    (0.3, 0.7): 1.53, (0.5, 0.7): 1.65, (0.7, 0.7): 1.77,
+}
+PAPER_SPEEDUP_TILE = {
+    (0.3, 0.3): 1.18, (0.5, 0.3): 1.28, (0.7, 0.3): 1.40,
+    (0.3, 0.5): 1.28, (0.5, 0.5): 1.40, (0.7, 0.5): 1.50,
+    (0.3, 0.7): 1.40, (0.5, 0.7): 1.50, (0.7, 0.7): 1.60,
+}
+
+#: The paper's MLP for this figure.
+PAPER_HIDDEN = (2048, 2048)
+
+
+def run_fig4(pattern: str = "ROW", scale: ReducedScale | None = None,
+             train_accuracy: bool = True,
+             rate_pairs: tuple[tuple[float, float], ...] = RATE_PAIRS,
+             ) -> ExperimentTable:
+    """Reproduce Fig. 4 for one pattern family ("ROW" or "TILE").
+
+    Parameters
+    ----------
+    pattern:
+        "ROW" for the Row-based Dropout Pattern panel, "TILE" for the
+        Tile-based panel.
+    scale:
+        Reduced-scale training configuration for the accuracy columns.
+    train_accuracy:
+        Set to ``False`` to skip the (slow) accuracy training and only produce
+        the speedup column — useful for the speedup-focused benchmarks.
+    rate_pairs:
+        Subset of rate pairs to evaluate (defaults to all nine).
+    """
+    pattern = pattern.upper()
+    if pattern not in ("ROW", "TILE"):
+        raise ValueError(f"pattern must be 'ROW' or 'TILE', got {pattern!r}")
+    scale = scale or ReducedScale()
+    paper_speedups = PAPER_SPEEDUP_ROW if pattern == "ROW" else PAPER_SPEEDUP_TILE
+    mode = timing_mode_for(pattern)
+
+    columns = ["speedup"]
+    if train_accuracy:
+        columns += ["baseline_accuracy", "pattern_accuracy", "accuracy_drop"]
+    table = ExperimentTable(
+        name=f"Fig. 4 ({pattern} dropout pattern)",
+        description=("Speedup (paper-scale timing model, 784-2048-2048-10, batch 128) "
+                     "and accuracy (reduced-scale synthetic MNIST) per dropout-rate pair."),
+        columns=columns,
+    )
+    for rates in rate_pairs:
+        speedup = mlp_speedup(PAPER_HIDDEN, rates, mode)
+        values: dict = {"speedup": speedup}
+        paper = {"speedup": paper_speedups.get(tuple(rates))}
+        if train_accuracy:
+            baseline_accuracy = train_reduced_mlp("original", rates, scale)
+            pattern_accuracy = train_reduced_mlp(pattern.lower(), rates, scale)
+            values.update({
+                "baseline_accuracy": baseline_accuracy,
+                "pattern_accuracy": pattern_accuracy,
+                "accuracy_drop": baseline_accuracy - pattern_accuracy,
+            })
+            paper["accuracy_drop"] = 0.005
+        table.add_row(f"rates={rates}", values, paper)
+    return table

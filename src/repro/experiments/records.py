@@ -1,0 +1,91 @@
+"""Structured result records returned by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentRow:
+    """One row of a reproduced table/figure.
+
+    ``values`` maps column name to value; ``paper`` optionally maps the same
+    column names to the values the paper reports, so the formatted output can
+    show paper-vs-measured side by side (the EXPERIMENTS.md requirement).
+    """
+
+    label: str
+    values: dict[str, Any] = field(default_factory=dict)
+    paper: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, column: str, default=None):
+        return self.values.get(column, default)
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table/figure: a list of rows plus formatting helpers."""
+
+    name: str
+    description: str
+    columns: list[str]
+    rows: list[ExperimentRow] = field(default_factory=list)
+
+    def add_row(self, label: str, values: dict[str, Any],
+                paper: dict[str, Any] | None = None) -> ExperimentRow:
+        row = ExperimentRow(label=label, values=dict(values), paper=dict(paper or {}))
+        self.rows.append(row)
+        return row
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.values.get(name) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # formatting
+    # ------------------------------------------------------------------
+    def format(self, float_digits: int = 3) -> str:
+        """Render the table as aligned plain text (paper values in parentheses)."""
+        header = ["case"] + list(self.columns)
+        body: list[list[str]] = []
+        for row in self.rows:
+            cells = [row.label]
+            for column in self.columns:
+                value = row.values.get(column)
+                cell = _format_value(value, float_digits)
+                if column in row.paper:
+                    cell += f" (paper {_format_value(row.paper[column], float_digits)})"
+                cells.append(cell)
+            body.append(cells)
+        widths = [max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+                  for i in range(len(header))]
+        lines = [self.name, self.description,
+                 "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+                 "  ".join("-" * widths[i] for i in range(len(header)))]
+        for cells in body:
+            lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(cells))))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (used by tests and by EXPERIMENTS.md tooling)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [
+                {"label": row.label, "values": row.values, "paper": row.paper}
+                for row in self.rows
+            ],
+        }
+
+
+def _format_value(value, float_digits: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)

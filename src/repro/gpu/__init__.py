@@ -1,0 +1,61 @@
+"""Analytical GPGPU performance model.
+
+The paper measures wall-clock training time on a GTX 1080Ti running Caffe.
+This reproduction has no GPU, so the timing side of every experiment is driven
+by an analytical cost model of the kernels a training iteration launches:
+
+* tiled dense GEMM (the baseline fully-connected / LSTM-gate computation),
+* compact GEMM under the Row-based Dropout Pattern (fewer rows/columns),
+* block GEMM under the Tile-based Dropout Pattern (fewer 32x32 tiles, plus the
+  pattern-bookkeeping overhead the paper observes),
+* elementwise kernels (activations, conventional dropout mask generation and
+  application, bias, optimizer update),
+* a branch-divergence model showing why naively skipping dropped work with an
+  ``if`` inside the kernel gives no speedup (Fig. 1(b)).
+
+The model charges compute cycles, shared-memory traffic and global-memory
+traffic per kernel, takes the max of the compute-bound and memory-bound times
+(roofline style), adds launch overhead, and derates small GEMMs for SM
+underutilisation.  Absolute times are not the point — the *ratios* between
+the baseline and the approximate-dropout variants are what the experiments
+compare, exactly as the paper reports "old time / new time".
+"""
+
+from repro.gpu.device import DeviceSpec, GTX_1080TI, SMALL_GPU
+from repro.gpu.kernels import (
+    KernelCost,
+    elementwise_kernel_cost,
+    rng_mask_kernel_cost,
+    optimizer_update_cost,
+    data_transfer_cost,
+)
+from repro.gpu.gemm import GemmCostModel, GemmShape
+from repro.gpu.divergence import DivergenceModel, naive_branch_skip_speedup
+from repro.gpu.profiler import KernelTrace, IterationTimer
+from repro.gpu.training_time import (
+    MLPTimingModel,
+    LSTMTimingModel,
+    DropoutTimingConfig,
+    TrainingTimeEstimate,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "GTX_1080TI",
+    "SMALL_GPU",
+    "KernelCost",
+    "elementwise_kernel_cost",
+    "rng_mask_kernel_cost",
+    "optimizer_update_cost",
+    "data_transfer_cost",
+    "GemmCostModel",
+    "GemmShape",
+    "DivergenceModel",
+    "naive_branch_skip_speedup",
+    "KernelTrace",
+    "IterationTimer",
+    "MLPTimingModel",
+    "LSTMTimingModel",
+    "DropoutTimingConfig",
+    "TrainingTimeEstimate",
+]

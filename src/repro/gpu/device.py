@@ -1,0 +1,153 @@
+"""GPU device specifications for the analytical cost model.
+
+Only the handful of architectural parameters that determine the paper's
+speedup mechanism are modelled: peak arithmetic throughput, global-memory
+bandwidth and latency ratio, shared-memory capacity and bank count, warp size
+and the number of streaming multiprocessors (for the underutilisation derate
+applied to small compact GEMMs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a GPGPU used by the cost model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    num_sms:
+        Number of streaming multiprocessors.
+    cores_per_sm:
+        FP32 lanes per SM (each retiring one FMA = 2 FLOPs per cycle).
+    clock_ghz:
+        Core clock in GHz.
+    warp_size:
+        Threads per warp (32 for NVIDIA).
+    shared_mem_per_block_kb:
+        Shared-memory capacity available to one thread block, in KiB (48 on
+        the 1080Ti, as quoted by the paper).
+    shared_mem_banks:
+        Number of shared-memory banks; the paper picks 32x32 tiles to match.
+    global_mem_bandwidth_gbps:
+        DRAM bandwidth in GB/s.
+    global_mem_latency_ratio:
+        Ratio of global-memory to shared-memory access latency (~100x per the
+        paper); used for latency-bound small transfers.
+    kernel_launch_overhead_us:
+        Fixed host-side cost of launching one kernel, in microseconds.
+    gemm_efficiency:
+        Fraction of peak FLOPs a well-tuned large GEMM achieves.
+    elementwise_efficiency:
+        Fraction of peak DRAM bandwidth an elementwise kernel achieves.
+    dtype_bytes:
+        Bytes per element (4 for FP32 training).
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    warp_size: int = 32
+    shared_mem_per_block_kb: int = 48
+    shared_mem_banks: int = 32
+    global_mem_bandwidth_gbps: float = 484.0
+    global_mem_latency_ratio: float = 100.0
+    kernel_launch_overhead_us: float = 5.0
+    gemm_efficiency: float = 0.65
+    elementwise_efficiency: float = 0.75
+    dtype_bytes: int = 4
+
+    def __post_init__(self):
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("num_sms and cores_per_sm must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if not 0 < self.gemm_efficiency <= 1:
+            raise ValueError("gemm_efficiency must be in (0, 1]")
+        if not 0 < self.elementwise_efficiency <= 1:
+            raise ValueError("elementwise_efficiency must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # derived throughputs
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s (2 FLOPs per core per cycle, FMA)."""
+        return self.num_sms * self.cores_per_sm * 2.0 * self.clock_ghz * 1e9
+
+    @property
+    def effective_gemm_flops(self) -> float:
+        """Sustained GEMM throughput in FLOP/s."""
+        return self.peak_flops * self.gemm_efficiency
+
+    @property
+    def global_bandwidth_bytes(self) -> float:
+        """DRAM bandwidth in bytes/s."""
+        return self.global_mem_bandwidth_gbps * 1e9
+
+    @property
+    def effective_bandwidth_bytes(self) -> float:
+        """Sustained elementwise bandwidth in bytes/s."""
+        return self.global_bandwidth_bytes * self.elementwise_efficiency
+
+    @property
+    def kernel_launch_overhead_ms(self) -> float:
+        return self.kernel_launch_overhead_us * 1e-3
+
+    @property
+    def shared_mem_per_block_bytes(self) -> int:
+        return self.shared_mem_per_block_kb * 1024
+
+    def occupancy_derate(self, thread_blocks: int) -> float:
+        """Throughput derate when a kernel has too few blocks to fill the GPU.
+
+        A GEMM whose compact operands only produce a handful of thread blocks
+        cannot occupy all SMs, so its sustained throughput drops roughly
+        proportionally.  This is the effect that caps the achievable speedup
+        for very small layers (Table I, 1024x64) and for very aggressive
+        dropout on small matrices.
+        """
+        if thread_blocks <= 0:
+            return 1.0 / (4.0 * self.num_sms)
+        # Assume ~4 resident blocks per SM are needed to hide latency.
+        blocks_for_full_occupancy = 4 * self.num_sms
+        return min(1.0, thread_blocks / blocks_for_full_occupancy)
+
+
+GTX_1080TI = DeviceSpec(
+    name="NVIDIA GTX 1080 Ti",
+    num_sms=28,
+    cores_per_sm=128,
+    clock_ghz=1.58,
+    warp_size=32,
+    shared_mem_per_block_kb=48,
+    shared_mem_banks=32,
+    global_mem_bandwidth_gbps=484.0,
+    global_mem_latency_ratio=100.0,
+    kernel_launch_overhead_us=5.0,
+    gemm_efficiency=0.65,
+    elementwise_efficiency=0.75,
+)
+"""The device the paper evaluates on (Section II-B / IV)."""
+
+
+SMALL_GPU = DeviceSpec(
+    name="Small embedded GPU",
+    num_sms=4,
+    cores_per_sm=128,
+    clock_ghz=1.0,
+    warp_size=32,
+    shared_mem_per_block_kb=48,
+    shared_mem_banks=32,
+    global_mem_bandwidth_gbps=60.0,
+    global_mem_latency_ratio=100.0,
+    kernel_launch_overhead_us=10.0,
+    gemm_efficiency=0.55,
+    elementwise_efficiency=0.6,
+)
+"""A much smaller device, used by tests/ablations to check model trends."""

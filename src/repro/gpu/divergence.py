@@ -1,0 +1,130 @@
+"""Branch-divergence model for the naive dropout-skipping strawman (Fig. 1(b)).
+
+The paper motivates the regular dropout patterns by showing that the obvious
+alternative — writing ``if (mask[i]) { compute } else { output = 0 }`` inside
+the kernel — cannot save time on a SIMT machine: all threads of a warp execute
+in lock-step, so as long as *any* thread of the warp has a kept neuron the
+whole warp walks through the compute path, and the dropped threads simply idle
+(the red crosses in Fig. 1(b)).
+
+:class:`DivergenceModel` quantifies this: with an i.i.d. Bernoulli mask of
+drop rate ``p`` and warps of ``w`` threads, the fraction of warps that can be
+skipped entirely is ``p**w`` (≈ 0 for ``w = 32``), so the expected speedup is
+``1 / (1 - p**w)`` ≈ 1, and with the predicate-evaluation overhead the kernel
+is usually slightly *slower* than the dense baseline.  Under a *regular*
+pattern (all kept neurons packed contiguously), entire warps become droppable
+and the ideal ``1 / (1 - p)`` speedup is recovered — which is exactly the
+compaction the RDP/TDP patterns implement without any branch at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass
+class DivergenceEstimate:
+    """Result of a divergence analysis for a masked kernel."""
+
+    drop_rate: float
+    warp_size: int
+    fully_dropped_warp_fraction: float
+    active_warp_fraction: float
+    expected_speedup: float
+    ideal_speedup: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the ideal (fully-exploited sparsity) speedup."""
+        return self.expected_speedup / self.ideal_speedup if self.ideal_speedup else 0.0
+
+
+class DivergenceModel:
+    """Warp-level divergence analysis for masked (conditional) kernels."""
+
+    def __init__(self, device: DeviceSpec, branch_overhead: float = 0.02):
+        if branch_overhead < 0:
+            raise ValueError("branch_overhead must be non-negative")
+        self.device = device
+        self.branch_overhead = branch_overhead
+
+    def random_mask(self, drop_rate: float) -> DivergenceEstimate:
+        """Expected behaviour with an i.i.d. Bernoulli mask (conventional dropout)."""
+        self._validate_rate(drop_rate)
+        w = self.device.warp_size
+        fully_dropped = float(drop_rate ** w)
+        active = 1.0 - fully_dropped
+        # Active warps pay the full compute path plus the predicate check.
+        time_fraction = active * (1.0 + self.branch_overhead)
+        speedup = 1.0 / time_fraction if time_fraction > 0 else float("inf")
+        return DivergenceEstimate(
+            drop_rate=drop_rate,
+            warp_size=w,
+            fully_dropped_warp_fraction=fully_dropped,
+            active_warp_fraction=active,
+            expected_speedup=speedup,
+            ideal_speedup=self._ideal(drop_rate),
+        )
+
+    def regular_mask(self, drop_rate: float) -> DivergenceEstimate:
+        """Expected behaviour when dropped threads are packed into whole warps.
+
+        This is what the regular patterns achieve implicitly: the dropped rows
+        are contiguous in the compact layout, so whole warps (in fact whole
+        thread blocks) disappear and the ideal speedup is reached.
+        """
+        self._validate_rate(drop_rate)
+        w = self.device.warp_size
+        fully_dropped = drop_rate
+        active = 1.0 - fully_dropped
+        speedup = 1.0 / active if active > 0 else float("inf")
+        return DivergenceEstimate(
+            drop_rate=drop_rate,
+            warp_size=w,
+            fully_dropped_warp_fraction=fully_dropped,
+            active_warp_fraction=active,
+            expected_speedup=speedup,
+            ideal_speedup=self._ideal(drop_rate),
+        )
+
+    def empirical_random_mask(self, drop_rate: float, num_threads: int,
+                              rng: np.random.Generator | None = None) -> DivergenceEstimate:
+        """Monte-Carlo estimate: draw an actual mask and count fully-dropped warps."""
+        self._validate_rate(drop_rate)
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        rng = rng or np.random.default_rng(0)
+        w = self.device.warp_size
+        num_warps = int(np.ceil(num_threads / w))
+        mask = rng.random(num_warps * w) < drop_rate  # True = dropped
+        warps = mask.reshape(num_warps, w)
+        fully_dropped = float(np.mean(warps.all(axis=1)))
+        active = 1.0 - fully_dropped
+        time_fraction = active * (1.0 + self.branch_overhead)
+        speedup = 1.0 / time_fraction if time_fraction > 0 else float("inf")
+        return DivergenceEstimate(
+            drop_rate=drop_rate,
+            warp_size=w,
+            fully_dropped_warp_fraction=fully_dropped,
+            active_warp_fraction=active,
+            expected_speedup=speedup,
+            ideal_speedup=self._ideal(drop_rate),
+        )
+
+    @staticmethod
+    def _ideal(drop_rate: float) -> float:
+        return 1.0 / (1.0 - drop_rate) if drop_rate < 1.0 else float("inf")
+
+    @staticmethod
+    def _validate_rate(drop_rate: float) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+
+
+def naive_branch_skip_speedup(device: DeviceSpec, drop_rate: float) -> float:
+    """Convenience wrapper: expected speedup of the naive if-else skip."""
+    return DivergenceModel(device).random_mask(drop_rate).expected_speedup

@@ -1,0 +1,212 @@
+"""Tiled-GEMM cost model: dense, row-compacted (RDP) and tile-compacted (TDP).
+
+The model follows the classic shared-memory tiled GEMM that Caffe/cuBLAS use
+(and that the paper's Fig. 3 sketches):
+
+* the output ``M x N`` matrix is divided into ``tile x tile`` blocks, one per
+  thread block;
+* each block streams ``K / tile`` pairs of operand tiles from global memory
+  through shared memory, so each element of A is read ``ceil(N / tile)`` times
+  and each element of B ``ceil(M / tile)`` times from DRAM;
+* execution time is the roofline maximum of the compute-bound and the
+  memory-bound estimate, derated by SM occupancy when the grid of thread
+  blocks is too small to fill the device, plus the kernel launch overhead.
+
+The two compact variants re-run the same model on the reduced operand shapes
+and add the small pattern-bookkeeping cost (gathering kept rows / computing
+kept-tile offsets) that the paper identifies as TDP's slowdown source.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernels import KernelCost, pattern_bookkeeping_cost
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Dimensions of a GEMM ``C[M, N] = A[M, K] @ B[K, N]``.
+
+    In the fully-connected forward pass of the paper's layout, ``M`` is the
+    number of output neurons (weight rows), ``K`` the number of input neurons
+    and ``N`` the batch size.
+    """
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self):
+        if self.m <= 0 or self.n <= 0 or self.k <= 0:
+            raise ValueError(f"GEMM dimensions must be positive, got {self}")
+
+    @property
+    def flops(self) -> float:
+        """Multiply-accumulate count, 2 FLOPs each."""
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def output_elements(self) -> int:
+        return self.m * self.n
+
+    def scaled_rows(self, keep_fraction: float) -> "GemmShape":
+        """Shape with only ``keep_fraction`` of the M rows retained."""
+        return GemmShape(m=max(1, int(round(self.m * keep_fraction))), n=self.n, k=self.k)
+
+    def scaled_inner(self, keep_fraction: float) -> "GemmShape":
+        """Shape with only ``keep_fraction`` of the K inner dimension retained."""
+        return GemmShape(m=self.m, n=self.n, k=max(1, int(round(self.k * keep_fraction))))
+
+
+class GemmCostModel:
+    """Roofline cost model for tiled GEMMs on a :class:`DeviceSpec`.
+
+    Parameters
+    ----------
+    device:
+        The GPU being modelled.
+    tile:
+        Thread-block output tile edge (32 to match the shared-memory banks,
+        as the paper chooses); used for the occupancy estimate.
+    traffic_tile:
+        Effective blocking factor for DRAM traffic.  Production GEMM kernels
+        block at a much coarser granularity than one warp-tile (register
+        blocking plus L2 reuse), so operands are re-read far fewer times than
+        the naive 32x32 shared-memory tiling would suggest.
+    """
+
+    def __init__(self, device: DeviceSpec, tile: int = 32, traffic_tile: int = 128):
+        if tile <= 0:
+            raise ValueError("tile must be positive")
+        if traffic_tile <= 0:
+            raise ValueError("traffic_tile must be positive")
+        self.device = device
+        self.tile = tile
+        self.traffic_tile = traffic_tile
+
+    # ------------------------------------------------------------------
+    # dense GEMM
+    # ------------------------------------------------------------------
+    def dense(self, shape: GemmShape, name: str = "gemm_dense") -> KernelCost:
+        """Cost of a dense GEMM of the given shape."""
+        return self._tiled_cost(shape, name=name)
+
+    # ------------------------------------------------------------------
+    # compact GEMMs under the dropout patterns
+    # ------------------------------------------------------------------
+    def row_compact(self, shape: GemmShape, pattern: RowDropoutPattern,
+                    input_pattern: RowDropoutPattern | None = None,
+                    name: str = "gemm_row_compact") -> KernelCost:
+        """Cost of the RDP compact GEMM.
+
+        The output-row dimension shrinks to the pattern's keep fraction; when
+        the previous layer's pattern is supplied the inner (K) dimension
+        shrinks as well, because the dropped input neurons' columns are never
+        fetched (Fig. 3(a), step 2).
+        """
+        compact = shape.scaled_rows(pattern.keep_fraction)
+        if input_pattern is not None:
+            compact = compact.scaled_inner(input_pattern.keep_fraction)
+        cost = self._tiled_cost(compact, name=name)
+        bookkeeping = pattern_bookkeeping_cost(self.device, pattern.num_kept,
+                                               name=f"{name}_rowsetup")
+        return _merge(name, [cost, bookkeeping], category="gemm")
+
+    def tile_compact(self, shape: GemmShape, pattern: TileDropoutPattern,
+                     name: str = "gemm_tile_compact") -> KernelCost:
+        """Cost of the TDP block GEMM.
+
+        Only the surviving weight tiles are fetched and multiplied.  Each
+        surviving tile still needs the matching tile of the input matrix, and
+        the scattered output positions must be computed first — the paper's
+        observed TDP overhead ("calculation of the nonzero positions in the
+        output matrix before matrix multiplication").
+        """
+        if (pattern.rows, pattern.cols) != (shape.m, shape.k):
+            raise ValueError(
+                f"pattern shape ({pattern.rows}, {pattern.cols}) does not match GEMM "
+                f"weight dims (M={shape.m}, K={shape.k})")
+        keep = pattern.keep_fraction
+        # The surviving tiles are scattered over the weight matrix, so the
+        # effective GEMM has the same N but only keep*M*K worth of
+        # multiply-accumulates; model it as a GEMM with the inner dimension
+        # scaled by keep (tile rows stay resident while columns shrink).
+        compact = shape.scaled_inner(keep)
+        cost = self._tiled_cost(compact, name=name)
+        bookkeeping = pattern_bookkeeping_cost(
+            self.device, pattern.num_kept_tiles * pattern.tile,
+            name=f"{name}_tilesetup")
+        # TDP additionally recomputes per-tile output offsets on the host/in a
+        # prologue; charge one extra small kernel proportional to the output.
+        scatter_setup = pattern_bookkeeping_cost(
+            self.device, max(shape.output_elements // max(pattern.tile, 1), 1),
+            name=f"{name}_scatter_offsets")
+        return _merge(name, [cost, bookkeeping, scatter_setup], category="gemm")
+
+    # ------------------------------------------------------------------
+    # naive masked GEMM (the strawman of Fig. 1(b))
+    # ------------------------------------------------------------------
+    def naive_branch_skip(self, shape: GemmShape, drop_rate: float,
+                          name: str = "gemm_naive_skip") -> KernelCost:
+        """Cost of a dense GEMM whose threads branch on the dropout mask.
+
+        Because all threads of a warp must execute both sides of a divergent
+        branch, a warp only saves time when *all 32* of its threads are
+        dropped; with an i.i.d. Bernoulli mask that probability is
+        ``drop_rate**32`` — negligible — so the kernel costs the same as the
+        dense GEMM plus the mask test.  This reproduces the Fig. 1(b)
+        argument.
+        """
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+        dense_cost = self._tiled_cost(shape, name=name)
+        warp_all_dropped_probability = drop_rate ** self.device.warp_size
+        useful_fraction = 1.0 - warp_all_dropped_probability
+        branch_overhead = 1.02  # predicate evaluation on every thread
+        adjusted_time = dense_cost.time_ms * useful_fraction * branch_overhead
+        return KernelCost(name=name, flops=dense_cost.flops * (1.0 - drop_rate),
+                          global_bytes=dense_cost.global_bytes,
+                          time_ms=adjusted_time + self.device.kernel_launch_overhead_ms,
+                          category="gemm")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _tiled_cost(self, shape: GemmShape, name: str) -> KernelCost:
+        device = self.device
+        tile = self.tile
+        grid_m = math.ceil(shape.m / tile)
+        grid_n = math.ceil(shape.n / tile)
+        thread_blocks = grid_m * grid_n
+
+        flops = shape.flops
+        # Global traffic of the blocked algorithm: A is streamed once per
+        # column-block of C, B once per row-block of C (at the coarse
+        # traffic-tile granularity), C written once.
+        traffic_grid_m = math.ceil(shape.m / self.traffic_tile)
+        traffic_grid_n = math.ceil(shape.n / self.traffic_tile)
+        a_bytes = shape.m * shape.k * traffic_grid_n * device.dtype_bytes
+        b_bytes = shape.k * shape.n * traffic_grid_m * device.dtype_bytes
+        c_bytes = shape.m * shape.n * device.dtype_bytes
+        global_bytes = float(a_bytes + b_bytes + c_bytes)
+
+        occupancy = device.occupancy_derate(thread_blocks)
+        compute_time_ms = flops / (device.effective_gemm_flops * occupancy) * 1e3
+        memory_time_ms = global_bytes / device.effective_bandwidth_bytes * 1e3
+        time_ms = max(compute_time_ms, memory_time_ms) + device.kernel_launch_overhead_ms
+        return KernelCost(name=name, flops=flops, global_bytes=global_bytes,
+                          time_ms=time_ms, category="gemm")
+
+
+def _merge(name: str, costs: list[KernelCost], category: str) -> KernelCost:
+    return KernelCost(
+        name=name,
+        flops=sum(c.flops for c in costs),
+        global_bytes=sum(c.global_bytes for c in costs),
+        time_ms=sum(c.time_ms for c in costs),
+        category=category,
+    )

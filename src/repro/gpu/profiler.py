@@ -1,0 +1,117 @@
+"""Kernel traces and iteration timers.
+
+:class:`KernelTrace` accumulates :class:`~repro.gpu.kernels.KernelCost`
+records for one training iteration (or any other unit of work) and produces
+totals and per-category breakdowns.  :class:`IterationTimer` pairs a baseline
+trace with an alternative trace and reports the "old time / new time" speedup
+the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.gpu.kernels import KernelCost
+
+
+@dataclass
+class KernelTrace:
+    """An ordered list of kernel launches with aggregate statistics."""
+
+    label: str = "trace"
+    kernels: list[KernelCost] = field(default_factory=list)
+
+    def add(self, cost: KernelCost) -> "KernelTrace":
+        self.kernels.append(cost)
+        return self
+
+    def extend(self, costs: list[KernelCost]) -> "KernelTrace":
+        self.kernels.extend(costs)
+        return self
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_time_ms(self) -> float:
+        return float(sum(k.time_ms for k in self.kernels))
+
+    @property
+    def total_flops(self) -> float:
+        return float(sum(k.flops for k in self.kernels))
+
+    @property
+    def total_global_bytes(self) -> float:
+        return float(sum(k.global_bytes for k in self.kernels))
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    def time_by_category(self) -> dict[str, float]:
+        """Total time per kernel category (gemm / dropout / optimizer / ...)."""
+        breakdown: dict[str, float] = defaultdict(float)
+        for kernel in self.kernels:
+            breakdown[kernel.category] += kernel.time_ms
+        return dict(breakdown)
+
+    def time_by_name(self) -> dict[str, float]:
+        breakdown: dict[str, float] = defaultdict(float)
+        for kernel in self.kernels:
+            breakdown[kernel.name] += kernel.time_ms
+        return dict(breakdown)
+
+    def scaled(self, factor: float, label: str | None = None) -> "KernelTrace":
+        """A trace with every kernel's magnitudes multiplied by ``factor``.
+
+        Used to extrapolate one modelled iteration to a full epoch or training
+        run (``factor`` = number of iterations).
+        """
+        out = KernelTrace(label=label or self.label)
+        out.kernels = [k.scaled(factor) for k in self.kernels]
+        return out
+
+    def summary(self) -> str:
+        """Human-readable one-line summary."""
+        cats = ", ".join(f"{name}={time:.3f}ms"
+                         for name, time in sorted(self.time_by_category().items()))
+        return (f"{self.label}: {self.total_time_ms:.3f} ms over "
+                f"{self.num_kernels} kernels ({cats})")
+
+
+@dataclass
+class IterationTimer:
+    """Pairs a baseline and an accelerated trace and computes the speedup."""
+
+    baseline: KernelTrace
+    accelerated: KernelTrace
+
+    @property
+    def baseline_time_ms(self) -> float:
+        return self.baseline.total_time_ms
+
+    @property
+    def accelerated_time_ms(self) -> float:
+        return self.accelerated.total_time_ms
+
+    @property
+    def speedup(self) -> float:
+        """"old time / new time" as plotted in the paper's figures."""
+        new_time = self.accelerated.total_time_ms
+        if new_time <= 0:
+            raise ZeroDivisionError("accelerated trace has zero total time")
+        return self.baseline.total_time_ms / new_time
+
+    @property
+    def time_saved_fraction(self) -> float:
+        """Fraction of the baseline time eliminated (the paper's 20%-77%)."""
+        if self.baseline_time_ms <= 0:
+            return 0.0
+        return 1.0 - self.accelerated_time_ms / self.baseline_time_ms
+
+    def report(self) -> str:
+        return (f"baseline {self.baseline_time_ms:.3f} ms -> "
+                f"accelerated {self.accelerated_time_ms:.3f} ms "
+                f"(speedup {self.speedup:.2f}x, "
+                f"time saved {100 * self.time_saved_fraction:.1f}%)")

@@ -1,0 +1,526 @@
+"""Per-iteration training-time models for the paper's two workloads.
+
+:class:`MLPTimingModel` models one SGD iteration of the 4-layer MLP
+(Section IV-A/IV-B) and :class:`LSTMTimingModel` one truncated-BPTT iteration
+of the word-level LSTM (Section IV-C).  Each model enumerates the kernels the
+iteration launches — forward GEMMs, backward data-gradient and
+weight-gradient GEMMs, activations, conventional-dropout mask kernels (only in
+the baseline), optimizer updates and host transfers — and prices them with
+:class:`~repro.gpu.gemm.GemmCostModel` and the elementwise kernel models.
+
+Dropout is described by a :class:`DropoutTimingConfig`:
+
+* ``mode="baseline"`` — conventional random dropout: dense GEMMs everywhere
+  plus RNG-mask and mask-multiply kernels on every dropped activation in both
+  the forward and the backward pass (Fig. 1(a)).
+* ``mode="row"`` — Row-based Dropout Pattern: GEMM operands shrink by the
+  expected keep fraction of each dropped layer (rows of the producing layer,
+  inner dimension of the consuming layer); no mask kernels.
+* ``mode="tile"`` — Tile-based Dropout Pattern: the weight matrices of the
+  dropped layers shrink tile-wise; extra pattern-bookkeeping kernels are
+  charged (the paper's observed TDP overhead).
+* ``mode="naive_skip"`` — the Fig. 1(b) strawman: dense GEMMs with an if-else
+  on the mask, priced through the divergence model (≈ no speedup).
+* ``mode="none"`` — no dropout at all (for reference).
+
+The expected keep fraction of a pattern stream with global dropout rate ``p``
+is exactly ``1 - p`` (Section III-D), so the models accept plain rates; they
+also accept concrete sampled patterns for trace-driven timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.gpu.gemm import GemmCostModel, GemmShape
+from repro.gpu.kernels import (
+    KernelCost,
+    data_transfer_cost,
+    elementwise_kernel_cost,
+    mask_apply_kernel_cost,
+    optimizer_update_cost,
+    pattern_bookkeeping_cost,
+    rng_mask_kernel_cost,
+)
+from repro.gpu.profiler import IterationTimer, KernelTrace
+
+_VALID_MODES = ("none", "baseline", "row", "tile", "naive_skip")
+
+
+@dataclass
+class DropoutTimingConfig:
+    """How dropout is applied, for timing purposes.
+
+    Attributes
+    ----------
+    mode:
+        One of ``"none"``, ``"baseline"``, ``"row"``, ``"tile"``,
+        ``"naive_skip"``.
+    rates:
+        Per-dropout-site global dropout rates (one per hidden layer for the
+        MLP; one per LSTM layer output for the LSTM).
+    tile:
+        Tile edge for TDP bookkeeping.
+    """
+
+    mode: str = "baseline"
+    rates: tuple[float, ...] = ()
+    tile: int = 32
+
+    def __post_init__(self):
+        if self.mode not in _VALID_MODES:
+            raise ValueError(f"mode must be one of {_VALID_MODES}, got {self.mode!r}")
+        for rate in self.rates:
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"dropout rates must be in [0, 1), got {rate}")
+
+    def keep(self, index: int) -> float:
+        """Expected keep fraction of dropout site ``index`` (1 if not dropped)."""
+        if self.mode == "none" or index < 0 or index >= len(self.rates):
+            return 1.0
+        return 1.0 - self.rates[index]
+
+    def rate(self, index: int) -> float:
+        if index < 0 or index >= len(self.rates):
+            return 0.0
+        return self.rates[index]
+
+
+@dataclass
+class TrainingTimeEstimate:
+    """Modelled time of one training iteration plus the underlying trace."""
+
+    config: DropoutTimingConfig
+    trace: KernelTrace
+    iteration_time_ms: float = field(init=False)
+
+    def __post_init__(self):
+        self.iteration_time_ms = self.trace.total_time_ms
+
+    def speedup_over(self, baseline: "TrainingTimeEstimate") -> float:
+        """"old time / new time" against a baseline estimate."""
+        return baseline.iteration_time_ms / self.iteration_time_ms
+
+    def epoch_time_ms(self, iterations_per_epoch: int) -> float:
+        return self.iteration_time_ms * iterations_per_epoch
+
+
+class MLPTimingModel:
+    """Timing model for one SGD iteration of a fully-connected network.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Neurons per layer including input and output, e.g. the paper's
+        ``[784, 2048, 2048, 10]``.
+    batch_size:
+        Mini-batch size (128 in Section IV-A).
+    device:
+        GPU being modelled (defaults to the paper's GTX 1080Ti).
+    momentum:
+        Whether the optimizer update uses momentum (affects its traffic).
+    """
+
+    def __init__(self, layer_sizes: list[int], batch_size: int,
+                 device: DeviceSpec = GTX_1080TI, momentum: bool = True,
+                 gemm_tile: int = 32, gemm_traffic_tile: int = 64,
+                 solver_passes: int = 2,
+                 framework_overhead_ms: float = 0.05,
+                 tile_gemm_inefficiency: float = 1.1):
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes must contain at least input and output sizes")
+        if any(size <= 0 for size in layer_sizes):
+            raise ValueError("all layer sizes must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if framework_overhead_ms < 0:
+            raise ValueError("framework_overhead_ms must be non-negative")
+        self.layer_sizes = list(layer_sizes)
+        self.batch_size = batch_size
+        self.device = device
+        self.momentum = momentum
+        self.solver_passes = solver_passes
+        self.framework_overhead_ms = framework_overhead_ms
+        if tile_gemm_inefficiency < 1.0:
+            raise ValueError("tile_gemm_inefficiency must be >= 1")
+        self.tile_gemm_inefficiency = tile_gemm_inefficiency
+        self.gemm = GemmCostModel(device, tile=gemm_tile, traffic_tile=gemm_traffic_tile)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def iteration(self, config: DropoutTimingConfig) -> TrainingTimeEstimate:
+        """Model one full iteration (forward + backward + update) under ``config``."""
+        trace = KernelTrace(label=f"mlp_{config.mode}")
+        trace.add(data_transfer_cost(self.device, self.layer_sizes[0] * self.batch_size))
+        trace.extend(self._forward_kernels(config))
+        trace.extend(self._backward_kernels(config))
+        trace.add(optimizer_update_cost(self.device, self._num_parameters(),
+                                        momentum=self.momentum,
+                                        solver_passes=self.solver_passes))
+        trace.add(KernelCost(name="solver_framework_overhead",
+                             time_ms=self.framework_overhead_ms, category="overhead"))
+        return TrainingTimeEstimate(config=config, trace=trace)
+
+    def speedup(self, config: DropoutTimingConfig,
+                baseline: DropoutTimingConfig | None = None) -> float:
+        """Speedup of ``config`` over the conventional-dropout baseline."""
+        baseline = baseline or DropoutTimingConfig(mode="baseline", rates=config.rates)
+        timer = IterationTimer(self.iteration(baseline).trace, self.iteration(config).trace)
+        return timer.speedup
+
+    # ------------------------------------------------------------------
+    # kernel enumeration
+    # ------------------------------------------------------------------
+    def _num_layers(self) -> int:
+        return len(self.layer_sizes) - 1
+
+    def _num_parameters(self) -> int:
+        total = 0
+        for layer in range(self._num_layers()):
+            total += self.layer_sizes[layer] * self.layer_sizes[layer + 1]
+            total += self.layer_sizes[layer + 1]
+        return total
+
+    def _dropout_site(self, layer: int, config: DropoutTimingConfig) -> int:
+        """Dropout-site index for the *output* of ``layer`` (-1 if not dropped).
+
+        Hidden layers 1..L-1 (i.e. every layer except the last) are dropout
+        sites, matching the paper's MLP where both hidden layers are dropped.
+        """
+        if layer >= self._num_layers() - 1:
+            return -1
+        return layer if layer < len(config.rates) else -1
+
+    def _forward_kernels(self, config: DropoutTimingConfig) -> list[KernelCost]:
+        kernels: list[KernelCost] = []
+        for layer in range(self._num_layers()):
+            in_size = self.layer_sizes[layer]
+            out_size = self.layer_sizes[layer + 1]
+            shape = GemmShape(m=out_size, n=self.batch_size, k=in_size)
+            out_site = self._dropout_site(layer, config)
+            in_site = self._dropout_site(layer - 1, config)
+            kernels.append(self._gemm_cost(shape, config, out_site, in_site,
+                                           name=f"fwd_gemm_l{layer}"))
+            activations = out_size * self.batch_size
+            kernels.append(elementwise_kernel_cost(
+                self.device, activations, name=f"fwd_act_l{layer}"))
+            if out_site >= 0 and config.mode == "baseline" and config.rate(out_site) > 0:
+                kernels.append(rng_mask_kernel_cost(self.device, activations,
+                                                    name=f"fwd_rng_l{layer}"))
+                kernels.append(mask_apply_kernel_cost(self.device, activations,
+                                                      name=f"fwd_mask_l{layer}"))
+        # softmax + loss over the output layer
+        kernels.append(elementwise_kernel_cost(
+            self.device, self.layer_sizes[-1] * self.batch_size,
+            flops_per_element=4, name="softmax_loss"))
+        return kernels
+
+    def _backward_kernels(self, config: DropoutTimingConfig) -> list[KernelCost]:
+        kernels: list[KernelCost] = []
+        for layer in reversed(range(self._num_layers())):
+            in_size = self.layer_sizes[layer]
+            out_size = self.layer_sizes[layer + 1]
+            out_site = self._dropout_site(layer, config)
+            in_site = self._dropout_site(layer - 1, config)
+            activations = out_size * self.batch_size
+            if out_site >= 0 and config.mode == "baseline" and config.rate(out_site) > 0:
+                # gradient through the dropout mask: one more elementwise pass
+                kernels.append(mask_apply_kernel_cost(self.device, activations,
+                                                      name=f"bwd_mask_l{layer}"))
+            # activation-derivative multiply
+            kernels.append(elementwise_kernel_cost(
+                self.device, activations, name=f"bwd_act_l{layer}"))
+            # data gradient dX = dY @ W: (in x batch) = (in x out) @ (out x batch)
+            if layer > 0:
+                dx_shape = GemmShape(m=in_size, n=self.batch_size, k=out_size)
+                kernels.append(self._gemm_cost(dx_shape, config, in_site, out_site,
+                                               name=f"bwd_dx_gemm_l{layer}"))
+            # weight gradient dW = dY @ X^T: (out x in) = (out x batch) @ (batch x in)
+            dw_shape = GemmShape(m=out_size, n=in_size, k=self.batch_size)
+            kernels.append(self._dw_gemm_cost(dw_shape, config, out_site, in_site,
+                                              name=f"bwd_dw_gemm_l{layer}"))
+        return kernels
+
+    # ------------------------------------------------------------------
+    # GEMM pricing under the different dropout modes
+    # ------------------------------------------------------------------
+    def _gemm_cost(self, shape: GemmShape, config: DropoutTimingConfig,
+                   row_site: int, inner_site: int, name: str) -> KernelCost:
+        """Cost of a forward/data-gradient GEMM whose M rows belong to dropout
+        site ``row_site`` and whose K inner dimension belongs to ``inner_site``.
+
+        In the approximate-dropout modes, the expected keep fraction of a
+        pattern stream with global rate ``p`` is exactly ``1 - p``
+        (Section III-D), so the compact GEMM is priced with the corresponding
+        continuously-scaled shape plus the pattern-bookkeeping overhead.
+        """
+        mode = config.mode
+        if mode in ("none", "baseline") or (row_site < 0 and inner_site < 0):
+            return self.gemm.dense(shape, name=name)
+        if mode == "naive_skip":
+            rate = config.rate(row_site) if row_site >= 0 else config.rate(inner_site)
+            return self.gemm.naive_branch_skip(shape, rate, name=name)
+        row_keep = config.keep(row_site)
+        inner_keep = config.keep(inner_site)
+        if mode == "row":
+            compact = shape.scaled_rows(row_keep).scaled_inner(inner_keep)
+            cost = self.gemm.dense(compact, name=name)
+            setup = pattern_bookkeeping_cost(self.device, compact.m,
+                                             name=f"{name}_rowsetup")
+            return _combine(name, cost, [setup])
+        if mode == "tile":
+            # TDP drops (row_keep * inner_keep) of the weight (M x K) tiles; the
+            # surviving tiles are scattered, so the output stays M wide and the
+            # effective inner dimension shrinks.  The scattered block layout
+            # multiplies at lower efficiency than a contiguous compact GEMM
+            # (worse reuse, plus the nonzero-position computation the paper
+            # identifies), modelled by ``tile_gemm_inefficiency``.
+            keep = row_keep * inner_keep
+            compact = shape.scaled_inner(keep)
+            cost = self.gemm.dense(compact, name=name)
+            cost.time_ms *= self.tile_gemm_inefficiency
+            kept_tiles = max(1, int(round(
+                (shape.m * shape.k * keep) / (config.tile * config.tile))))
+            setup = pattern_bookkeeping_cost(self.device, kept_tiles * config.tile,
+                                             name=f"{name}_tilesetup")
+            scatter = pattern_bookkeeping_cost(
+                self.device, max(shape.output_elements // max(config.tile, 1), 1),
+                name=f"{name}_scatter_offsets")
+            return _combine(name, cost, [setup, scatter])
+        raise ValueError(f"unhandled mode {mode!r}")
+
+    def _dw_gemm_cost(self, shape: GemmShape, config: DropoutTimingConfig,
+                      row_site: int, col_site: int, name: str) -> KernelCost:
+        """Cost of a weight-gradient GEMM (out x in), batch as inner dimension.
+
+        Under RDP both output dimensions of dW shrink (only the kept rows and
+        kept input columns receive non-zero gradients); under TDP only the
+        kept tiles are computed.
+        """
+        mode = config.mode
+        if mode in ("none", "baseline") or (row_site < 0 and col_site < 0):
+            return self.gemm.dense(shape, name=name)
+        if mode == "naive_skip":
+            rate = config.rate(row_site) if row_site >= 0 else config.rate(col_site)
+            return self.gemm.naive_branch_skip(shape, rate, name=name)
+        row_keep = config.keep(row_site)
+        col_keep = config.keep(col_site)
+        if mode == "row":
+            compact = GemmShape(m=max(1, int(round(shape.m * row_keep))),
+                                n=max(1, int(round(shape.n * col_keep))),
+                                k=shape.k)
+            cost = self.gemm.dense(compact, name=name)
+            setup = pattern_bookkeeping_cost(self.device, compact.m, name=f"{name}_rowsetup")
+            return _combine(name, cost, [setup])
+        if mode == "tile":
+            keep = row_keep * col_keep
+            compact = GemmShape(m=shape.m, n=max(1, int(round(shape.n * keep))), k=shape.k)
+            cost = self.gemm.dense(compact, name=name)
+            cost.time_ms *= self.tile_gemm_inefficiency
+            kept_tiles = max(1, int(round(
+                (shape.m * shape.n * keep) / (config.tile * config.tile))))
+            setup = pattern_bookkeeping_cost(self.device, kept_tiles * config.tile,
+                                             name=f"{name}_tilesetup")
+            return _combine(name, cost, [setup])
+        raise ValueError(f"unhandled mode {mode!r}")
+
+
+class LSTMTimingModel:
+    """Timing model for one truncated-BPTT iteration of a word-level LSTM LM.
+
+    Dropout placement follows the standard regularised-LSTM recipe (Zaremba et
+    al.) that the paper's PTB setup implies: only the *non-recurrent*
+    connections are dropped — the embedding output feeding layer 0, the output
+    of each LSTM layer feeding the next, and the last layer's output feeding
+    the vocabulary projection.  ``rates[i]`` is the rate applied to the output
+    of LSTM layer ``i``; the embedding output is dropped with ``rates[0]``.
+    The recurrent hidden-to-hidden half of each gate GEMM is never dropped,
+    which is why LSTM speedups are lower than MLP speedups at the same rate.
+
+    Parameters
+    ----------
+    vocab_size, embed_size, hidden_size, num_layers:
+        Language-model configuration (the paper: 8800-word dictionary or a
+        PTB-style corpus, 1500 hidden units, 2 or 3 layers).
+    batch_size, seq_len:
+        Mini-batch and unroll length (20 and 35 in Section IV-C).
+    """
+
+    def __init__(self, vocab_size: int, embed_size: int, hidden_size: int,
+                 num_layers: int, batch_size: int, seq_len: int,
+                 device: DeviceSpec = GTX_1080TI, momentum: bool = False,
+                 gemm_tile: int = 32, gemm_traffic_tile: int = 128,
+                 solver_passes: int = 2,
+                 framework_overhead_ms: float = 1.0,
+                 tile_gemm_inefficiency: float = 1.05):
+        for label, value in (("vocab_size", vocab_size), ("embed_size", embed_size),
+                             ("hidden_size", hidden_size), ("num_layers", num_layers),
+                             ("batch_size", batch_size), ("seq_len", seq_len)):
+            if value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+        if framework_overhead_ms < 0:
+            raise ValueError("framework_overhead_ms must be non-negative")
+        self.vocab_size = vocab_size
+        self.embed_size = embed_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.device = device
+        self.momentum = momentum
+        self.solver_passes = solver_passes
+        self.framework_overhead_ms = framework_overhead_ms
+        if tile_gemm_inefficiency < 1.0:
+            raise ValueError("tile_gemm_inefficiency must be >= 1")
+        self.tile_gemm_inefficiency = tile_gemm_inefficiency
+        self.gemm = GemmCostModel(device, tile=gemm_tile, traffic_tile=gemm_traffic_tile)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def iteration(self, config: DropoutTimingConfig) -> TrainingTimeEstimate:
+        """Model one BPTT iteration (all timesteps, forward + backward + update)."""
+        trace = KernelTrace(label=f"lstm_{config.mode}")
+        trace.add(data_transfer_cost(self.device, self.batch_size * self.seq_len))
+        # Forward + backward are both dominated by the per-timestep gate GEMMs;
+        # backward costs roughly 2x the forward GEMM work (dX and dW), matching
+        # the MLP model's structure.
+        for direction, gemm_multiplier in (("fwd", 1), ("bwd", 2)):
+            trace.extend(self._timestep_kernels(config, direction, gemm_multiplier))
+        trace.extend(self._projection_kernels(config))
+        trace.add(optimizer_update_cost(self.device, self._num_parameters(),
+                                        momentum=self.momentum,
+                                        solver_passes=self.solver_passes))
+        trace.add(KernelCost(name="solver_framework_overhead",
+                             time_ms=self.framework_overhead_ms, category="overhead"))
+        return TrainingTimeEstimate(config=config, trace=trace)
+
+    def speedup(self, config: DropoutTimingConfig,
+                baseline: DropoutTimingConfig | None = None) -> float:
+        baseline = baseline or DropoutTimingConfig(mode="baseline", rates=config.rates)
+        timer = IterationTimer(self.iteration(baseline).trace, self.iteration(config).trace)
+        return timer.speedup
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _num_parameters(self) -> int:
+        total = self.vocab_size * self.embed_size  # embedding
+        input_size = self.embed_size
+        for _ in range(self.num_layers):
+            total += 4 * self.hidden_size * (input_size + self.hidden_size)
+            total += 4 * self.hidden_size
+            input_size = self.hidden_size
+        total += self.vocab_size * self.hidden_size + self.vocab_size  # projection
+        return total
+
+    def _timestep_kernels(self, config: DropoutTimingConfig, direction: str,
+                          gemm_multiplier: int) -> list[KernelCost]:
+        kernels: list[KernelCost] = []
+        input_size = self.embed_size
+        for layer in range(self.num_layers):
+            # The non-recurrent input of this layer is dropped: the embedding
+            # output for layer 0 (tied to rates[0]) and the previous layer's
+            # output for deeper layers (rates[layer-1]).  The recurrent hidden
+            # part of the fused gate GEMM is never dropped.
+            input_site = 0 if layer == 0 else layer - 1
+            input_keep = config.keep(input_site)
+            input_rate = config.rate(input_site)
+            gate_shape = GemmShape(m=4 * self.hidden_size,
+                                   n=self.batch_size,
+                                   k=input_size + self.hidden_size)
+            cost = self._gate_gemm_cost(gate_shape, config, input_keep, input_rate,
+                                        input_size,
+                                        name=f"{direction}_gate_gemm_l{layer}")
+            for _ in range(gemm_multiplier):
+                for _ in range(self.seq_len):
+                    kernels.append(cost)
+            # Elementwise gate math (sigmoid/tanh/pointwise) per timestep.
+            gate_elements = 4 * self.hidden_size * self.batch_size
+            elementwise = elementwise_kernel_cost(
+                self.device, gate_elements, flops_per_element=6,
+                name=f"{direction}_gate_elem_l{layer}")
+            for _ in range(self.seq_len):
+                kernels.append(elementwise)
+            # Dropout kernels (baseline only) on the non-recurrent input of
+            # this layer, once per timestep (Fig. 1(a) data flow).
+            if config.mode == "baseline" and input_rate > 0:
+                dropped_elements = input_size * self.batch_size
+                for _ in range(self.seq_len):
+                    kernels.append(rng_mask_kernel_cost(
+                        self.device, dropped_elements, name=f"{direction}_rng_l{layer}"))
+                    kernels.append(mask_apply_kernel_cost(
+                        self.device, dropped_elements, name=f"{direction}_mask_l{layer}"))
+            input_size = self.hidden_size
+        return kernels
+
+    def _gate_gemm_cost(self, shape: GemmShape, config: DropoutTimingConfig,
+                        input_keep: float, input_rate: float,
+                        input_size: int, name: str) -> KernelCost:
+        mode = config.mode
+        if mode in ("none", "baseline") or input_keep >= 1.0:
+            return self.gemm.dense(shape, name=name)
+        if mode == "naive_skip":
+            return self.gemm.naive_branch_skip(shape, input_rate, name=name)
+        # Only the input-size part of the K dimension shrinks.
+        kept_k = max(1, int(round(input_size * input_keep))) + self.hidden_size
+        compact = GemmShape(m=shape.m, n=shape.n, k=kept_k)
+        cost = self.gemm.dense(compact, name=name)
+        if mode == "tile":
+            cost.time_ms *= self.tile_gemm_inefficiency
+        setup_units = (max(1, int(round(input_size * input_keep)))
+                       if mode == "row" else
+                       max(1, int(round(input_size * input_keep))) * 2)
+        setup = pattern_bookkeeping_cost(self.device, setup_units, name=f"{name}_setup")
+        return KernelCost(name=name, flops=cost.flops + setup.flops,
+                          global_bytes=cost.global_bytes + setup.global_bytes,
+                          time_ms=cost.time_ms + setup.time_ms, category="gemm")
+
+    def _projection_kernels(self, config: DropoutTimingConfig) -> list[KernelCost]:
+        """Vocabulary projection (softmax layer) over all timesteps, fwd + bwd."""
+        kernels: list[KernelCost] = []
+        tokens = self.batch_size * self.seq_len
+        last_site = self.num_layers - 1
+        keep = config.keep(last_site)
+        rate = config.rate(last_site)
+        shape = GemmShape(m=self.vocab_size, n=tokens, k=self.hidden_size)
+        if config.mode in ("none", "baseline") or keep >= 1.0:
+            cost = self.gemm.dense(shape, name="proj_gemm")
+        elif config.mode == "naive_skip":
+            cost = self.gemm.naive_branch_skip(shape, rate, name="proj_gemm")
+        else:
+            compact = shape.scaled_inner(keep)
+            base = self.gemm.dense(compact, name="proj_gemm")
+            if config.mode == "tile":
+                base.time_ms *= self.tile_gemm_inefficiency
+            setup = pattern_bookkeeping_cost(
+                self.device, max(1, int(round(self.hidden_size * keep))),
+                name="proj_gemm_setup")
+            cost = KernelCost(name="proj_gemm", flops=base.flops + setup.flops,
+                              global_bytes=base.global_bytes + setup.global_bytes,
+                              time_ms=base.time_ms + setup.time_ms, category="gemm")
+        # forward + dX + dW
+        kernels.extend([cost, cost, cost])
+        if config.mode == "baseline" and rate > 0:
+            hidden_elements = self.hidden_size * tokens
+            kernels.append(rng_mask_kernel_cost(self.device, hidden_elements,
+                                                name="proj_rng"))
+            kernels.append(mask_apply_kernel_cost(self.device, hidden_elements,
+                                                  name="proj_mask"))
+        kernels.append(elementwise_kernel_cost(
+            self.device, self.vocab_size * tokens, flops_per_element=4,
+            name="softmax_loss"))
+        return kernels
+
+
+def _combine(name: str, gemm_cost: KernelCost, extras: list[KernelCost]) -> KernelCost:
+    """Merge a GEMM cost with its pattern-bookkeeping extras into one record."""
+    return KernelCost(
+        name=name,
+        flops=gemm_cost.flops + sum(extra.flops for extra in extras),
+        global_bytes=gemm_cost.global_bytes + sum(extra.global_bytes for extra in extras),
+        time_ms=gemm_cost.time_ms + sum(extra.time_ms for extra in extras),
+        category="gemm",
+    )

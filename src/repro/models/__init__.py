@@ -1,0 +1,32 @@
+"""Model builders for the paper's two workloads.
+
+* :class:`~repro.models.mlp.MLPClassifier` — the 4-layer MLP of
+  Sections IV-A/IV-B with a pluggable dropout strategy (none / conventional /
+  RDP / TDP).
+* :class:`~repro.models.lstm_lm.LSTMLanguageModel` — the word-level LSTM
+  language model of Section IV-C, again with pluggable dropout.
+"""
+
+from repro.models.mlp import MLPClassifier, MLPConfig
+from repro.models.lstm_lm import LSTMLanguageModel, LSTMConfig
+from repro.models.dropout_strategy import (
+    DropoutStrategy,
+    NoDropout,
+    ConventionalDropout,
+    RowPatternDropout,
+    TilePatternDropout,
+    build_strategy,
+)
+
+__all__ = [
+    "MLPClassifier",
+    "MLPConfig",
+    "LSTMLanguageModel",
+    "LSTMConfig",
+    "DropoutStrategy",
+    "NoDropout",
+    "ConventionalDropout",
+    "RowPatternDropout",
+    "TilePatternDropout",
+    "build_strategy",
+]

@@ -1,0 +1,162 @@
+"""Word-level LSTM language model (Section IV-C of the paper).
+
+The model follows the standard regularised-LSTM recipe the paper's setup
+implies: an embedding layer, two or three stacked LSTM layers of 1500 units,
+and a vocabulary projection, with dropout applied only to the non-recurrent
+connections (embedding output, between layers, and before the projection).
+The dropout behaviour is injected through a
+:class:`~repro.models.dropout_strategy.DropoutStrategy` so the same model can
+be trained with conventional dropout, the Row-based pattern or the Tile-based
+pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.gpu.training_time import DropoutTimingConfig, LSTMTimingModel
+from repro.models.dropout_strategy import DropoutStrategy, build_strategy
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module
+from repro.nn.recurrent import LSTM
+from repro.tensor import Tensor
+
+
+@dataclass
+class LSTMConfig:
+    """Configuration of the LSTM language-model workload.
+
+    Attributes
+    ----------
+    vocab_size:
+        Vocabulary size (8800 for the dictionary task, ~10k for PTB).
+    embed_size:
+        Word-embedding width (the paper's setup uses the hidden width).
+    hidden_size:
+        LSTM hidden units per layer (1500 in the paper).
+    num_layers:
+        Stacked LSTM layers (2 for the dictionary task, 3 for PTB).
+    drop_rates:
+        Dropout rate applied to the output of each LSTM layer; the embedding
+        output is dropped with ``drop_rates[0]``.  Must have ``num_layers``
+        entries.
+    strategy:
+        Dropout strategy name: "none", "original", "row" or "tile".
+    seed:
+        Seed for initialisation and mask/pattern sampling.
+    """
+
+    vocab_size: int = 8800
+    embed_size: int = 1500
+    hidden_size: int = 1500
+    num_layers: int = 2
+    drop_rates: tuple[float, ...] = (0.5, 0.5)
+    strategy: str = "original"
+    seed: int = 0
+
+    def __post_init__(self):
+        for label, value in (("vocab_size", self.vocab_size),
+                             ("embed_size", self.embed_size),
+                             ("hidden_size", self.hidden_size),
+                             ("num_layers", self.num_layers)):
+            if value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+        if len(self.drop_rates) != self.num_layers:
+            raise ValueError(
+                f"drop_rates (len {len(self.drop_rates)}) must have one entry per "
+                f"LSTM layer ({self.num_layers})")
+
+
+class LSTMLanguageModel(Module):
+    """Next-word prediction model with pluggable dropout on non-recurrent paths."""
+
+    def __init__(self, config: LSTMConfig,
+                 strategy: DropoutStrategy | None = None):
+        super().__init__()
+        self.config = config
+        self.strategy = strategy or build_strategy(config.strategy)
+        self.rng = np.random.default_rng(config.seed)
+
+        self.embedding = Embedding(config.vocab_size, config.embed_size, rng=self.rng)
+        self.input_dropout = self.strategy.activation_dropout(
+            config.embed_size, config.drop_rates[0], self.rng)
+
+        def dropout_builder(layer_index: int) -> Module:
+            return self.strategy.activation_dropout(
+                config.hidden_size, config.drop_rates[layer_index], self.rng)
+
+        self.lstm = LSTM(config.embed_size, config.hidden_size,
+                         num_layers=config.num_layers, rng=self.rng,
+                         dropout_builder=dropout_builder)
+        self.output_dropout = self.strategy.activation_dropout(
+            config.hidden_size, config.drop_rates[-1], self.rng)
+        self.projection = Linear(config.hidden_size, config.vocab_size, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    # forward / lifecycle
+    # ------------------------------------------------------------------
+    def forward(self, tokens: np.ndarray,
+                state: list[tuple[Tensor, Tensor]] | None = None,
+                ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        """Compute next-word logits for a batch of sequences.
+
+        Parameters
+        ----------
+        tokens:
+            Integer array of shape ``(seq_len, batch)``.
+        state:
+            Optional LSTM state carried over from the previous BPTT window.
+
+        Returns
+        -------
+        ``(logits, new_state)`` with ``logits`` of shape
+        ``(seq_len * batch, vocab_size)``.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be 2-D (seq_len, batch), got shape {tokens.shape}")
+        embedded = self.embedding(tokens)
+        embedded = self.input_dropout(embedded)
+        outputs, new_state = self.lstm(embedded, state)
+        outputs = self.output_dropout(outputs)
+        seq_len, batch = tokens.shape
+        flat = outputs.reshape(seq_len * batch, self.config.hidden_size)
+        logits = self.projection(flat)
+        return logits, new_state
+
+    def init_state(self, batch: int) -> list[tuple[Tensor, Tensor]]:
+        return self.lstm.init_state(batch)
+
+    def detach_state(self, state: list[tuple[Tensor, Tensor]],
+                     ) -> list[tuple[Tensor, Tensor]]:
+        """Cut the BPTT graph between windows while keeping the numeric state."""
+        return [(h.detach(), c.detach()) for h, c in state]
+
+    def resample_patterns(self) -> None:
+        """Draw fresh dropout patterns for the next iteration (no-op for baseline)."""
+        self.strategy.resample(self)
+
+    # ------------------------------------------------------------------
+    # GPU timing integration
+    # ------------------------------------------------------------------
+    def timing_model(self, batch_size: int, seq_len: int,
+                     device: DeviceSpec = GTX_1080TI, **kwargs) -> LSTMTimingModel:
+        """Build the analytical timing model matching this network's shape."""
+        return LSTMTimingModel(self.config.vocab_size, self.config.embed_size,
+                               self.config.hidden_size, self.config.num_layers,
+                               batch_size, seq_len, device=device, **kwargs)
+
+    def timing_config(self) -> DropoutTimingConfig:
+        return DropoutTimingConfig(mode=self.strategy.timing_mode,
+                                   rates=tuple(self.config.drop_rates))
+
+    def baseline_timing_config(self) -> DropoutTimingConfig:
+        return DropoutTimingConfig(mode="baseline", rates=tuple(self.config.drop_rates))
+
+    def __repr__(self) -> str:
+        return (f"LSTMLanguageModel(vocab={self.config.vocab_size}, "
+                f"hidden={self.config.hidden_size}x{self.config.num_layers}, "
+                f"rates={self.config.drop_rates}, strategy={self.strategy.name})")

@@ -1,0 +1,53 @@
+"""Neural-network layer library built on :mod:`repro.tensor`.
+
+Provides the building blocks the paper's experiments need: fully-connected
+layers, activations, conventional dropout (Srivastava et al.) and DropConnect
+(Wan et al.) baselines, an LSTM implementation for the language-model
+experiments, losses, optimisers and metrics.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Identity,
+    Flatten,
+    Embedding,
+)
+from repro.nn.dropout import Dropout, DropConnectLinear
+from repro.nn.recurrent import LSTMCell, LSTM
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam, LRSchedule, StepLR, ExponentialLR, ConstantLR
+from repro.nn.metrics import accuracy, top_k_accuracy, perplexity_from_loss
+from repro.nn import initializers
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Flatten",
+    "Embedding",
+    "Dropout",
+    "DropConnectLinear",
+    "LSTMCell",
+    "LSTM",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "StepLR",
+    "ExponentialLR",
+    "ConstantLR",
+    "accuracy",
+    "top_k_accuracy",
+    "perplexity_from_loss",
+    "initializers",
+]

@@ -1,0 +1,107 @@
+"""Conventional dropout baselines.
+
+These are the two baselines the paper compares against:
+
+* :class:`Dropout` — Srivastava-style neuron dropout [24]: an i.i.d. Bernoulli
+  0/1 mask is applied elementwise to the layer's activations.  This is exactly
+  the "output matrix element-wise multiplied by a mask matrix" implementation
+  of Fig. 1(a): the dense GEMM still runs at full size and the mask kernel is
+  an extra pass over the output.
+* :class:`DropConnectLinear` — DropConnect [25]: an i.i.d. Bernoulli mask over
+  the *weights* of a linear layer.
+
+Both use inverted dropout (scaling by ``1/(1-p)`` at training time) so the
+inference path requires no rescaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class Dropout(Module):
+    """Conventional random neuron dropout (the paper's baseline).
+
+    Parameters
+    ----------
+    rate:
+        Probability of dropping each activation, in ``[0, 1)``.
+    rng:
+        Random generator used to draw the Bernoulli mask each call.
+    scale_at_train:
+        If ``True`` (default) use inverted dropout: surviving activations are
+        scaled by ``1/(1-rate)`` during training.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None,
+                 scale_at_train: bool = True):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.rng = rng or np.random.default_rng()
+        self.scale_at_train = scale_at_train
+        self.last_mask: np.ndarray | None = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            self.last_mask = None
+            return x
+        mask = (self.rng.random(x.shape) >= self.rate).astype(x.data.dtype)
+        self.last_mask = mask
+        out = F.apply_mask(x, mask)
+        if self.scale_at_train:
+            out = out * (1.0 / (1.0 - self.rate))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"
+
+
+class DropConnectLinear(Module):
+    """Linear layer with DropConnect: Bernoulli mask over individual weights.
+
+    This is the irregular, synapse-level baseline that the tile-based dropout
+    pattern (TDP) regularises: TDP drops 32x32 tiles of the weight matrix
+    instead of single weights so that the surviving weights form a compact,
+    GEMM-friendly matrix.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rate: float,
+                 bias: bool = True, rng: np.random.Generator | None = None,
+                 scale_at_train: bool = True):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"drop-connect rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.rng = rng or np.random.default_rng()
+        self.scale_at_train = scale_at_train
+        self.linear = Linear(in_features, out_features, bias=bias, rng=self.rng)
+        self.last_mask: np.ndarray | None = None
+
+    @property
+    def weight(self):
+        return self.linear.weight
+
+    @property
+    def bias(self):
+        return self.linear.bias
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            self.last_mask = None
+            return F.linear(x, self.linear.weight, self.linear.bias)
+        mask = (self.rng.random(self.linear.weight.shape) >= self.rate)
+        self.last_mask = mask.astype(np.float64)
+        masked_weight = F.apply_mask(self.linear.weight, self.last_mask)
+        if self.scale_at_train:
+            masked_weight = masked_weight * (1.0 / (1.0 - self.rate))
+        return F.linear(x, masked_weight, self.linear.bias)
+
+    def __repr__(self) -> str:
+        return (f"DropConnectLinear(in_features={self.linear.in_features}, "
+                f"out_features={self.linear.out_features}, rate={self.rate})")

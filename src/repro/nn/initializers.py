@@ -1,0 +1,81 @@
+"""Weight initialisation schemes.
+
+All initialisers accept an explicit :class:`numpy.random.Generator` so that
+experiments are reproducible down to the weight draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for (fan_out, fan_in) matrices."""
+    fan_out, fan_in = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_out, fan_in = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Kaiming/He normal initialisation, suited to ReLU networks."""
+    _, fan_in = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator,
+            low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Plain uniform initialisation, the scheme typically used for LSTMs."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def orthogonal(shape: tuple[int, ...], rng: np.random.Generator,
+               gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation, helpful for recurrent weight matrices."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal initialisation requires a 2-D shape")
+    rows, cols = shape
+    a = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q = q * np.sign(np.diag(r))
+    q = q[:rows, :cols] if q.shape[0] >= rows else q.T[:rows, :cols]
+    return gain * q
+
+
+_INITIALIZERS = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_normal": he_normal,
+    "uniform": uniform,
+    "orthogonal": orthogonal,
+}
+
+
+def get(name: str):
+    """Look up an initialiser by name."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown initializer {name!r}; available: {sorted(_INITIALIZERS)}") from exc
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive

@@ -1,0 +1,116 @@
+"""Feed-forward layers: Linear, activations, Flatten and Embedding.
+
+The :class:`Linear` layer stores its weight as ``(out_features, in_features)``
+to match the paper's row-oriented view: dropping output neuron ``i`` of a
+layer is equivalent to dropping row ``i`` of the *next* layer's weight matrix
+(Section III-A of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b`` with ``W`` of shape (out, in)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 init: str = "xavier_uniform",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng()
+        init_fn = initializers.get(init)
+        self.weight = Parameter(init_fn((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (f"Linear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, bias={self.bias is not None})")
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Identity(Module):
+    """No-op layer, useful as a placeholder for disabled dropout."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        return x.reshape(batch, -1)
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None, scale: float = 0.1):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("num_embeddings and embedding_dim must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = rng or np.random.default_rng()
+        self.weight = Parameter(rng.uniform(-scale, scale,
+                                            size=(num_embeddings, embedding_dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}) in embedding lookup")
+        return F.embedding_lookup(self.weight, indices)
+
+    def __repr__(self) -> str:
+        return (f"Embedding(num_embeddings={self.num_embeddings}, "
+                f"embedding_dim={self.embedding_dim})")

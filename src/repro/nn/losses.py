@@ -1,0 +1,40 @@
+"""Loss modules wrapping the functional losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy from logits and integer targets."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+    def __repr__(self) -> str:
+        return f"CrossEntropyLoss(reduction={self.reduction!r})"
+
+
+class MSELoss(Module):
+    """Mean-squared-error loss."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return F.mse_loss(prediction, target, reduction=self.reduction)
+
+    def __repr__(self) -> str:
+        return f"MSELoss(reduction={self.reduction!r})"

@@ -1,0 +1,59 @@
+"""Evaluation metrics used by the experiments.
+
+The paper reports classification accuracy for the MLP/MNIST experiments,
+next-word prediction accuracy for the dictionary LSTM (Table II) and test
+perplexity for the PTB LSTM (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def _logits_array(logits) -> np.ndarray:
+    return logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+
+
+def accuracy(logits, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    scores = _logits_array(logits)
+    targets = np.asarray(targets)
+    if scores.ndim != 2:
+        raise ValueError(f"logits must be 2-D (batch, classes), got shape {scores.shape}")
+    predictions = scores.argmax(axis=1)
+    return float(np.mean(predictions == targets))
+
+
+def top_k_accuracy(logits, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy: fraction of samples whose target is in the k best scores."""
+    scores = _logits_array(logits)
+    targets = np.asarray(targets)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, scores.shape[1])
+    top_k = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    hits = (top_k == targets[:, None]).any(axis=1)
+    return float(np.mean(hits))
+
+
+def perplexity_from_loss(mean_cross_entropy: float) -> float:
+    """Perplexity = exp(mean token-level cross-entropy in nats)."""
+    # Clamp to avoid overflow when an untrained model is evaluated.
+    return float(np.exp(min(mean_cross_entropy, 30.0)))
+
+
+def error_rate(logits, targets: np.ndarray) -> float:
+    """1 - accuracy, in [0, 1]."""
+    return 1.0 - accuracy(logits, targets)
+
+
+def confusion_matrix(logits, targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense ``(num_classes, num_classes)`` confusion matrix (rows = truth)."""
+    scores = _logits_array(logits)
+    targets = np.asarray(targets)
+    predictions = scores.argmax(axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix

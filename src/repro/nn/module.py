@@ -1,0 +1,164 @@
+"""Module / Parameter abstractions, mirroring the familiar layer-container API.
+
+A :class:`Module` owns :class:`Parameter` tensors and child modules; it can
+enumerate all parameters recursively (for the optimiser), switch between
+train/eval modes (dropout behaves differently in each) and save/load its state
+as plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor.
+
+    Identical to :class:`Tensor` except it always requires gradients and is
+    picked up automatically by :meth:`Module.parameters`.
+    """
+
+    def __init__(self, data, dtype=np.float64):
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are registered automatically and discovered by
+    :meth:`parameters`, :meth:`named_parameters` and :meth:`modules`.
+    """
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Iterate over this module and all descendants (depth-first)."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under an explicit name."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # train / eval, gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout layers)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in the module."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot of all parameters as plain numpy arrays (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            target = own[name]
+            if target.data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {target.data.shape}, got {value.shape}")
+            target.data = value.copy()
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_reprs = ", ".join(f"{name}={module.__class__.__name__}"
+                                for name, module in self._modules.items())
+        return f"{self.__class__.__name__}({child_reprs})"
+
+
+class Sequential(Module):
+    """A module that chains child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._layers: list[Module] = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._layers.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._layers)), module)
+        self._layers.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x

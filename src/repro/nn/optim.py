@@ -1,0 +1,177 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains the MLP with SGD + momentum (lr 0.01, momentum 0.9, batch
+128) and the LSTM with SGD starting at lr 1.0 with a decaying schedule, so
+:class:`SGD` plus :class:`StepLR`/:class:`ExponentialLR` cover the evaluation.
+:class:`Adam` is provided for the examples and for users of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list and a learning rate."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float):
+        parameters = list(parameters)
+        if not parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = parameters
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _gradients(self):
+        for param in self.parameters:
+            grad = param.grad
+            if grad is None:
+                grad = np.zeros_like(param.data)
+            yield param, grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 grad_clip: float | None = None):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.grad_clip = grad_clip
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        clip_scale = self._clip_scale()
+        for (param, grad), velocity in zip(self._gradients(), self._velocity):
+            grad = grad * clip_scale
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+    def _clip_scale(self) -> float:
+        """Global-norm gradient clipping factor (1.0 when clipping disabled)."""
+        if self.grad_clip is None:
+            return 1.0
+        total = 0.0
+        for _, grad in self._gradients():
+            total += float(np.sum(grad * grad))
+        norm = np.sqrt(total)
+        if norm <= self.grad_clip or norm == 0.0:
+            return 1.0
+        return self.grad_clip / norm
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba) for convenience in examples."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        for index, (param, grad) in enumerate(self._gradients()):
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[index] / (1 - self.beta1 ** t)
+            v_hat = self._v[index] / (1 - self.beta2 ** t)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRSchedule:
+    """Base class for learning-rate schedules driving an optimiser in place."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        new_lr = self.lr_at(self.epoch)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Learning rate that never changes."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class ExponentialLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every epoch after a warm period.
+
+    Mirrors the classic PTB LSTM recipe the paper follows ("the base learning
+    rate will gradually decrease"): constant for ``flat_epochs`` epochs, then
+    exponential decay.
+    """
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.8, flat_epochs: int = 4):
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = gamma
+        self.flat_epochs = flat_epochs
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch <= self.flat_epochs:
+            return self.base_lr
+        return self.base_lr * (self.gamma ** (epoch - self.flat_epochs))

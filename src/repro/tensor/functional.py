@@ -1,0 +1,215 @@
+"""Functional operations built on :class:`repro.tensor.Tensor`.
+
+These are composite differentiable operations (softmax, log-softmax,
+cross-entropy, concatenation, stacking, embedding lookup, masking) used by the
+layer library in :mod:`repro.nn` and the approximate-dropout layers in
+:mod:`repro.dropout`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    max_vals = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - max_vals
+    log_sum = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_sum
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Cross-entropy loss from raw logits and integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, classes)``.
+    targets:
+        Integer array of shape ``(batch,)``.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError(f"targets must be 1-D class indices, got shape {targets.shape}")
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("batch size mismatch between logits and targets")
+
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    losses = -picked
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood from precomputed log-probabilities."""
+    targets = np.asarray(targets)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    losses = -picked
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    return losses
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray, reduction: str = "mean") -> Tensor:
+    """Mean-squared-error loss."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    squared = diff * diff
+    if reduction == "mean":
+        return squared.mean()
+    if reduction == "sum":
+        return squared.sum()
+    return squared
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing back to each."""
+    arrays = [t.data for t in tensors]
+    out = np.concatenate(arrays, axis=axis)
+    sizes = [a.shape[axis] for a in arrays]
+    offsets = np.cumsum([0] + sizes)
+
+    parents = []
+    for i, t in enumerate(tensors):
+        start, stop = offsets[i], offsets[i + 1]
+
+        def backward(g, start=start, stop=stop, axis=axis):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(start, stop)
+            return g[tuple(slicer)]
+
+        parents.append((t, backward))
+    return Tensor.from_op(out, parents, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    arrays = [t.data for t in tensors]
+    out = np.stack(arrays, axis=axis)
+    parents = []
+    for i, t in enumerate(tensors):
+        def backward(g, i=i, axis=axis):
+            return np.take(g, i, axis=axis)
+
+        parents.append((t, backward))
+    return Tensor.from_op(out, parents, "stack")
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` at ``indices`` (an integer array of any shape).
+
+    The result has shape ``indices.shape + (embedding_dim,)``; gradients are
+    scatter-added back into the embedding matrix.
+    """
+    indices = np.asarray(indices)
+    out = weight.data[indices]
+
+    def backward(g, indices=indices):
+        grad_weight = np.zeros_like(weight.data)
+        np.add.at(grad_weight, indices.reshape(-1), g.reshape(-1, weight.data.shape[1]))
+        return grad_weight
+
+    return Tensor.from_op(out, [(weight, backward)], "embedding")
+
+
+def apply_mask(x: Tensor, mask: np.ndarray) -> Tensor:
+    """Elementwise multiply by a constant 0/1 mask (the conventional dropout op).
+
+    The mask is a plain numpy array: it is data, not a differentiable input.
+    """
+    mask = np.asarray(mask, dtype=x.data.dtype)
+    out = x.data * mask
+    return Tensor.from_op(out, [(x, lambda g: g * mask)], "mask")
+
+
+def scale(x: Tensor, factor: float) -> Tensor:
+    """Multiply by a python scalar (used for inverted-dropout rescaling)."""
+    return x * float(factor)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in).
+
+    The (out, in) layout matches the paper's discussion: dropping output
+    neuron ``i`` corresponds to dropping *row* ``i`` of the weight matrix.
+    """
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def rows_select(x: Tensor, row_indices: np.ndarray) -> Tensor:
+    """Differentiable row gather: returns ``x[row_indices, :]``."""
+    return x[np.asarray(row_indices)]
+
+
+def rows_scatter(compact: Tensor, row_indices: np.ndarray, total_rows: int) -> Tensor:
+    """Scatter compact rows back into a zero matrix of ``total_rows`` rows.
+
+    This is the inverse of :func:`rows_select`: the output has shape
+    ``(total_rows, compact.shape[1])`` with ``out[row_indices] = compact`` and
+    zeros elsewhere — exactly the expansion step of the row-based dropout
+    pattern in the paper (the "rest of the output matrix is set to zero by
+    default").
+    """
+    row_indices = np.asarray(row_indices)
+    out = np.zeros((total_rows,) + compact.data.shape[1:], dtype=compact.data.dtype)
+    out[row_indices] = compact.data
+
+    def backward(g, row_indices=row_indices):
+        return g[row_indices]
+
+    return Tensor.from_op(out, [(compact, backward)], "rows_scatter")
+
+
+def cols_scatter(compact: Tensor, col_indices: np.ndarray, total_cols: int) -> Tensor:
+    """Scatter compact columns back into a zero matrix with ``total_cols`` columns."""
+    col_indices = np.asarray(col_indices)
+    out_shape = compact.data.shape[:-1] + (total_cols,)
+    out = np.zeros(out_shape, dtype=compact.data.dtype)
+    out[..., col_indices] = compact.data
+
+    def backward(g, col_indices=col_indices):
+        return g[..., col_indices]
+
+    return Tensor.from_op(out, [(compact, backward)], "cols_scatter")
+
+
+def cols_select(x: Tensor, col_indices: np.ndarray) -> Tensor:
+    """Differentiable column gather: returns ``x[..., col_indices]``."""
+    col_indices = np.asarray(col_indices)
+    out = x.data[..., col_indices]
+
+    def backward(g, col_indices=col_indices):
+        full = np.zeros_like(x.data)
+        full[..., col_indices] = g
+        return full
+
+    return Tensor.from_op(out, [(x, backward)], "cols_select")

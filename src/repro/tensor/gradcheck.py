@@ -1,0 +1,61 @@
+"""Numerical gradient checking for the autodiff engine.
+
+Used by the test suite to validate every differentiable operation and layer
+against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], Tensor], parameter: Tensor,
+                       epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``parameter``.
+
+    ``fn`` must be a zero-argument callable that recomputes the scalar loss
+    from the *current* contents of ``parameter.data``; this function perturbs
+    the data in place and restores it afterwards.
+    """
+    grad = np.zeros_like(parameter.data)
+    flat = parameter.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        loss_plus = float(fn().data)
+        flat[i] = original - epsilon
+        loss_minus = float(fn().data)
+        flat[i] = original
+        grad_flat[i] = (loss_plus - loss_minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(fn: Callable[[], Tensor], parameters: Sequence[Tensor],
+                    epsilon: float = 1e-6, rtol: float = 1e-4,
+                    atol: float = 1e-6) -> dict[int, float]:
+    """Compare analytic and numerical gradients for each parameter.
+
+    Returns a mapping from parameter index to the maximum absolute error, and
+    raises ``AssertionError`` if any parameter's gradients disagree beyond the
+    given tolerances.
+    """
+    for p in parameters:
+        p.zero_grad()
+    loss = fn()
+    loss.backward()
+    errors: dict[int, float] = {}
+    for idx, p in enumerate(parameters):
+        analytic = p.grad if p.grad is not None else np.zeros_like(p.data)
+        numeric = numerical_gradient(fn, p, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+            max_err = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch for parameter {idx}: max abs error {max_err:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}")
+        errors[idx] = float(np.max(np.abs(analytic - numeric)))
+    return errors

@@ -1,0 +1,26 @@
+"""Training harness coupling models, data, optimisers and the GPU timing model.
+
+* :class:`~repro.training.trainer.ClassifierTrainer` — SGD training of the MLP
+  workload with per-iteration pattern resampling and accuracy evaluation.
+* :class:`~repro.training.lm_trainer.LanguageModelTrainer` — truncated-BPTT
+  training of the LSTM language model with perplexity / next-word-accuracy
+  evaluation.
+* :class:`~repro.training.history.TrainingHistory` and
+  :class:`~repro.training.history.TrainingResult` — records of the loss /
+  accuracy curves plus the *modelled* GPU time per iteration, which is what
+  the experiment drivers use to report the paper's "old time / new time"
+  speedups and accuracy-vs-time curves (Fig. 5).
+"""
+
+from repro.training.history import TrainingHistory, TrainingResult
+from repro.training.trainer import ClassifierTrainer, ClassifierTrainingConfig
+from repro.training.lm_trainer import LanguageModelTrainer, LanguageModelTrainingConfig
+
+__all__ = [
+    "TrainingHistory",
+    "TrainingResult",
+    "ClassifierTrainer",
+    "ClassifierTrainingConfig",
+    "LanguageModelTrainer",
+    "LanguageModelTrainingConfig",
+]

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist():
+    """A very small synthetic digit dataset shared across tests (session-scoped)."""
+    from repro.data import make_synthetic_mnist
+
+    return make_synthetic_mnist(num_train=400, num_test=160, noise=0.3,
+                                prototypes_per_class=3, label_noise=0.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A very small synthetic language-model corpus (session-scoped)."""
+    from repro.data import make_synthetic_corpus
+
+    return make_synthetic_corpus(vocab_size=60, num_train_tokens=1200,
+                                 num_valid_tokens=400, num_test_tokens=400, seed=7)

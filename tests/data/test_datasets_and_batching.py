@@ -1,0 +1,161 @@
+"""Tests for the synthetic datasets and the batch iterators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchIterator,
+    BPTTBatcher,
+    make_synthetic_corpus,
+    make_synthetic_mnist,
+)
+
+
+class TestSyntheticMNIST:
+    def test_shapes_and_ranges(self, tiny_mnist):
+        assert tiny_mnist.train_images.shape == (400, 784)
+        assert tiny_mnist.test_images.shape == (160, 784)
+        assert tiny_mnist.num_features == 784
+        assert tiny_mnist.num_classes == 10
+        assert tiny_mnist.train_images.min() >= 0.0
+        assert tiny_mnist.train_images.max() <= 1.0
+        assert set(np.unique(tiny_mnist.train_labels)).issubset(set(range(10)))
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_mnist(num_train=50, num_test=20, seed=3)
+        b = make_synthetic_mnist(num_train=50, num_test=20, seed=3)
+        assert np.array_equal(a.train_images, b.train_images)
+        assert np.array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_mnist(num_train=50, num_test=20, seed=3)
+        b = make_synthetic_mnist(num_train=50, num_test=20, seed=4)
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_classes_are_distinguishable(self, tiny_mnist):
+        """Nearest-class-mean classification must beat chance by a wide margin."""
+        means = np.stack([
+            tiny_mnist.train_images[tiny_mnist.train_labels == digit].mean(axis=0)
+            for digit in range(10)])
+        distances = ((tiny_mnist.test_images[:, None, :] - means[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        accuracy = float(np.mean(predictions == tiny_mnist.test_labels))
+        assert accuracy > 0.5
+
+    def test_label_noise_only_affects_train(self):
+        clean = make_synthetic_mnist(num_train=300, num_test=100, label_noise=0.0, seed=5)
+        noisy = make_synthetic_mnist(num_train=300, num_test=100, label_noise=0.3, seed=5)
+        assert np.array_equal(clean.test_labels, noisy.test_labels)
+        assert np.mean(clean.train_labels != noisy.train_labels) > 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(num_train=0)
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(noise=-1)
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(label_noise=1.0)
+
+
+class TestSyntheticCorpus:
+    def test_shapes_and_vocab(self, tiny_corpus):
+        assert tiny_corpus.vocab_size == 60
+        assert tiny_corpus.train.shape == (1200,)
+        assert tiny_corpus.train.min() >= 0
+        assert tiny_corpus.train.max() < 60
+        assert tiny_corpus.num_train_tokens == 1200
+
+    def test_deterministic(self):
+        a = make_synthetic_corpus(vocab_size=40, num_train_tokens=500, seed=2)
+        b = make_synthetic_corpus(vocab_size=40, num_train_tokens=500, seed=2)
+        assert np.array_equal(a.train, b.train)
+
+    def test_zipfian_skew(self, tiny_corpus):
+        counts = np.bincount(tiny_corpus.train, minlength=60)
+        top_share = np.sort(counts)[::-1][:6].sum() / counts.sum()
+        assert top_share > 0.25  # frequent words dominate
+
+    def test_bigram_structure_is_learnable(self, tiny_corpus):
+        """A bigram model must beat the unigram model in log-likelihood."""
+        train, test = tiny_corpus.train, tiny_corpus.test
+        vocab = tiny_corpus.vocab_size
+        unigram = np.bincount(train, minlength=vocab) + 1.0
+        unigram /= unigram.sum()
+        bigram = np.ones((vocab, vocab))
+        np.add.at(bigram, (train[:-1], train[1:]), 1.0)
+        bigram /= bigram.sum(axis=1, keepdims=True)
+        unigram_ll = np.log(unigram[test[1:]]).mean()
+        bigram_ll = np.log(bigram[test[:-1], test[1:]]).mean()
+        assert bigram_ll > unigram_ll + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_synthetic_corpus(vocab_size=1)
+        with pytest.raises(ValueError):
+            make_synthetic_corpus(num_train_tokens=0)
+        with pytest.raises(ValueError):
+            make_synthetic_corpus(reset_probability=2.0)
+
+
+class TestBatchIterator:
+    def test_batch_shapes_and_count(self, tiny_mnist, rng):
+        iterator = BatchIterator(tiny_mnist.train_images, tiny_mnist.train_labels,
+                                 batch_size=64, rng=rng)
+        batches = list(iterator)
+        assert len(batches) == len(iterator) == 400 // 64
+        for images, labels in batches:
+            assert images.shape == (64, 784)
+            assert labels.shape == (64,)
+
+    def test_shuffling_changes_order(self, tiny_mnist):
+        iterator = BatchIterator(tiny_mnist.train_images, tiny_mnist.train_labels,
+                                 batch_size=64, rng=np.random.default_rng(0))
+        first_epoch = next(iter(iterator))[1]
+        second_epoch = next(iter(iterator))[1]
+        assert not np.array_equal(first_epoch, second_epoch)
+
+    def test_no_shuffle_preserves_order(self, tiny_mnist):
+        iterator = BatchIterator(tiny_mnist.train_images, tiny_mnist.train_labels,
+                                 batch_size=64, shuffle=False)
+        images, labels = next(iter(iterator))
+        assert np.array_equal(labels, tiny_mnist.train_labels[:64])
+
+    def test_validation(self, tiny_mnist):
+        with pytest.raises(ValueError):
+            BatchIterator(tiny_mnist.train_images, tiny_mnist.train_labels[:10], 16)
+        with pytest.raises(ValueError):
+            BatchIterator(tiny_mnist.train_images, tiny_mnist.train_labels, 0)
+        with pytest.raises(ValueError):
+            BatchIterator(tiny_mnist.train_images[:5], tiny_mnist.train_labels[:5], 16)
+
+
+class TestBPTTBatcher:
+    def test_window_shapes(self, tiny_corpus):
+        batcher = BPTTBatcher(tiny_corpus.train, batch_size=8, seq_len=15)
+        windows = list(batcher)
+        assert len(windows) == len(batcher) > 0
+        for inputs, targets in windows:
+            assert inputs.shape == (15, 8)
+            assert targets.shape == (15, 8)
+
+    def test_targets_are_next_tokens(self, tiny_corpus):
+        batcher = BPTTBatcher(tiny_corpus.train, batch_size=4, seq_len=10)
+        inputs, targets = next(iter(batcher))
+        # Within a column, the target at step t equals the input at step t+1.
+        assert np.array_equal(inputs[1:, 0], targets[:-1, 0])
+
+    def test_columns_are_contiguous_stream_segments(self):
+        stream = np.arange(101)
+        batcher = BPTTBatcher(stream, batch_size=4, seq_len=5)
+        inputs, _ = next(iter(batcher))
+        # Column 0 starts at position 0, column 1 at position 25, etc.
+        assert inputs[0, 0] == 0
+        assert inputs[0, 1] == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BPTTBatcher(np.arange(10).reshape(2, 5), 2, 2)
+        with pytest.raises(ValueError):
+            BPTTBatcher(np.arange(100), 0, 5)
+        with pytest.raises(ValueError):
+            BPTTBatcher(np.arange(3), 8, 5)

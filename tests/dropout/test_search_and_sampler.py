@@ -1,0 +1,240 @@
+"""Tests for Algorithm 1 (distribution search), the sampler and the statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dropout import (
+    PatternDistributionSearch,
+    PatternSampler,
+    PatternSchedule,
+    RowDropoutPattern,
+    TileDropoutPattern,
+    empirical_unit_drop_rate,
+    equivalence_report,
+    expected_global_drop_rate,
+    pattern_drop_rates,
+    sub_model_count,
+)
+from repro.dropout.layers import default_max_period
+
+
+class TestPatternDropRates:
+    def test_values(self):
+        rates = pattern_drop_rates(4)
+        assert np.allclose(rates, [0.0, 0.5, 2 / 3, 0.75])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            pattern_drop_rates(0)
+
+
+class TestSearchValidation:
+    def test_lambda_sum_constraint(self):
+        with pytest.raises(ValueError):
+            PatternDistributionSearch(max_period=8, lambda_rate=0.5, lambda_entropy=0.1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PatternDistributionSearch(max_period=0)
+        with pytest.raises(ValueError):
+            PatternDistributionSearch(max_period=8, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            PatternDistributionSearch(max_period=8, max_iterations=0)
+
+    def test_target_rate_out_of_range(self):
+        search = PatternDistributionSearch(max_period=8)
+        with pytest.raises(ValueError):
+            search.search(1.0)
+        with pytest.raises(ValueError):
+            search.search(-0.1)
+
+    def test_unreachable_rate_raises(self):
+        search = PatternDistributionSearch(max_period=2)  # max achievable 0.5
+        with pytest.raises(ValueError):
+            search.search(0.8)
+
+
+class TestSearchBehaviour:
+    @pytest.mark.parametrize("target", [0.3, 0.5, 0.7])
+    def test_achieves_target_rate(self, target):
+        result = PatternDistributionSearch(max_period=16).search(target)
+        assert result.rate_error() < 0.02
+        assert np.isclose(result.distribution.sum(), 1.0)
+        assert np.all(result.distribution >= 0)
+
+    def test_converges_for_moderate_rates(self):
+        result = PatternDistributionSearch(max_period=16).search(0.5)
+        assert result.converged
+        assert result.iterations < 20000
+
+    def test_loss_history_decreases_overall(self):
+        result = PatternDistributionSearch(max_period=16).search(0.6)
+        assert result.loss_history[-1] <= result.loss_history[0]
+
+    def test_zero_rate_concentrates_on_period_one(self):
+        result = PatternDistributionSearch(max_period=8).search(0.0)
+        assert result.distribution[0] > 0.5
+        assert result.achieved_rate < 0.1
+
+    def test_entropy_weight_increases_diversity(self):
+        low = PatternDistributionSearch(max_period=16, lambda_rate=0.99,
+                                        lambda_entropy=0.01).search(0.5)
+        high = PatternDistributionSearch(max_period=16, lambda_rate=0.7,
+                                         lambda_entropy=0.3).search(0.5)
+        assert high.entropy >= low.entropy - 1e-6
+
+    def test_loss_method_matches_internal(self):
+        search = PatternDistributionSearch(max_period=8)
+        result = search.search(0.4)
+        direct = search.loss(result.distribution, 0.4)
+        assert np.isfinite(direct)
+        assert direct == pytest.approx(result.loss_history[-1], abs=1e-3)
+
+    def test_search_many(self):
+        results = PatternDistributionSearch(max_period=8).search_many([0.3, 0.5])
+        assert set(results) == {0.3, 0.5}
+
+    def test_effective_sub_models_positive(self):
+        result = PatternDistributionSearch(max_period=16).search(0.5)
+        assert result.effective_sub_models() > 1.0
+
+    def test_deterministic_given_seed(self):
+        a = PatternDistributionSearch(max_period=8, seed=3).search(0.5)
+        b = PatternDistributionSearch(max_period=8, seed=3).search(0.5)
+        assert np.allclose(a.distribution, b.distribution)
+
+
+class TestPatternSampler:
+    def test_sample_period_within_range(self, rng):
+        sampler = PatternSampler(0.5, max_period=8, rng=rng)
+        for _ in range(50):
+            assert 1 <= sampler.sample_period() <= 8
+
+    def test_sample_bias_uniform_range(self, rng):
+        sampler = PatternSampler(0.5, max_period=8, rng=rng)
+        biases = {sampler.sample_bias(4) for _ in range(200)}
+        assert biases == {0, 1, 2, 3}
+
+    def test_sample_bias_invalid(self, rng):
+        with pytest.raises(ValueError):
+            PatternSampler(0.5, 8, rng=rng).sample_bias(0)
+
+    def test_sample_row_pattern_caps_period_at_width(self, rng):
+        sampler = PatternSampler(0.5, max_period=8, rng=rng)
+        pattern = sampler.sample_row_pattern(num_units=3)
+        assert isinstance(pattern, RowDropoutPattern)
+        assert pattern.dp <= 3
+
+    def test_sample_tile_pattern(self, rng):
+        sampler = PatternSampler(0.5, max_period=8, rng=rng)
+        pattern = sampler.sample_tile_pattern(rows=64, cols=64, tile=32)
+        assert isinstance(pattern, TileDropoutPattern)
+        assert pattern.dp <= pattern.num_tiles
+
+    def test_expected_drop_rate_matches_target(self, rng):
+        sampler = PatternSampler(0.6, max_period=16, rng=rng)
+        assert abs(sampler.expected_drop_rate() - 0.6) < 0.02
+
+    def test_mean_sampled_rate_matches_target(self, rng):
+        sampler = PatternSampler(0.5, max_period=8, rng=rng)
+        rates = [sampler.sample_row_pattern(128).drop_rate for _ in range(800)]
+        assert abs(np.mean(rates) - 0.5) < 0.05
+
+    def test_search_result_cached(self, rng):
+        sampler = PatternSampler(0.5, max_period=8, rng=rng)
+        assert sampler.result is sampler.result
+
+
+class TestPatternSchedule:
+    def test_register_and_resample(self, rng):
+        schedule = PatternSchedule(rng=rng)
+        schedule.register_row_site("fc1", num_units=64, target_rate=0.5)
+        schedule.register_tile_site("fc2", rows=64, cols=64, target_rate=0.5)
+        patterns = schedule.resample()
+        assert set(patterns) == {"fc1", "fc2"}
+        assert isinstance(schedule.current("fc1"), RowDropoutPattern)
+        assert isinstance(schedule.current("fc2"), TileDropoutPattern)
+        assert len(schedule) == 2
+        assert schedule.iteration == 1
+
+    def test_duplicate_site_rejected(self, rng):
+        schedule = PatternSchedule(rng=rng)
+        schedule.register_row_site("fc1", num_units=8, target_rate=0.5)
+        with pytest.raises(ValueError):
+            schedule.register_row_site("fc1", num_units=8, target_rate=0.5)
+
+    def test_unknown_site(self, rng):
+        with pytest.raises(KeyError):
+            PatternSchedule(rng=rng).current("missing")
+
+    def test_current_before_resample_raises(self, rng):
+        schedule = PatternSchedule(rng=rng)
+        schedule.register_row_site("fc1", num_units=8, target_rate=0.5)
+        with pytest.raises(RuntimeError):
+            schedule.current("fc1")
+
+    def test_resample_changes_patterns_over_time(self, rng):
+        schedule = PatternSchedule(rng=rng)
+        schedule.register_row_site("fc1", num_units=64, target_rate=0.5)
+        seen = set()
+        for _ in range(30):
+            pattern = schedule.resample()["fc1"]
+            seen.add((pattern.dp, pattern.bias))
+        assert len(seen) > 1
+
+
+class TestStatistics:
+    def test_expected_global_drop_rate(self):
+        # All mass on period 2 -> rate 0.5 exactly.
+        assert expected_global_drop_rate(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_sub_model_count(self):
+        assert sub_model_count(4) == 10
+        assert sub_model_count(2048, max_period=8) == 36
+
+    def test_empirical_unit_drop_rate_matches_target(self, rng):
+        sampler = PatternSampler(0.5, max_period=8, rng=rng)
+        rates = empirical_unit_drop_rate(sampler, num_units=64, iterations=1200)
+        assert rates.shape == (64,)
+        assert abs(rates.mean() - 0.5) < 0.05
+
+    def test_empirical_invalid_iterations(self, rng):
+        with pytest.raises(ValueError):
+            empirical_unit_drop_rate(PatternSampler(0.5, 8, rng=rng), 8, iterations=0)
+
+    def test_equivalence_report(self, rng):
+        sampler = PatternSampler(0.3, max_period=8, rng=rng)
+        report = equivalence_report(sampler, num_units=64, iterations=1000)
+        assert report.is_equivalent(tolerance=0.06)
+        assert report.effective_sub_models > 1.0
+        assert report.analytic_unit_rate == pytest.approx(report.analytic_global_rate)
+
+
+class TestDefaultMaxPeriod:
+    def test_zero_rate(self):
+        assert default_max_period(0.0, 100) == 1
+
+    @pytest.mark.parametrize("rate", [0.3, 0.5, 0.7, 0.9])
+    def test_can_express_rate(self, rate):
+        period = default_max_period(rate, 4096)
+        assert (period - 1) / period > rate or period >= 3
+
+    def test_clipped_by_available(self):
+        assert default_max_period(0.7, 2) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_max_period(1.5, 10)
+        with pytest.raises(ValueError):
+            default_max_period(0.5, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(target=st.floats(0.05, 0.8), max_period=st.integers(6, 24))
+def test_search_rate_error_bounded_property(target, max_period):
+    """For any reasonable target and period budget the achieved rate is close."""
+    result = PatternDistributionSearch(max_period=max_period,
+                                       max_iterations=4000).search(target)
+    assert result.rate_error() < 0.05
+    assert np.isclose(result.distribution.sum(), 1.0)

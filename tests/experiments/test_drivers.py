@@ -1,0 +1,122 @@
+"""Smoke + shape tests for the experiment drivers (paper tables and figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentTable,
+    run_algorithm1,
+    run_fig1b,
+    run_fig4,
+    run_fig5,
+    run_fig6a,
+    run_fig6b,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.common import ReducedScale, mlp_speedup, lstm_speedup, timing_mode_for
+from repro.experiments.fig5 import curves
+
+
+@pytest.fixture(scope="module")
+def smoke_scale():
+    return ReducedScale.smoke()
+
+
+class TestExperimentTable:
+    def test_add_row_and_format(self):
+        table = ExperimentTable(name="t", description="d", columns=["a", "b"])
+        table.add_row("case1", {"a": 1.0, "b": 2.0}, paper={"a": 1.1})
+        text = table.format()
+        assert "case1" in text and "paper 1.100" in text
+        assert table.column("a") == [1.0]
+        assert len(table) == 1
+        assert table.to_dict()["rows"][0]["label"] == "case1"
+
+
+class TestCommonHelpers:
+    def test_mlp_speedup_above_one(self):
+        assert mlp_speedup((2048, 2048), (0.5, 0.5), "row") > 1.0
+
+    def test_lstm_speedup_above_one(self):
+        assert lstm_speedup(8800, 1500, 2, (0.5, 0.5), "row") > 1.0
+
+    def test_timing_mode_mapping(self):
+        assert timing_mode_for("ROW") == "row"
+        assert timing_mode_for("original") == "baseline"
+        with pytest.raises(KeyError):
+            timing_mode_for("bogus")
+
+
+class TestFig1b:
+    def test_naive_skip_never_helps_and_row_does(self):
+        table = run_fig1b()
+        for row in table.rows:
+            assert row.values["naive_iteration_speedup"] < 1.1
+            assert row.values["row_iteration_speedup"] > 1.1
+            assert row.values["row_iteration_speedup"] <= row.values["ideal_speedup"]
+
+
+class TestAlgorithm1Driver:
+    def test_rates_match_targets(self):
+        table = run_algorithm1(monte_carlo_iterations=300, rates=(0.3, 0.5, 0.7))
+        for row in table.rows:
+            assert row.values["rate_error"] < 0.03
+            assert row.values["unit_rate_error"] < 0.08
+            assert row.values["effective_sub_models"] > 1.0
+
+
+class TestSpeedupOnlyTables:
+    def test_table1_speedup_trend(self):
+        table = run_table1(train_accuracy=False)
+        row_speedups = [row.values["speedup"] for row in table.rows if "ROW" in row.label]
+        assert row_speedups == sorted(row_speedups)
+        assert row_speedups[-1] > 1.7
+
+    def test_fig4_speedup_trend(self):
+        table = run_fig4(pattern="ROW", train_accuracy=False)
+        first = table.rows[0].values["speedup"]   # (0.3, 0.3)
+        last = table.rows[-1].values["speedup"]   # (0.7, 0.7)
+        assert last > first > 1.0
+
+    def test_fig4_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            run_fig4(pattern="DIAGONAL")
+
+    def test_table2_speedup_trend(self):
+        table = run_table2(train_accuracy=False)
+        row_speedups = [row.values["speedup"] for row in table.rows if "ROW" in row.label]
+        assert row_speedups == sorted(row_speedups)
+
+    def test_fig6a_speedup_trend(self):
+        table = run_fig6a(train_perplexity=False)
+        speedups = table.column("speedup")
+        assert speedups == sorted(speedups)
+
+    def test_fig6b_speedup_increases_with_batch(self):
+        table = run_fig6b(train_perplexity=False)
+        speedups = table.column("speedup")
+        assert speedups == sorted(speedups)
+
+
+class TestTrainedDrivers:
+    """Drivers that actually train, run at smoke scale (coarse sanity only)."""
+
+    def test_fig4_with_accuracy(self, smoke_scale):
+        table = run_fig4(pattern="ROW", scale=smoke_scale, rate_pairs=((0.5, 0.5),))
+        row = table.rows[0]
+        assert 0.0 <= row.values["pattern_accuracy"] <= 1.0
+        assert 0.0 <= row.values["baseline_accuracy"] <= 1.0
+
+    def test_table2_with_accuracy(self, smoke_scale):
+        table = run_table2(scale=smoke_scale, rates=(0.5,), patterns=("ROW",))
+        row = table.rows[0]
+        assert 0.0 <= row.values["pattern_accuracy"] <= 1.0
+
+    def test_fig5_curves(self, smoke_scale):
+        table = run_fig5(scale=smoke_scale)
+        series = curves(table)
+        assert set(series) == {"baseline", "row_dropout_pattern"}
+        for points in series.values():
+            assert len(points) >= 1
+            assert all(time > 0 for time, _ in points)

@@ -1,0 +1,96 @@
+"""Tests for the conventional dropout baselines (Dropout, DropConnectLinear)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, DropConnectLinear
+from repro.tensor import Tensor
+
+
+class TestDropout:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(4, 6)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_zero_rate_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)))
+        assert layer(x) is x
+
+    def test_training_drops_roughly_rate_fraction(self, rng):
+        layer = Dropout(0.3, rng=rng)
+        x = Tensor(np.ones((200, 200)))
+        out = layer(x)
+        dropped_fraction = float(np.mean(out.data == 0.0))
+        assert abs(dropped_fraction - 0.3) < 0.02
+
+    def test_inverted_scaling_preserves_expectation(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((300, 300)))
+        out = layer(x)
+        assert abs(float(out.data.mean()) - 1.0) < 0.05
+
+    def test_mask_blocks_gradient(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = Tensor(rng.normal(size=(8, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        mask = layer.last_mask
+        assert np.allclose(x.grad[mask == 0], 0.0)
+        assert np.all(x.grad[mask == 1] != 0.0)
+
+    def test_new_mask_each_call(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((20, 20)))
+        layer(x)
+        first = layer.last_mask.copy()
+        layer(x)
+        assert not np.array_equal(first, layer.last_mask)
+
+    def test_no_scale_option(self, rng):
+        layer = Dropout(0.5, rng=rng, scale_at_train=False)
+        out = layer(Tensor(np.ones((50, 50))))
+        surviving = out.data[out.data != 0]
+        assert np.allclose(surviving, 1.0)
+
+
+class TestDropConnectLinear:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            DropConnectLinear(4, 3, rate=1.5)
+
+    def test_eval_mode_uses_full_weights(self, rng):
+        layer = DropConnectLinear(5, 3, rate=0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(2, 5)))
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(x).data, expected)
+
+    def test_training_masks_weights(self, rng):
+        layer = DropConnectLinear(30, 20, rate=0.4, rng=rng)
+        layer(Tensor(rng.normal(size=(4, 30))))
+        dropped_fraction = float(np.mean(layer.last_mask == 0.0))
+        assert abs(dropped_fraction - 0.4) < 0.1
+
+    def test_output_shape(self, rng):
+        layer = DropConnectLinear(6, 4, rate=0.3, rng=rng)
+        assert layer(Tensor(rng.normal(size=(7, 6)))).shape == (7, 4)
+
+    def test_weight_property_exposes_linear_parameter(self, rng):
+        layer = DropConnectLinear(6, 4, rate=0.3, rng=rng)
+        assert layer.weight is layer.linear.weight
+        assert layer.bias is layer.linear.bias
+
+    def test_gradients_flow_to_weights(self, rng):
+        layer = DropConnectLinear(5, 3, rate=0.5, rng=rng)
+        layer(Tensor(rng.normal(size=(4, 5)))).sum().backward()
+        assert layer.weight.grad is not None
+        # Dropped weights receive zero gradient.
+        assert np.allclose(layer.weight.grad[layer.last_mask == 0], 0.0)

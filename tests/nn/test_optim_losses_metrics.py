@@ -1,0 +1,179 @@
+"""Tests for optimisers, LR schedules, loss modules and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    ConstantLR,
+    CrossEntropyLoss,
+    ExponentialLR,
+    Linear,
+    MSELoss,
+    SGD,
+    StepLR,
+    accuracy,
+    perplexity_from_loss,
+    top_k_accuracy,
+)
+from repro.nn.metrics import confusion_matrix, error_rate
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+def quadratic_params(rng):
+    """A single parameter whose loss is a simple quadratic bowl."""
+    return Parameter(rng.normal(size=(4,)) + 5.0)
+
+
+class TestSGD:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_hyperparameters(self, rng):
+        p = quadratic_params(rng)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, weight_decay=-1)
+
+    def test_descends_quadratic(self, rng):
+        p = quadratic_params(rng)
+        optimizer = SGD([p], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = (Tensor(p.data) * 0).sum()  # placeholder; compute grad manually
+            p.grad = 2 * p.data
+            optimizer.step()
+        assert np.all(np.abs(p.data) < 1e-3)
+
+    def test_momentum_accelerates(self, rng):
+        def run(momentum):
+            p = Parameter(np.array([10.0]))
+            optimizer = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                p.grad = 2 * p.data
+                optimizer.step()
+            return abs(float(p.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert float(p.data[0]) < 1.0
+
+    def test_grad_clip_bounds_update(self):
+        p = Parameter(np.array([0.0]))
+        optimizer = SGD([p], lr=1.0, grad_clip=1.0)
+        p.grad = np.array([100.0])
+        optimizer.step()
+        assert abs(float(p.data[0])) <= 1.0 + 1e-9
+
+    def test_missing_grad_treated_as_zero(self):
+        p = Parameter(np.array([3.0]))
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [3.0])
+
+    def test_optimizer_trains_linear_layer(self, rng):
+        layer = Linear(3, 1, rng=rng)
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        x = Tensor(rng.normal(size=(32, 3)))
+        target = Tensor(x.data @ np.array([[1.0], [-2.0], [0.5]]))
+        loss_fn = MSELoss()
+        first_loss = None
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = loss_fn(layer(x), target)
+            if first_loss is None:
+                first_loss = float(loss.data)
+            loss.backward()
+            optimizer.step()
+        assert float(loss.data) < first_loss * 0.05
+
+
+class TestAdam:
+    def test_invalid_betas(self, rng):
+        with pytest.raises(ValueError):
+            Adam([quadratic_params(rng)], betas=(1.0, 0.9))
+
+    def test_descends_quadratic(self, rng):
+        p = quadratic_params(rng)
+        optimizer = Adam([p], lr=0.3)
+        for _ in range(300):
+            p.grad = 2 * p.data
+            optimizer.step()
+        assert np.all(np.abs(p.data) < 1e-2)
+
+
+class TestSchedules:
+    def test_constant(self, rng):
+        optimizer = SGD([quadratic_params(rng)], lr=0.5)
+        schedule = ConstantLR(optimizer)
+        for _ in range(5):
+            assert schedule.step() == 0.5
+
+    def test_step_lr(self, rng):
+        optimizer = SGD([quadratic_params(rng)], lr=1.0)
+        schedule = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [schedule.step() for _ in range(4)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr_flat_then_decay(self, rng):
+        optimizer = SGD([quadratic_params(rng)], lr=1.0)
+        schedule = ExponentialLR(optimizer, gamma=0.5, flat_epochs=2)
+        lrs = [schedule.step() for _ in range(4)]
+        assert lrs[0] == 1.0 and lrs[1] == 1.0
+        assert np.isclose(lrs[2], 0.5) and np.isclose(lrs[3], 0.25)
+
+    def test_invalid_step_lr(self, rng):
+        optimizer = SGD([quadratic_params(rng)], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+
+
+class TestLossesAndMetrics:
+    def test_cross_entropy_module(self, rng):
+        loss = CrossEntropyLoss()(Tensor(rng.normal(size=(4, 3))), np.array([0, 1, 2, 0]))
+        assert float(loss.data) > 0
+
+    def test_loss_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(reduction="bad")
+        with pytest.raises(ValueError):
+            MSELoss(reduction="bad")
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+        assert error_rate(logits, np.array([0, 1, 1])) == pytest.approx(1 / 3)
+
+    def test_accuracy_accepts_tensor(self, rng):
+        logits = Tensor(rng.normal(size=(10, 4)))
+        value = accuracy(logits, rng.integers(0, 4, size=10))
+        assert 0.0 <= value <= 1.0
+
+    def test_top_k_accuracy(self):
+        logits = np.array([[5.0, 4.0, 0.0, 0.0]])
+        assert top_k_accuracy(logits, np.array([1]), k=2) == 1.0
+        assert top_k_accuracy(logits, np.array([3]), k=2) == 0.0
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((1, 3)), np.array([0]), k=0)
+
+    def test_perplexity(self):
+        assert perplexity_from_loss(0.0) == pytest.approx(1.0)
+        assert perplexity_from_loss(np.log(50.0)) == pytest.approx(50.0)
+        assert np.isfinite(perplexity_from_loss(1e6))
+
+    def test_confusion_matrix(self):
+        logits = np.array([[2.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+        matrix = confusion_matrix(logits, np.array([0, 1, 1]), num_classes=2)
+        assert matrix[0, 0] == 1 and matrix[1, 0] == 1 and matrix[1, 1] == 1
+        assert matrix.sum() == 3

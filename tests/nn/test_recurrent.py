@@ -1,0 +1,111 @@
+"""Tests for the LSTM cell and multi-layer LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, LSTM, LSTMCell
+from repro.tensor import Tensor, check_gradients
+
+
+class TestLSTMCell:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4)
+        with pytest.raises(ValueError):
+            LSTMCell(4, 0)
+
+    def test_output_shapes(self, rng):
+        cell = LSTMCell(6, 8, rng=rng)
+        x = Tensor(rng.normal(size=(3, 6)))
+        h, (h_state, c_state) = cell(x)
+        assert h.shape == (3, 8)
+        assert h_state.shape == (3, 8)
+        assert c_state.shape == (3, 8)
+
+    def test_state_carries_information(self, rng):
+        cell = LSTMCell(4, 5, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4)))
+        _, state = cell(x)
+        out_with_state, _ = cell(x, state)
+        out_without, _ = cell(x)
+        assert not np.allclose(out_with_state.data, out_without.data)
+
+    def test_forget_bias_initialised_positive(self, rng):
+        cell = LSTMCell(4, 5, rng=rng, forget_bias=1.0)
+        hidden = 5
+        assert np.allclose(cell.bias.data[hidden:2 * hidden], 1.0)
+        assert np.allclose(cell.bias.data[:hidden], 0.0)
+
+    def test_gradients_flow_through_time(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        x1 = Tensor(rng.normal(size=(2, 3)))
+        x2 = Tensor(rng.normal(size=(2, 3)))
+
+        def loss_fn():
+            _, state = cell(x1)
+            out, _ = cell(x2, state)
+            return (out ** 2).sum()
+
+        check_gradients(loss_fn, [cell.weight, cell.bias], rtol=1e-3, atol=1e-5)
+
+    def test_cell_state_bounded_by_tanh_output(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        h, _ = cell(Tensor(rng.normal(size=(2, 3)) * 10))
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+
+class TestLSTM:
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            LSTM(4, 4, num_layers=0)
+
+    def test_output_shapes(self, rng):
+        lstm = LSTM(5, 7, num_layers=2, rng=rng)
+        inputs = Tensor(rng.normal(size=(6, 3, 5)))
+        outputs, state = lstm(inputs)
+        assert outputs.shape == (6, 3, 7)
+        assert len(state) == 2
+        assert state[0][0].shape == (3, 7)
+
+    def test_init_state_zeros(self, rng):
+        lstm = LSTM(4, 6, num_layers=3, rng=rng)
+        state = lstm.init_state(batch=5)
+        assert len(state) == 3
+        assert np.allclose(state[1][0].data, 0.0)
+
+    def test_state_continuation_differs_from_fresh(self, rng):
+        lstm = LSTM(4, 6, num_layers=1, rng=rng)
+        inputs = Tensor(rng.normal(size=(3, 2, 4)))
+        _, state = lstm(inputs)
+        continued, _ = lstm(inputs, state)
+        fresh, _ = lstm(inputs)
+        assert not np.allclose(continued.data, fresh.data)
+
+    def test_wrong_state_length_raises(self, rng):
+        lstm = LSTM(4, 6, num_layers=2, rng=rng)
+        inputs = Tensor(rng.normal(size=(3, 2, 4)))
+        with pytest.raises(ValueError):
+            lstm(inputs, lstm.init_state(2)[:1])
+
+    def test_dropout_builder_is_used_between_layers(self, rng):
+        built = []
+
+        def builder(layer):
+            built.append(layer)
+            return Dropout(0.5, rng=rng)
+
+        lstm = LSTM(4, 6, num_layers=3, rng=rng, dropout_builder=builder)
+        assert built == [0, 1]
+        assert len(lstm.inter_layer_dropout) == 2
+
+    def test_backward_through_sequence(self, rng):
+        lstm = LSTM(3, 4, num_layers=2, rng=rng)
+        inputs = Tensor(rng.normal(size=(4, 2, 3)), requires_grad=True)
+        outputs, _ = lstm(inputs)
+        (outputs ** 2).sum().backward()
+        assert inputs.grad is not None
+        assert all(p.grad is not None for p in lstm.parameters())
+
+    def test_single_layer_has_no_interlayer_dropout(self, rng):
+        lstm = LSTM(4, 4, num_layers=1, rng=rng)
+        assert lstm.inter_layer_dropout == []

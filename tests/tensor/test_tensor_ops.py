@@ -1,0 +1,205 @@
+"""Unit tests for the core autodiff Tensor: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, no_grad, is_grad_enabled
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert not t.requires_grad
+
+    def test_zeros_and_ones(self):
+        assert np.all(Tensor.zeros((3, 2)).data == 0)
+        assert np.all(Tensor.ones((2, 5)).data == 1)
+
+    def test_randn_shape_and_scale(self):
+        rng = np.random.default_rng(0)
+        t = Tensor.randn(200, 50, rng=rng, scale=0.1)
+        assert t.shape == (200, 50)
+        assert abs(float(t.data.std()) - 0.1) < 0.02
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(Tensor([[1.0], [2.0], [3.0]])) == 3
+
+
+class TestArithmeticForward:
+    def test_add_sub_mul_div(self):
+        a = Tensor([2.0, 4.0])
+        b = Tensor([1.0, 2.0])
+        assert np.allclose((a + b).data, [3, 6])
+        assert np.allclose((a - b).data, [1, 2])
+        assert np.allclose((a * b).data, [2, 8])
+        assert np.allclose((a / b).data, [2, 2])
+
+    def test_scalar_operands(self):
+        a = Tensor([1.0, 2.0])
+        assert np.allclose((a + 1).data, [2, 3])
+        assert np.allclose((1 + a).data, [2, 3])
+        assert np.allclose((a * 3).data, [3, 6])
+        assert np.allclose((3 - a).data, [2, 1])
+        assert np.allclose((2 / a).data, [2, 1])
+
+    def test_neg_and_pow(self):
+        a = Tensor([1.0, -2.0])
+        assert np.allclose((-a).data, [-1, 2])
+        assert np.allclose((a ** 2).data, [1, 4])
+
+    def test_broadcasting_forward(self):
+        a = Tensor(np.ones((3, 4)))
+        b = Tensor(np.arange(4.0))
+        assert (a + b).shape == (3, 4)
+        assert np.allclose((a + b).data[0], [1, 2, 3, 4])
+
+    def test_comparison_returns_bool_array(self):
+        a = Tensor([1.0, 5.0])
+        assert (a > 2).tolist() == [False, True]
+        assert (a <= 1).tolist() == [True, False]
+
+    def test_matmul_forward(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        b = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestReductionsAndShaping:
+    def test_sum_axes(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose(t.sum().data, 66.0)
+        assert np.allclose(t.sum(axis=0).data, t.data.sum(axis=0))
+        assert t.sum(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_mean(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose(t.mean().data, 5.5)
+        assert np.allclose(t.mean(axis=0).data, t.data.mean(axis=0))
+
+    def test_max(self):
+        t = Tensor([[1.0, 7.0], [3.0, 2.0]])
+        assert np.allclose(t.max().data, 7.0)
+        assert np.allclose(t.max(axis=1).data, [7.0, 3.0])
+
+    def test_reshape_and_transpose(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.reshape(3, 2).shape == (3, 2)
+        assert t.reshape(-1).shape == (6,)
+        assert t.T.shape == (3, 2)
+        assert np.allclose(t.T.data, t.data.T)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose(t[1].data, t.data[1])
+        assert np.allclose(t[:, 2].data, t.data[:, 2])
+
+    def test_clip(self):
+        t = Tensor([-2.0, 0.5, 3.0])
+        assert np.allclose(t.clip(0.0, 1.0).data, [0.0, 0.5, 1.0])
+
+
+class TestBackward:
+    def test_scalar_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_non_scalar_backward_needs_grad_argument(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 2
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_simple_chain(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x * x + 2 * x).sum()
+        y.backward()
+        assert np.allclose(x.grad, [8.0])  # 2x + 2
+
+    def test_gradient_accumulates_over_multiple_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3 + x * 4).sum()
+        y.backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_broadcast_gradients_unbroadcast(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        ((a + b) * 2).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 6.0)  # summed over the 3 broadcast rows
+
+    def test_deep_graph_does_not_hit_recursion_limit(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            x = Tensor([1.0], requires_grad=True)
+            y = x * 2
+            assert not y.requires_grad
+        assert is_grad_enabled()
+
+
+@pytest.mark.parametrize("op_name", [
+    "add", "sub", "mul", "div", "matmul", "pow", "exp", "log", "sqrt",
+    "relu", "sigmoid", "tanh", "sum", "mean", "max", "reshape", "transpose",
+    "getitem", "clip",
+])
+def test_gradcheck_each_op(op_name, rng):
+    """Every differentiable op matches central finite differences."""
+    a = Tensor(rng.uniform(0.2, 1.5, size=(3, 4)), requires_grad=True)
+    b = Tensor(rng.uniform(0.2, 1.5, size=(3, 4)), requires_grad=True)
+    c = Tensor(rng.uniform(0.2, 1.5, size=(4, 2)), requires_grad=True)
+
+    ops = {
+        "add": lambda: (a + b).sum(),
+        "sub": lambda: (a - b).sum(),
+        "mul": lambda: (a * b).sum(),
+        "div": lambda: (a / b).sum(),
+        "matmul": lambda: (a @ c).sum(),
+        "pow": lambda: (a ** 3).sum(),
+        "exp": lambda: a.exp().sum(),
+        "log": lambda: a.log().sum(),
+        "sqrt": lambda: a.sqrt().sum(),
+        "relu": lambda: (a - 0.8).relu().sum(),
+        "sigmoid": lambda: a.sigmoid().sum(),
+        "tanh": lambda: a.tanh().sum(),
+        "sum": lambda: a.sum(axis=1).sum(),
+        "mean": lambda: a.mean(axis=0).sum(),
+        "max": lambda: a.max(axis=1).sum(),
+        "reshape": lambda: (a.reshape(4, 3) * 2).sum(),
+        "transpose": lambda: (a.transpose() @ b).sum(),
+        "getitem": lambda: (a[1:, :2] * 3).sum(),
+        "clip": lambda: a.clip(0.4, 1.2).sum(),
+    }
+    params = {"matmul": [a, c], "transpose": [a, b]}.get(op_name, [a, b])
+    check_gradients(ops[op_name], params, rtol=1e-4, atol=1e-6)
