@@ -2,10 +2,14 @@
 
 Each benchmark module regenerates one of the paper's tables or figures and
 prints the reproduced rows (paper value in parentheses where the paper reports
-one), so running ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+one), so running ``pytest -m slow benchmarks/ -s`` doubles as the
 artefact-regeneration script.  The heavy accuracy-training parts run at the
 reduced synthetic scale defined here; the speedup columns always use the
 paper-scale analytical timing model.
+
+Everything collected from this directory is marked ``slow`` so the tier-1
+fast suite (plain ``pytest``, whose default ``-m "not slow"`` comes from
+``pytest.ini``) deselects it.
 """
 
 from __future__ import annotations
@@ -13,6 +17,19 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.common import ReducedScale
+
+
+_BENCHMARK_DIR = __file__.rsplit("/", 1)[0]
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark-directory test as slow (deselected by default).
+
+    The hook receives the whole session's items, so filter to this directory.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCHMARK_DIR):
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,29 @@
+"""Wall-clock benchmark harness for the compact pattern-execution engine.
+
+``python -m repro.bench`` times the training hot path (forward + backward of
+one affine dropout layer) under three execution modes and writes the results
+to ``BENCH_compact_engine.json``:
+
+* ``masked`` — the conventional baseline: dense GEMM followed by an
+  elementwise 0/1 mask (Fig. 1(a) of the paper);
+* ``compact`` — the compact ops with per-step scalar pattern sampling and no
+  buffer reuse (the seed repo's execution model);
+* ``pooled`` — the vectorized pattern-pool engine: batched pattern draws,
+  interned patterns/plans and preallocated scatter buffers.
+
+See :mod:`repro.bench.harness` for the configuration knobs.
+"""
+
+from repro.bench.harness import (
+    BenchmarkConfig,
+    BenchmarkResult,
+    run_benchmark,
+    write_report,
+)
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkResult",
+    "run_benchmark",
+    "write_report",
+]

@@ -1,0 +1,69 @@
+"""CLI entry point: ``python -m repro.bench``.
+
+Times mask-based dropout against the compact pattern-execution engine across
+layer widths and dropout rates, prints a comparison table and writes
+``BENCH_compact_engine.json`` (see :mod:`repro.bench.harness`).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.harness import BenchmarkConfig, run_benchmark, write_report
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Wall-clock benchmark of the compact pattern-execution engine.")
+    parser.add_argument("--widths", type=int, nargs="+", default=[512, 1024, 2048],
+                        help="layer widths (out_features) to benchmark")
+    parser.add_argument("--rates", type=float, nargs="+", default=[0.5, 0.7],
+                        help="target dropout rates")
+    parser.add_argument("--batch", type=int, default=128, help="mini-batch size")
+    parser.add_argument("--steps", type=int, default=12,
+                        help="timed hot-path steps per repeat")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per case (best repeat is reported)")
+    parser.add_argument("--warmup", type=int, default=2,
+                        help="untimed warm-up steps per repeat")
+    parser.add_argument("--tile", type=int, default=32, help="TDP tile edge")
+    parser.add_argument("--families", nargs="+", default=["row", "tile"],
+                        choices=["row", "tile"], help="pattern families to time")
+    parser.add_argument("--output", default="BENCH_compact_engine.json",
+                        help="path of the JSON report")
+    parser.add_argument("--quick", action="store_true",
+                        help="small fast configuration (smoke testing)")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    if args.quick:
+        config = BenchmarkConfig(widths=(256,), rates=(0.5,), batch=32, steps=3,
+                                 repeats=1, warmup=1, families=tuple(args.families),
+                                 output=args.output)
+    else:
+        config = BenchmarkConfig(widths=tuple(args.widths), rates=tuple(args.rates),
+                                 batch=args.batch, steps=args.steps,
+                                 repeats=args.repeats, warmup=args.warmup,
+                                 tile=args.tile, families=tuple(args.families),
+                                 output=args.output)
+    print("repro.bench — compact pattern-execution engine vs mask-based dropout")
+    print(f"batch={config.batch} steps={config.steps} repeats={config.repeats} "
+          f"(best repeat reported; per-step ms)\n")
+    results = run_benchmark(config, verbose=True)
+    path = write_report(results, config)
+    worst = min(results, key=lambda result: result.speedup_pooled)
+    best = max(results, key=lambda result: result.speedup_pooled)
+    print(f"\npooled-engine speedup over masked baseline: "
+          f"min {worst.speedup_pooled:.2f}x "
+          f"(width={worst.width}, rate={worst.rate}, family={worst.family}), "
+          f"max {best.speedup_pooled:.2f}x "
+          f"(width={best.width}, rate={best.rate}, family={best.family})")
+    print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

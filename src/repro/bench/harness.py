@@ -1,0 +1,342 @@
+"""Timed comparison of mask-based dropout vs compact pattern execution.
+
+Each benchmark case trains nothing — it repeatedly runs the *hot path* of one
+training step (pattern draw, forward, scalar loss, backward) for a single
+affine layer, which is exactly the code the compact engine accelerates, and
+measures wall-clock time per step.  Three modes are timed per case:
+
+``masked``
+    Dense GEMM + elementwise mask via the autodiff ops — what conventional
+    dropout costs (the paper's Fig. 1(a) baseline).
+``compact``
+    The compact ops called the way the seed repo called them: a fresh pattern
+    object per step (kept indices recomputed), no workspace reuse.
+``pooled``
+    The full vectorized engine: the pattern stream pre-drawn in one batched
+    call, interned pattern objects and compiled tile plans, and a
+    :class:`~repro.dropout.engine.CompactWorkspace` reusing the scatter
+    buffers across steps.
+
+All three modes replay the *same* pre-drawn ``(dp, bias)`` sequence, so the
+comparison is not confounded by one mode drawing cheaper patterns.
+
+Results are written as ``BENCH_compact_engine.json`` so successive PRs can
+track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dropout.compact_ops import row_compact_linear, tile_compact_linear
+from repro.dropout.engine import CompactWorkspace, compile_tile_plan
+from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.dropout.sampler import PatternSampler
+from repro.tensor import Tensor, functional as F
+
+
+@dataclass
+class BenchmarkConfig:
+    """Knobs of the benchmark run.
+
+    ``steps`` hot-path iterations are timed per repeat; ``repeats`` repeats are
+    run per (family, width, rate, mode) and the *best* repeat is reported,
+    which is the standard way to suppress scheduler noise in wall-clock
+    microbenchmarks.  ``warmup`` untimed steps precede every timed repeat so
+    one-time costs (distribution search, pattern interning, plan compilation,
+    BLAS thread spin-up) are excluded from the per-step figure — they are
+    amortised over a whole training run, which is the scenario being modelled.
+    """
+
+    widths: tuple[int, ...] = (512, 1024, 2048)
+    rates: tuple[float, ...] = (0.5, 0.7)
+    batch: int = 128
+    in_features: int | None = None  # defaults to the layer width (square layer)
+    steps: int = 12
+    repeats: int = 3
+    warmup: int = 2
+    tile: int = 32
+    max_period: int = 16
+    seed: int = 0
+    families: tuple[str, ...] = ("row", "tile")
+    output: str = "BENCH_compact_engine.json"
+
+    def __post_init__(self):
+        if self.batch <= 0 or self.steps <= 0 or self.repeats <= 0:
+            raise ValueError("batch, steps and repeats must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        for family in self.families:
+            if family not in ("row", "tile"):
+                raise ValueError(f"unknown benchmark family {family!r}")
+
+
+@dataclass
+class BenchmarkResult:
+    """One (family, width, rate) case: per-step wall-clock of each mode."""
+
+    family: str
+    width: int
+    in_features: int
+    batch: int
+    rate: float
+    steps: int
+    repeats: int
+    mode_ms: dict[str, float] = field(default_factory=dict)
+    #: Mean fraction of the dense GEMM the compact modes execute over the
+    #: case's shared pattern sequence (kept rows / kept tile area).
+    keep_fraction: float | None = None
+
+    @property
+    def speedup_compact(self) -> float:
+        """masked / compact per-step time (plain compact ops)."""
+        return self.mode_ms["masked"] / self.mode_ms["compact"]
+
+    @property
+    def speedup_pooled(self) -> float:
+        """masked / pooled per-step time (the full cached engine)."""
+        return self.mode_ms["masked"] / self.mode_ms["pooled"]
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "width": self.width,
+            "in_features": self.in_features,
+            "batch": self.batch,
+            "rate": self.rate,
+            "steps": self.steps,
+            "repeats": self.repeats,
+            "mode_ms": {mode: round(ms, 4) for mode, ms in self.mode_ms.items()},
+            "keep_fraction": (round(self.keep_fraction, 4)
+                              if self.keep_fraction is not None else None),
+            "speedup_compact": round(self.speedup_compact, 3),
+            "speedup_pooled": round(self.speedup_pooled, 3),
+        }
+
+
+def _make_operands(rng: np.random.Generator, batch: int, in_features: int,
+                   out_features: int) -> tuple[Tensor, Tensor, Tensor]:
+    x = Tensor(rng.normal(size=(batch, in_features)), requires_grad=True)
+    weight = Tensor(rng.normal(size=(out_features, in_features)) * 0.01,
+                    requires_grad=True)
+    bias = Tensor(np.zeros(out_features), requires_grad=True)
+    return x, weight, bias
+
+
+def _timed_modes(step_fns: dict[str, object], steps: int, warmup: int,
+                 repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` mean per-step time of each mode, in milliseconds.
+
+    The repeats of the different modes are interleaved (mode A repeat 1,
+    mode B repeat 1, ..., mode A repeat 2, ...) so slow drift in machine load
+    biases every mode equally instead of whichever mode happened to run last.
+    """
+    best = {mode: float("inf") for mode in step_fns}
+    for _ in range(repeats):
+        for mode, step_fn in step_fns.items():
+            for _ in range(warmup):
+                step_fn()
+            start = time.perf_counter()
+            for _ in range(steps):
+                step_fn()
+            elapsed = time.perf_counter() - start
+            best[mode] = min(best[mode], elapsed / steps)
+    return {mode: value * 1000.0 for mode, value in best.items()}
+
+
+def _zero_grads(*tensors: Tensor) -> None:
+    for tensor in tensors:
+        tensor.zero_grad()
+
+
+def _shared_pattern_sequence(sampler: PatternSampler, limit: int,
+                             count: int) -> list[tuple[int, int]]:
+    """One ``(dp, bias)`` sequence shared by every mode of a case.
+
+    All three modes replay the *same* pattern stream, so the comparison is not
+    confounded by one mode happening to draw cheaper (larger-``dp``) patterns
+    than another — the compact modes' cost is proportional to ``1/dp``.
+    """
+    periods, biases = sampler.sample_many(count)
+    periods = np.minimum(periods, limit)
+    biases = biases % periods
+    return [(int(dp), int(b)) for dp, b in zip(periods, biases)]
+
+
+class _Cycle:
+    """Tiny deterministic cycle iterator (one per mode, same sequence)."""
+
+    def __init__(self, items):
+        self.items = items
+        self.index = 0
+
+    def next(self):
+        item = self.items[self.index % len(self.items)]
+        self.index += 1
+        return item
+
+
+def _bench_row_case(config: BenchmarkConfig, width: int, rate: float,
+                    rng: np.random.Generator) -> BenchmarkResult:
+    from repro.dropout.patterns import row_keep_counts, row_pattern, row_pattern_mask
+
+    in_features = config.in_features or width
+    x, weight, bias = _make_operands(rng, config.batch, in_features, width)
+    sampler = PatternSampler(rate, min(config.max_period, width),
+                             rng=np.random.default_rng(config.seed))
+    sampler.result  # run the one-time distribution search outside the timers
+    sequence = _shared_pattern_sequence(sampler, width,
+                                        config.steps + config.warmup)
+    masked_seq, compact_seq, pooled_seq = _Cycle(sequence), _Cycle(sequence), None
+
+    def masked_step():
+        _zero_grads(x, weight, bias)
+        dp, bias_phase = masked_seq.next()
+        mask = row_pattern_mask(width, dp, bias_phase)  # built per step, as Fig. 1(a)
+        out = F.apply_mask(F.linear(x, weight, bias), mask[None, :])
+        out.sum().backward()
+
+    def compact_step():
+        _zero_grads(x, weight, bias)
+        dp, bias_phase = compact_seq.next()
+        pattern = RowDropoutPattern(width, dp, bias_phase)  # fresh object, no interning
+        out = row_compact_linear(x, weight, bias, pattern)
+        out.sum().backward()
+
+    # The pooled mode replays the same (dp, bias) stream through interned
+    # pattern objects — exactly what a PatternPool hands a trainer.
+    pooled_seq = _Cycle([row_pattern(width, dp, b) for dp, b in sequence])
+    workspace = CompactWorkspace()
+
+    def pooled_step():
+        _zero_grads(x, weight, bias)
+        pattern = pooled_seq.next()  # interned pattern from the pre-drawn pool
+        out = row_compact_linear(x, weight, bias, pattern, workspace=workspace)
+        out.sum().backward()
+
+    periods = np.array([dp for dp, _ in sequence])
+    phases = np.array([b for _, b in sequence])
+    result = BenchmarkResult(family="row", width=width, in_features=in_features,
+                             batch=config.batch, rate=rate, steps=config.steps,
+                             repeats=config.repeats,
+                             keep_fraction=float(
+                                 row_keep_counts(width, periods, phases).mean() / width))
+    result.mode_ms = _timed_modes(
+        {"masked": masked_step, "compact": compact_step, "pooled": pooled_step},
+        config.steps, config.warmup, config.repeats)
+    return result
+
+
+def _bench_tile_case(config: BenchmarkConfig, width: int, rate: float,
+                     rng: np.random.Generator) -> BenchmarkResult:
+    in_features = config.in_features or width
+    x, weight, bias = _make_operands(rng, config.batch, in_features, width)
+    from repro.dropout.patterns import tile_pattern, tile_pattern_mask
+
+    reference = TileDropoutPattern(rows=width, cols=in_features, dp=1, bias=0,
+                                   tile=config.tile)
+    sampler = PatternSampler(rate, min(config.max_period, reference.num_tiles),
+                             rng=np.random.default_rng(config.seed))
+    sampler.result
+    sequence = _shared_pattern_sequence(sampler, reference.num_tiles,
+                                        config.steps + config.warmup)
+    masked_seq, compact_seq = _Cycle(sequence), _Cycle(sequence)
+
+    def masked_step():
+        _zero_grads(x, weight, bias)
+        dp, bias_phase = masked_seq.next()
+        mask = tile_pattern_mask(width, in_features, dp, bias_phase, config.tile)
+        out = x.matmul(F.apply_mask(weight, mask).transpose()) + bias
+        out.sum().backward()
+
+    def compact_step():
+        _zero_grads(x, weight, bias)
+        dp, bias_phase = compact_seq.next()
+        pattern = TileDropoutPattern(width, in_features, dp, bias_phase,
+                                     config.tile)  # fresh object, no interning
+        out = tile_compact_linear(x, weight, bias, pattern)
+        out.sum().backward()
+
+    pooled_seq = _Cycle([tile_pattern(width, in_features, dp, b, config.tile)
+                         for dp, b in sequence])
+    workspace = CompactWorkspace()
+
+    def pooled_step():
+        _zero_grads(x, weight, bias)
+        pattern = pooled_seq.next()  # interned pattern from the pre-drawn pool
+        out = tile_compact_linear(x, weight, bias, pattern, workspace=workspace,
+                                  plan=compile_tile_plan(pattern))
+        out.sum().backward()
+
+    result = BenchmarkResult(family="tile", width=width, in_features=in_features,
+                             batch=config.batch, rate=rate, steps=config.steps,
+                             repeats=config.repeats,
+                             keep_fraction=float(np.mean(
+                                 [plan.compact_flops_fraction
+                                  for plan in (compile_tile_plan(p)
+                                               for p in pooled_seq.items)])))
+    result.mode_ms = _timed_modes(
+        {"masked": masked_step, "compact": compact_step, "pooled": pooled_step},
+        config.steps, config.warmup, config.repeats)
+    return result
+
+
+def run_benchmark(config: BenchmarkConfig | None = None,
+                  verbose: bool = False) -> list[BenchmarkResult]:
+    """Run every (family, width, rate) case of ``config`` and return the results."""
+    config = config or BenchmarkConfig()
+    rng = np.random.default_rng(config.seed)
+    results: list[BenchmarkResult] = []
+    for family in config.families:
+        bench = _bench_row_case if family == "row" else _bench_tile_case
+        for width in config.widths:
+            for rate in config.rates:
+                result = bench(config, width, rate, rng)
+                results.append(result)
+                if verbose:
+                    print(_format_row(result))
+    return results
+
+
+def _format_row(result: BenchmarkResult) -> str:
+    modes = "  ".join(f"{mode}={ms:8.3f}ms"
+                      for mode, ms in result.mode_ms.items())
+    return (f"[{result.family:4s}] width={result.width:5d} rate={result.rate:.2f}  "
+            f"{modes}  speedup(pooled)={result.speedup_pooled:5.2f}x")
+
+
+def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
+                 path: str | None = None) -> str:
+    """Serialise the results (plus environment metadata) to JSON; returns the path."""
+    path = path or config.output
+    report = {
+        "benchmark": "compact_engine",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": {
+            "widths": list(config.widths),
+            "rates": list(config.rates),
+            "batch": config.batch,
+            "steps": config.steps,
+            "repeats": config.repeats,
+            "warmup": config.warmup,
+            "tile": config.tile,
+            "max_period": config.max_period,
+            "families": list(config.families),
+            "seed": config.seed,
+        },
+        "results": [result.to_dict() for result in results],
+    }
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return path

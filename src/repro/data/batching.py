@@ -17,43 +17,69 @@ class BatchIterator:
     labels:
         Integer labels of shape ``(n,)``.
     batch_size:
-        Mini-batch size; the final partial batch is dropped (constant-shape
-        batches keep the GPU-timing comparison per iteration meaningful, and
-        match Caffe's fixed-batch behaviour).
+        Mini-batch size.
     shuffle:
         Reshuffle the sample order at the start of every epoch.
+    drop_last:
+        When ``True`` (the default) the final partial batch is dropped —
+        constant-shape batches keep the GPU-timing comparison per iteration
+        meaningful and match Caffe's fixed-batch behaviour.  When ``False``
+        the final partial batch is yielded, and a dataset smaller than one
+        batch yields a single batch containing the whole dataset.
     rng:
-        Generator used for shuffling.
+        Generator used for shuffling.  Seeded generators make the shuffle
+        order fully deterministic: epoch ``k`` of two iterators built with
+        identically-seeded generators is identical, and successive epochs of
+        one iterator differ (the generator state advances per epoch).
+    seed:
+        Convenience alternative to ``rng``: build a seeded default generator.
+        Ignored when ``rng`` is given.
     """
 
     def __init__(self, images: np.ndarray, labels: np.ndarray, batch_size: int,
-                 shuffle: bool = True, rng: np.random.Generator | None = None):
+                 shuffle: bool = True, rng: np.random.Generator | None = None,
+                 drop_last: bool = True, seed: int | None = None):
         images = np.asarray(images)
         labels = np.asarray(labels)
         if images.shape[0] != labels.shape[0]:
             raise ValueError("images and labels must have the same length")
+        if images.shape[0] == 0:
+            raise ValueError("dataset is empty")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        if images.shape[0] < batch_size:
-            raise ValueError("dataset smaller than one batch")
+        if drop_last and images.shape[0] < batch_size:
+            raise ValueError(
+                "dataset smaller than one batch; pass drop_last=False to "
+                "iterate a single partial batch")
         self.images = images
         self.labels = labels
         self.batch_size = batch_size
         self.shuffle = shuffle
-        self.rng = rng or np.random.default_rng()
+        self.drop_last = drop_last
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self.rng = rng
+
+    @property
+    def num_samples(self) -> int:
+        return self.images.shape[0]
 
     @property
     def batches_per_epoch(self) -> int:
-        return self.images.shape[0] // self.batch_size
+        if self.drop_last:
+            return self.num_samples // self.batch_size
+        return -(-self.num_samples // self.batch_size)  # ceil division
 
     def __len__(self) -> int:
         return self.batches_per_epoch
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        order = np.arange(self.images.shape[0])
+        order = np.arange(self.num_samples)
         if self.shuffle:
             self.rng.shuffle(order)
-        for start in range(0, self.batches_per_epoch * self.batch_size, self.batch_size):
+        stop = (self.batches_per_epoch * self.batch_size if self.drop_last
+                else self.num_samples)
+        for start in range(0, stop, self.batch_size):
             index = order[start:start + self.batch_size]
             yield self.images[index], self.labels[index]
 

@@ -24,11 +24,22 @@ from repro.dropout.patterns import (
     TileDropoutPattern,
     row_pattern_mask,
     tile_pattern_mask,
+    row_pattern_masks,
+    row_keep_counts,
+    row_pattern,
+    tile_pattern,
+    pattern_cache_info,
+    clear_pattern_caches,
     max_row_patterns,
     max_tile_patterns,
 )
+from repro.dropout.engine import (
+    CompactWorkspace,
+    TileExecutionPlan,
+    compile_tile_plan,
+)
 from repro.dropout.search import PatternDistributionSearch, SearchResult, pattern_drop_rates
-from repro.dropout.sampler import PatternSampler, PatternSchedule
+from repro.dropout.sampler import PatternPool, PatternSampler, PatternSchedule
 from repro.dropout.layers import (
     ApproxRandomDropout,
     ApproxBlockDropout,
@@ -47,11 +58,21 @@ __all__ = [
     "TileDropoutPattern",
     "row_pattern_mask",
     "tile_pattern_mask",
+    "row_pattern_masks",
+    "row_keep_counts",
+    "row_pattern",
+    "tile_pattern",
+    "pattern_cache_info",
+    "clear_pattern_caches",
+    "CompactWorkspace",
+    "TileExecutionPlan",
+    "compile_tile_plan",
     "max_row_patterns",
     "max_tile_patterns",
     "PatternDistributionSearch",
     "SearchResult",
     "pattern_drop_rates",
+    "PatternPool",
     "PatternSampler",
     "PatternSchedule",
     "ApproxRandomDropout",

@@ -19,20 +19,37 @@ Two operations are provided:
 
 Both return ordinary :class:`~repro.tensor.Tensor` objects wired into the
 autodiff tape.
+
+Fast path: both ops accept an optional :class:`~repro.dropout.engine.CompactWorkspace`.
+When given, the zero-filled scatter buffers (full-size output, input/weight/bias
+gradients) are drawn from the workspace's preallocated ring instead of being
+allocated per step, and the tile op executes a compiled
+:class:`~repro.dropout.engine.TileExecutionPlan` (one fused GEMM per surviving
+tile-row, compact backward) instead of looping over individual tiles against a
+dense mask.  The numerical results are identical either way.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.dropout.engine import CompactWorkspace, TileExecutionPlan, compile_tile_plan
 from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
 from repro.tensor import Tensor
+
+
+def _zeros(workspace: CompactWorkspace | None, key: str, shape: tuple[int, ...],
+           dtype) -> np.ndarray:
+    if workspace is None:
+        return np.zeros(shape, dtype=dtype)
+    return workspace.zeros(key, shape, dtype=dtype)
 
 
 def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
                        pattern: RowDropoutPattern,
                        input_pattern: RowDropoutPattern | None = None,
-                       scale_factor: float = 1.0) -> Tensor:
+                       scale_factor: float = 1.0,
+                       workspace: CompactWorkspace | None = None) -> Tensor:
     """Affine layer forward that only computes the rows kept by ``pattern``.
 
     Parameters
@@ -56,6 +73,10 @@ def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
         ``1 / (1 - target_rate)`` (inverted dropout with the *expected* keep
         probability), so no rescaling is needed at inference time and a single
         aggressive pattern draw cannot blow up the activations.
+    workspace:
+        Optional :class:`CompactWorkspace` whose preallocated buffers are used
+        for the zero-filled scatter targets (see the buffer-reuse contract in
+        :mod:`repro.dropout.engine`).
 
     Returns
     -------
@@ -88,25 +109,27 @@ def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
 
     out_compact = x_compact @ weight_compact.T
     if bias is not None:
-        out_compact = out_compact + bias.data[kept_rows]
-    out_compact = out_compact * scale_factor
+        out_compact += bias.data[kept_rows]
+    if scale_factor != 1.0:
+        out_compact *= scale_factor
 
     batch = x.shape[0]
-    out_full = np.zeros((batch, out_features), dtype=out_compact.dtype)
+    dtype = out_compact.dtype
+    out_full = _zeros(workspace, "row_out", (batch, out_features), dtype)
     out_full[:, kept_rows] = out_compact
 
     def backward_x(grad: np.ndarray) -> np.ndarray:
         grad_compact = grad[:, kept_rows] * scale_factor
-        grad_x = np.zeros_like(x.data)
         if kept_cols is not None:
+            grad_x = _zeros(workspace, "row_grad_x", x.data.shape, x.data.dtype)
             grad_x[:, kept_cols] = grad_compact @ weight_compact
         else:
-            grad_x[:, :] = grad_compact @ weight_compact
+            grad_x = grad_compact @ weight_compact
         return grad_x
 
     def backward_weight(grad: np.ndarray) -> np.ndarray:
         grad_compact = grad[:, kept_rows] * scale_factor
-        grad_weight = np.zeros_like(weight.data)
+        grad_weight = _zeros(workspace, "row_grad_w", weight.data.shape, weight.data.dtype)
         if kept_cols is not None:
             grad_weight[np.ix_(kept_rows, kept_cols)] = grad_compact.T @ x_compact
         else:
@@ -117,7 +140,7 @@ def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
     if bias is not None:
         def backward_bias(grad: np.ndarray) -> np.ndarray:
             grad_compact = grad[:, kept_rows] * scale_factor
-            grad_bias = np.zeros_like(bias.data)
+            grad_bias = _zeros(workspace, "row_grad_b", bias.data.shape, bias.data.dtype)
             grad_bias[kept_rows] = grad_compact.sum(axis=0)
             return grad_bias
 
@@ -128,7 +151,9 @@ def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
 
 def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
                         pattern: TileDropoutPattern,
-                        scale_factor: float = 1.0) -> Tensor:
+                        scale_factor: float = 1.0,
+                        workspace: CompactWorkspace | None = None,
+                        plan: TileExecutionPlan | None = None) -> Tensor:
     """Affine layer forward that only multiplies the weight tiles kept by ``pattern``.
 
     Parameters
@@ -145,6 +170,11 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
     scale_factor:
         Constant multiplier applied to the surviving tiles' contribution
         (inverted DropConnect with the expected keep probability).
+    workspace:
+        Optional :class:`CompactWorkspace` for the scatter buffers.
+    plan:
+        Optional precompiled :class:`TileExecutionPlan`; compiled (and cached
+        process-wide) from ``pattern`` when omitted.
 
     Returns
     -------
@@ -160,19 +190,43 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
     if x.shape[1] != in_features:
         raise ValueError(
             f"input feature dimension {x.shape[1]} does not match weight columns {in_features}")
+    if plan is None:
+        plan = compile_tile_plan(pattern)
+    elif (plan.rows, plan.cols, plan.dp, plan.bias, plan.tile) != (
+            pattern.rows, pattern.cols, pattern.dp, pattern.bias, pattern.tile):
+        raise ValueError("plan was compiled for a different pattern")
 
-    mask = pattern.mask()
-
-    out = pattern.block_sparse_matmul(x.data, weight.data)
-    out = out * scale_factor
+    dtype = np.result_type(x.data, weight.data)
+    batch = x.shape[0]
+    out = _zeros(workspace, "tile_out", (batch, out_features), dtype)
+    for group in plan.row_groups:
+        block = weight.data[group.row_start:group.row_stop, group.selector]
+        out[:, group.row_start:group.row_stop] = x.data[:, group.selector] @ block.T
+    if scale_factor != 1.0:
+        out *= scale_factor
     if bias is not None:
-        out = out + bias.data
+        out += bias.data
 
     def backward_x(grad: np.ndarray) -> np.ndarray:
-        return (grad * scale_factor) @ (weight.data * mask)
+        grad_x = _zeros(workspace, "tile_grad_x", x.data.shape, x.data.dtype)
+        for group in plan.row_groups:
+            block = weight.data[group.row_start:group.row_stop, group.selector]
+            grad_compact = grad[:, group.row_start:group.row_stop]
+            if scale_factor != 1.0:
+                grad_compact = grad_compact * scale_factor
+            grad_x[:, group.selector] += grad_compact @ block
+        return grad_x
 
     def backward_weight(grad: np.ndarray) -> np.ndarray:
-        return ((grad * scale_factor).T @ x.data) * mask
+        grad_weight = _zeros(workspace, "tile_grad_w", weight.data.shape,
+                             weight.data.dtype)
+        for group in plan.row_groups:
+            grad_compact = grad[:, group.row_start:group.row_stop]
+            if scale_factor != 1.0:
+                grad_compact = grad_compact * scale_factor
+            grad_weight[group.row_start:group.row_stop, group.selector] = (
+                grad_compact.T @ x.data[:, group.selector])
+        return grad_weight
 
     parents = [(x, backward_x), (weight, backward_weight)]
     if bias is not None:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dropout.compact_ops import row_compact_linear, tile_compact_linear
+from repro.dropout.engine import CompactWorkspace
 from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
 from repro.dropout.sampler import PatternSampler
 from repro.nn import initializers
@@ -105,6 +106,10 @@ class ApproxRandomDropout(Module):
         self.pattern = self.sampler.sample_row_pattern(self.num_units)
         return self.pattern
 
+    def draw_pool(self, count: int) -> list[RowDropoutPattern]:
+        """Vectorized pool draw for :class:`~repro.dropout.sampler.PatternSchedule`."""
+        return self.sampler.sample_row_patterns(self.num_units, count)
+
     def set_pattern(self, pattern: RowDropoutPattern) -> None:
         """Explicitly install a pattern (used by tests and by schedules)."""
         if pattern.num_units != self.num_units:
@@ -175,6 +180,17 @@ class ApproxBlockDropout(Module):
         self.pattern = self.sampler.sample_row_pattern(self.num_blocks)
         return self.pattern
 
+    def draw_pool(self, count: int) -> list[RowDropoutPattern]:
+        """Vectorized pool draw (row patterns over the block indices)."""
+        return self.sampler.sample_row_patterns(self.num_blocks, count)
+
+    def set_pattern(self, pattern: RowDropoutPattern) -> None:
+        """Explicitly install a block pattern (used by schedules and tests)."""
+        if pattern.num_units != self.num_blocks:
+            raise ValueError(
+                f"pattern covers {pattern.num_units} blocks, layer has {self.num_blocks}")
+        self.pattern = pattern
+
     def unit_mask(self) -> np.ndarray:
         """Expand the block pattern to a 0/1 keep-mask over individual units."""
         if self.pattern is None:
@@ -230,19 +246,37 @@ class ApproxRandomDropoutLinear(Module):
         self.max_period = max_period or default_max_period(self.drop_rate, out_features)
         self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
         self.pattern: RowDropoutPattern | None = None
+        self.workspace = CompactWorkspace()
+        self._forwards_since_pattern = 0
         if self.drop_rate > 0.0:
             self.resample()
 
     def resample(self) -> RowDropoutPattern:
         """Draw a fresh output pattern for the next iteration."""
         self.pattern = self.sampler.sample_row_pattern(self.out_features)
+        self._forwards_since_pattern = 0
         return self.pattern
+
+    def draw_pool(self, count: int) -> list[RowDropoutPattern]:
+        """Vectorized pool draw for :class:`~repro.dropout.sampler.PatternSchedule`."""
+        return self.sampler.sample_row_patterns(self.out_features, count)
 
     def set_pattern(self, pattern: RowDropoutPattern) -> None:
         if pattern.num_units != self.out_features:
             raise ValueError(
                 f"pattern covers {pattern.num_units} units, layer has {self.out_features} outputs")
         self.pattern = pattern
+        self._forwards_since_pattern = 0
+
+    def _step_workspace(self) -> CompactWorkspace | None:
+        """The workspace, unless this pattern installment has already used up
+        the buffer ring (a layer run more than ``slots`` times in one graph —
+        e.g. weight sharing — must fall back to fresh allocations; see the
+        buffer-reuse contract in :mod:`repro.dropout.engine`)."""
+        self._forwards_since_pattern += 1
+        if self._forwards_since_pattern > self.workspace.slots:
+            return None
+        return self.workspace
 
     def forward(self, x: Tensor,
                 input_pattern: RowDropoutPattern | None = None) -> Tensor:
@@ -256,7 +290,8 @@ class ApproxRandomDropoutLinear(Module):
         if self.pattern is None:
             self.resample()
         return row_compact_linear(x, self.weight, self.bias, self.pattern,
-                                  input_pattern=input_pattern, scale_factor=1.0)
+                                  input_pattern=input_pattern, scale_factor=1.0,
+                                  workspace=self._step_workspace())
 
     def __repr__(self) -> str:
         return (f"ApproxRandomDropoutLinear(in_features={self.in_features}, "
@@ -306,6 +341,8 @@ class ApproxDropConnectLinear(Module):
                                                            reference.num_tiles)
         self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
         self.pattern: TileDropoutPattern | None = None
+        self.workspace = CompactWorkspace()
+        self._forwards_since_pattern = 0
         if self.drop_rate > 0.0:
             self.resample()
 
@@ -313,7 +350,13 @@ class ApproxDropConnectLinear(Module):
         """Draw a fresh tile pattern for the next iteration."""
         self.pattern = self.sampler.sample_tile_pattern(
             self.out_features, self.in_features, tile=self.tile)
+        self._forwards_since_pattern = 0
         return self.pattern
+
+    def draw_pool(self, count: int) -> list[TileDropoutPattern]:
+        """Vectorized pool draw for :class:`~repro.dropout.sampler.PatternSchedule`."""
+        return self.sampler.sample_tile_patterns(
+            self.out_features, self.in_features, count, tile=self.tile)
 
     def set_pattern(self, pattern: TileDropoutPattern) -> None:
         if (pattern.rows, pattern.cols) != (self.out_features, self.in_features):
@@ -321,6 +364,14 @@ class ApproxDropConnectLinear(Module):
                 f"pattern shape ({pattern.rows}, {pattern.cols}) does not match layer "
                 f"({self.out_features}, {self.in_features})")
         self.pattern = pattern
+        self._forwards_since_pattern = 0
+
+    def _step_workspace(self) -> CompactWorkspace | None:
+        """See :meth:`ApproxRandomDropoutLinear._step_workspace`."""
+        self._forwards_since_pattern += 1
+        if self._forwards_since_pattern > self.workspace.slots:
+            return None
+        return self.workspace
 
     def forward(self, x: Tensor) -> Tensor:
         if self.drop_rate == 0.0:
@@ -336,7 +387,8 @@ class ApproxDropConnectLinear(Module):
         if self.pattern is None:
             self.resample()
         return tile_compact_linear(x, self.weight, self.bias, self.pattern,
-                                   scale_factor=1.0)
+                                   scale_factor=1.0,
+                                   workspace=self._step_workspace())
 
     def __repr__(self) -> str:
         return (f"ApproxDropConnectLinear(in_features={self.in_features}, "

@@ -27,8 +27,15 @@ rows with ``i mod dp == b``.  The two are the same family of patterns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property, lru_cache
 
 import numpy as np
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Mark an array read-only so cached pattern data cannot be corrupted."""
+    array.flags.writeable = False
+    return array
 
 
 def max_row_patterns(num_units: int) -> int:
@@ -118,17 +125,17 @@ class RowDropoutPattern:
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def kept_indices(self) -> np.ndarray:
-        """Indices of the neurons that survive this iteration."""
-        return np.arange(self.bias, self.num_units, self.dp)
+        """Indices of the neurons that survive this iteration (cached, read-only)."""
+        return _freeze(np.arange(self.bias, self.num_units, self.dp))
 
-    @property
+    @cached_property
     def dropped_indices(self) -> np.ndarray:
-        """Indices of the dropped neurons."""
+        """Indices of the dropped neurons (cached, read-only)."""
         mask = np.ones(self.num_units, dtype=bool)
         mask[self.kept_indices] = False
-        return np.nonzero(mask)[0]
+        return _freeze(np.nonzero(mask)[0])
 
     @property
     def num_kept(self) -> int:
@@ -144,9 +151,13 @@ class RowDropoutPattern:
         """Fraction of neurons dropped (≈ (dp-1)/dp) — the pattern's global rate."""
         return 1.0 - self.keep_fraction
 
+    @cached_property
+    def _mask(self) -> np.ndarray:
+        return _freeze(row_pattern_mask(self.num_units, self.dp, self.bias))
+
     def mask(self) -> np.ndarray:
-        """0/1 keep-mask of length ``num_units``."""
-        return row_pattern_mask(self.num_units, self.dp, self.bias)
+        """0/1 keep-mask of length ``num_units`` (cached, read-only)."""
+        return self._mask
 
     # ------------------------------------------------------------------
     # compaction helpers
@@ -222,16 +233,16 @@ class TileDropoutPattern:
         grid = self.tile_grid
         return grid[0] * grid[1]
 
-    @property
+    @cached_property
     def kept_tile_ids(self) -> np.ndarray:
-        """Row-major indices of the surviving tiles."""
-        return np.arange(self.bias, self.num_tiles, self.dp)
+        """Row-major indices of the surviving tiles (cached, read-only)."""
+        return _freeze(np.arange(self.bias, self.num_tiles, self.dp))
 
     @property
     def num_kept_tiles(self) -> int:
         return len(self.kept_tile_ids)
 
-    @property
+    @cached_property
     def keep_fraction(self) -> float:
         """Fraction of weight entries kept (area-weighted over surviving tiles)."""
         mask = self.mask()
@@ -241,9 +252,13 @@ class TileDropoutPattern:
     def drop_rate(self) -> float:
         return 1.0 - self.keep_fraction
 
+    @cached_property
+    def _mask(self) -> np.ndarray:
+        return _freeze(tile_pattern_mask(self.rows, self.cols, self.dp, self.bias, self.tile))
+
     def mask(self) -> np.ndarray:
-        """0/1 keep-mask of shape ``(rows, cols)``."""
-        return tile_pattern_mask(self.rows, self.cols, self.dp, self.bias, self.tile)
+        """0/1 keep-mask of shape ``(rows, cols)`` (cached, read-only)."""
+        return self._mask
 
     def tile_bounds(self, tile_id: int) -> tuple[slice, slice]:
         """Row/column slices of tile ``tile_id`` in the full matrix."""
@@ -299,3 +314,75 @@ class TileDropoutPattern:
     def describe(self) -> str:
         return (f"TDP(dp={self.dp}, bias={self.bias}, shape=({self.rows}, {self.cols}), "
                 f"tile={self.tile}, drop_rate={self.drop_rate:.3f})")
+
+
+# ----------------------------------------------------------------------
+# interned (cached) pattern construction
+# ----------------------------------------------------------------------
+#
+# A pattern is fully determined by a handful of small integers, and over a
+# training run the same (dp, bias) pairs recur thousands of times (with the
+# default ``dp_max = 16`` an RDP site can only ever see ``16·17/2 = 136``
+# distinct patterns).  Interning the instances means the per-pattern derived
+# data — kept indices, masks, tile plans — is computed once per run instead of
+# once per training step, which is the heart of the vectorized pattern-pool
+# execution engine.
+
+@lru_cache(maxsize=65536)
+def row_pattern(num_units: int, dp: int, bias: int) -> RowDropoutPattern:
+    """Interned :class:`RowDropoutPattern`; repeated calls return the same object."""
+    return RowDropoutPattern(num_units=num_units, dp=dp, bias=bias)
+
+
+@lru_cache(maxsize=65536)
+def tile_pattern(rows: int, cols: int, dp: int, bias: int,
+                 tile: int = 32) -> TileDropoutPattern:
+    """Interned :class:`TileDropoutPattern`; repeated calls return the same object."""
+    return TileDropoutPattern(rows=rows, cols=cols, dp=dp, bias=bias, tile=tile)
+
+
+def pattern_cache_info() -> dict[str, object]:
+    """Cache statistics of the interned pattern factories (for diagnostics)."""
+    return {"row": row_pattern.cache_info(), "tile": tile_pattern.cache_info()}
+
+
+def clear_pattern_caches() -> None:
+    """Drop all interned patterns (mainly useful in long-lived test processes)."""
+    row_pattern.cache_clear()
+    tile_pattern.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# vectorized batch helpers
+# ----------------------------------------------------------------------
+
+def row_pattern_masks(num_units: int, periods: np.ndarray,
+                      biases: np.ndarray) -> np.ndarray:
+    """0/1 keep-masks for a whole batch of row patterns in one vectorized call.
+
+    ``periods`` and ``biases`` are equal-length integer arrays; the result has
+    shape ``(len(periods), num_units)`` with row ``k`` equal to
+    ``row_pattern_mask(num_units, periods[k], biases[k])``.
+    """
+    periods = np.asarray(periods, dtype=np.int64)
+    biases = np.asarray(biases, dtype=np.int64)
+    if periods.shape != biases.shape or periods.ndim != 1:
+        raise ValueError("periods and biases must be 1-D arrays of equal length")
+    if np.any(periods < 1) or np.any(biases < 0) or np.any(biases >= periods):
+        raise ValueError("need dp >= 1 and 0 <= bias < dp for every pattern")
+    indices = np.arange(num_units)
+    return (indices[None, :] % periods[:, None] == biases[:, None]).astype(np.float64)
+
+
+def row_keep_counts(num_units: int, periods: np.ndarray,
+                    biases: np.ndarray) -> np.ndarray:
+    """Number of kept rows for each pattern of a batch, without building masks.
+
+    Equals ``len(range(bias, num_units, dp))`` computed in closed form.
+    """
+    periods = np.asarray(periods, dtype=np.int64)
+    biases = np.asarray(biases, dtype=np.int64)
+    if np.any(periods < 1) or np.any(biases < 0) or np.any(biases >= periods):
+        raise ValueError("need dp >= 1 and 0 <= bias < dp for every pattern")
+    counts = (num_units - 1 - biases) // periods + 1
+    return np.where(biases >= num_units, 0, counts)

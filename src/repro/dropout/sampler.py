@@ -16,11 +16,17 @@ can resample all of its patterns at the top of each iteration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.dropout.patterns import (
+    RowDropoutPattern,
+    TileDropoutPattern,
+    row_pattern,
+    tile_pattern,
+)
 from repro.dropout.search import PatternDistributionSearch, SearchResult
 
 
@@ -82,19 +88,97 @@ class PatternSampler:
         period, bias = self.sample()
         period = min(period, num_units)
         bias = bias % period
-        return RowDropoutPattern(num_units=num_units, dp=period, bias=bias)
+        return row_pattern(num_units, period, bias)
 
     def sample_tile_pattern(self, rows: int, cols: int, tile: int = 32) -> TileDropoutPattern:
         """Draw a TDP pattern for a ``rows x cols`` weight matrix."""
         period, bias = self.sample()
-        pattern = TileDropoutPattern(rows=rows, cols=cols, dp=1, bias=0, tile=tile)
-        period = min(period, pattern.num_tiles)
+        reference = TileDropoutPattern(rows=rows, cols=cols, dp=1, bias=0, tile=tile)
+        period = min(period, reference.num_tiles)
         bias = bias % period
-        return TileDropoutPattern(rows=rows, cols=cols, dp=period, bias=bias, tile=tile)
+        return tile_pattern(rows, cols, period, bias, tile)
+
+    # ------------------------------------------------------------------
+    # vectorized (batched) sampling — the pattern-pool fast path
+    # ------------------------------------------------------------------
+    def sample_many(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` ``(dp, bias)`` pairs in two vectorized RNG calls.
+
+        Statistically identical to ``count`` repeated :meth:`sample` calls:
+        periods come from the searched distribution, biases are uniform over
+        ``{0, .., dp-1}`` conditional on the period.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        periods = self.rng.choice(self.max_period, size=count,
+                                  p=self.distribution).astype(np.int64) + 1
+        biases = np.floor(self.rng.random(count) * periods).astype(np.int64)
+        return periods, biases
+
+    def sample_row_patterns(self, num_units: int, count: int) -> list[RowDropoutPattern]:
+        """Batched :meth:`sample_row_pattern`: one vectorized draw, interned patterns."""
+        periods, biases = self.sample_many(count)
+        periods = np.minimum(periods, num_units)
+        biases = biases % periods
+        return [row_pattern(num_units, int(dp), int(b))
+                for dp, b in zip(periods, biases)]
+
+    def sample_tile_patterns(self, rows: int, cols: int, count: int,
+                             tile: int = 32) -> list[TileDropoutPattern]:
+        """Batched :meth:`sample_tile_pattern`: one vectorized draw, interned patterns."""
+        reference = TileDropoutPattern(rows=rows, cols=cols, dp=1, bias=0, tile=tile)
+        periods, biases = self.sample_many(count)
+        periods = np.minimum(periods, reference.num_tiles)
+        biases = biases % periods
+        return [tile_pattern(rows, cols, int(dp), int(b), tile)
+                for dp, b in zip(periods, biases)]
 
     def expected_drop_rate(self) -> float:
         """The expected global dropout rate of the sampled pattern stream."""
         return self.result.achieved_rate
+
+
+class PatternPool:
+    """A pre-drawn pool of dropout patterns for one site.
+
+    The pool is filled by a single vectorized draw (``draw(count)``) and then
+    consumed one pattern per training step; when it runs dry it refills itself
+    with another batched draw.  Because patterns are interned, a pool holds at
+    most a few dozen distinct objects regardless of its length.
+    """
+
+    def __init__(self, draw: Callable[[int], Sequence],
+                 pool_size: int = 1024):
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self._draw = draw
+        self.pool_size = int(pool_size)
+        self._patterns: Sequence = []
+        self._cursor = 0
+        self.refills = 0
+        self.consumed = 0
+
+    def refill(self, count: int | None = None) -> None:
+        """Replace the remaining pool contents with a fresh batched draw."""
+        self._patterns = self._draw(int(count or self.pool_size))
+        self._cursor = 0
+        self.refills += 1
+
+    def next(self):
+        """The next pooled pattern (refilling with a batched draw when dry)."""
+        if self._cursor >= len(self._patterns):
+            self.refill()
+        pattern = self._patterns[self._cursor]
+        self._cursor += 1
+        self.consumed += 1
+        return pattern
+
+    @property
+    def remaining(self) -> int:
+        return len(self._patterns) - self._cursor
+
+    def __len__(self) -> int:
+        return len(self._patterns)
 
 
 @dataclass
@@ -111,6 +195,16 @@ class _Site:
     current: RowDropoutPattern | TileDropoutPattern | None = None
 
 
+@dataclass
+class _PooledSite:
+    """A dropout site bound to a live layer module, fed from a pattern pool."""
+
+    name: str
+    module: object  # a layer exposing draw_pool(count) and set_pattern(pattern)
+    pool: PatternPool
+    current: RowDropoutPattern | TileDropoutPattern | None = None
+
+
 class PatternSchedule:
     """Coordinates pattern sampling across all dropout sites of a model.
 
@@ -118,17 +212,114 @@ class PatternSchedule:
     pattern across the whole batch); :meth:`resample` is called once at the
     top of each training iteration and every registered site receives a fresh
     pattern drawn from its own searched distribution.
+
+    Two kinds of sites coexist:
+
+    * *descriptor sites* (:meth:`register_row_site` / :meth:`register_tile_site`)
+      own their sampler and draw one pattern per :meth:`resample` call — the
+      original scalar path, kept for ad-hoc use;
+    * *pooled sites* (:meth:`attach_module` / :meth:`from_model`) wrap a live
+      layer module and feed it from a :class:`PatternPool` that is filled by
+      one batched numpy draw per epoch (:meth:`plan`); :meth:`step` installs
+      the next pooled pattern into every attached module.
     """
 
-    def __init__(self, rng: np.random.Generator | None = None):
+    def __init__(self, rng: np.random.Generator | None = None,
+                 pool_size: int = 1024):
         self.rng = rng or np.random.default_rng()
         self._sites: dict[str, _Site] = {}
+        self._pooled: dict[str, _PooledSite] = {}
+        self.pool_size = int(pool_size)
         self.iteration = 0
+
+    # ------------------------------------------------------------------
+    # pooled (module-bound) sites — the vectorized engine entry point
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model, pool_size: int = 1024,
+                   rng: np.random.Generator | None = None) -> "PatternSchedule":
+        """Build a schedule with one pooled site per pattern layer of ``model``.
+
+        A module qualifies as a site when it exposes both ``draw_pool`` and
+        ``set_pattern`` (every approximate-dropout layer does) and actually
+        drops something (``drop_rate > 0``).  Models whose strategy has no
+        pattern layers (conventional dropout, no dropout) yield an empty
+        schedule, for which :meth:`step` falls back to the model's own
+        ``resample_patterns``.
+        """
+        schedule = cls(rng=rng, pool_size=pool_size)
+        schedule._model = model
+        for index, module in enumerate(model.modules()):
+            if module is model:
+                continue
+            draw = getattr(module, "draw_pool", None)
+            install = getattr(module, "set_pattern", None)
+            if not (callable(draw) and callable(install)):
+                continue
+            if getattr(module, "drop_rate", 0.0) <= 0.0:
+                continue
+            name = f"site{index}:{type(module).__name__}"
+            schedule.attach_module(name, module)
+        return schedule
+
+    def attach_module(self, name: str, module) -> PatternPool:
+        """Bind a live pattern layer to this schedule as a pooled site."""
+        if name in self._pooled or name in self._sites:
+            raise ValueError(f"site {name!r} already registered")
+        draw = getattr(module, "draw_pool", None)
+        install = getattr(module, "set_pattern", None)
+        if not (callable(draw) and callable(install)):
+            raise TypeError(
+                f"module {module!r} does not expose draw_pool/set_pattern")
+        pool = PatternPool(draw, pool_size=self.pool_size)
+        self._pooled[name] = _PooledSite(name=name, module=module, pool=pool)
+        return pool
+
+    def plan(self, steps: int) -> None:
+        """Pre-draw every pooled site's pool for the next ``steps`` iterations.
+
+        One vectorized draw per site covers the whole epoch; pools refill
+        themselves automatically if ``steps`` underestimated the epoch length.
+        """
+        if steps < 1:
+            return
+        for site in self._pooled.values():
+            site.pool.refill(max(steps, 1))
+
+    def step(self) -> dict[str, RowDropoutPattern | TileDropoutPattern]:
+        """Install the next pooled pattern into every attached module.
+
+        Falls back to the bound model's ``resample_patterns()`` when the
+        schedule has no pooled sites (conventional/no-dropout strategies), so
+        trainers can call :meth:`step` unconditionally.
+        """
+        self.iteration += 1
+        patterns: dict[str, RowDropoutPattern | TileDropoutPattern] = {}
+        if not self._pooled:
+            model = getattr(self, "_model", None)
+            if model is not None:
+                model.resample_patterns()
+            return patterns
+        for site in self._pooled.values():
+            site.current = site.pool.next()
+            site.module.set_pattern(site.current)
+            patterns[site.name] = site.current
+        return patterns
+
+    def pooled_sites(self) -> list[str]:
+        return list(self._pooled)
+
+    def pool_stats(self) -> dict[str, dict[str, int]]:
+        """Per-site pool counters (refills, consumed, remaining) for diagnostics."""
+        return {name: {"refills": site.pool.refills,
+                       "consumed": site.pool.consumed,
+                       "remaining": site.pool.remaining}
+                for name, site in self._pooled.items()}
 
     def register_row_site(self, name: str, num_units: int, target_rate: float,
                           max_period: int | None = None) -> PatternSampler:
         """Register a neuron-dropout (RDP) site for a layer of ``num_units``."""
-        if name in self._sites:
+        if name in self._sites or name in self._pooled:
             raise ValueError(f"site {name!r} already registered")
         if max_period is None:
             from repro.dropout.layers import default_max_period
@@ -141,7 +332,7 @@ class PatternSchedule:
     def register_tile_site(self, name: str, rows: int, cols: int, target_rate: float,
                            tile: int = 32, max_period: int | None = None) -> PatternSampler:
         """Register a weight-tile (TDP) site for a ``rows x cols`` weight matrix."""
-        if name in self._sites:
+        if name in self._sites or name in self._pooled:
             raise ValueError(f"site {name!r} already registered")
         reference = TileDropoutPattern(rows=rows, cols=cols, dp=1, bias=0, tile=tile)
         if max_period is None:
@@ -166,7 +357,7 @@ class PatternSchedule:
 
     def current(self, name: str) -> RowDropoutPattern | TileDropoutPattern:
         """The pattern most recently sampled for ``name``."""
-        site = self._sites.get(name)
+        site = self._sites.get(name) or self._pooled.get(name)
         if site is None:
             raise KeyError(f"unknown dropout site {name!r}")
         if site.current is None:
@@ -174,7 +365,7 @@ class PatternSchedule:
         return site.current
 
     def sites(self) -> list[str]:
-        return list(self._sites)
+        return list(self._sites) + list(self._pooled)
 
     def __len__(self) -> int:
-        return len(self._sites)
+        return len(self._sites) + len(self._pooled)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dropout.patterns import RowDropoutPattern
+from repro.dropout.patterns import RowDropoutPattern, row_pattern_masks
 from repro.dropout.sampler import PatternSampler
 from repro.dropout.search import SearchResult, pattern_drop_rates
 
@@ -50,12 +50,13 @@ def empirical_unit_drop_rate(sampler: PatternSampler, num_units: int,
     """
     if iterations <= 0:
         raise ValueError("iterations must be positive")
-    drop_counts = np.zeros(num_units)
-    for _ in range(iterations):
-        pattern = sampler.sample_row_pattern(num_units)
-        mask = pattern.mask()
-        drop_counts += (1.0 - mask)
-    return drop_counts / iterations
+    # One batched draw + one vectorized mask build instead of an
+    # `iterations`-long Python loop (same clipping as sample_row_pattern).
+    periods, biases = sampler.sample_many(iterations)
+    periods = np.minimum(periods, num_units)
+    biases = biases % periods
+    masks = row_pattern_masks(num_units, periods, biases)
+    return 1.0 - masks.mean(axis=0)
 
 
 def sub_model_count(num_units: int, max_period: int | None = None) -> int:

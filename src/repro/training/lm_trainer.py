@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.data.batching import BPTTBatcher
 from repro.data.synthetic_text import SyntheticCorpus
+from repro.dropout.sampler import PatternSchedule
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.models.lstm_lm import LSTMLanguageModel
 from repro.nn.losses import CrossEntropyLoss
@@ -31,6 +32,7 @@ class LanguageModelTrainingConfig:
     epochs: int = 3
     max_iterations: int | None = None
     eval_metric: str = "perplexity"  # or "accuracy" (next-word top-1, Table II)
+    pattern_pool_size: int = 1024
     seed: int = 0
 
     def __post_init__(self):
@@ -40,6 +42,8 @@ class LanguageModelTrainingConfig:
             raise ValueError("learning_rate must be positive")
         if self.eval_metric not in ("perplexity", "accuracy"):
             raise ValueError("eval_metric must be 'perplexity' or 'accuracy'")
+        if self.pattern_pool_size <= 0:
+            raise ValueError("pattern_pool_size must be positive")
 
 
 class LanguageModelTrainer:
@@ -65,6 +69,10 @@ class LanguageModelTrainer:
         self.schedule = ExponentialLR(self.optimizer, gamma=self.config.lr_decay,
                                       flat_epochs=self.config.lr_flat_epochs)
         self.rng = np.random.default_rng(self.config.seed)
+        # Vectorized pattern-pool engine shared with the MLP trainer: one
+        # batched draw per epoch feeds every pattern site of the model.
+        self.pattern_schedule = PatternSchedule.from_model(
+            model, pool_size=self.config.pattern_pool_size)
 
         timing_model = model.timing_model(self.config.batch_size, self.config.seq_len,
                                           device=device)
@@ -85,6 +93,7 @@ class LanguageModelTrainer:
         iteration = 0
         last_loss = float("nan")
         for _ in range(config.epochs):
+            self.pattern_schedule.plan(len(batcher))
             state = self.model.init_state(config.batch_size)
             for inputs, targets in batcher:
                 if config.max_iterations is not None and iteration >= config.max_iterations:
@@ -114,7 +123,7 @@ class LanguageModelTrainer:
                    state: list) -> tuple[float, list]:
         """One BPTT window: forward, backward, clip, update. Returns (loss, state)."""
         self.model.train()
-        self.model.resample_patterns()
+        self.pattern_schedule.step()
         self.optimizer.zero_grad()
         logits, new_state = self.model(inputs, state)
         loss = self.loss_fn(logits, targets.reshape(-1))

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.data.batching import BatchIterator
 from repro.data.synthetic_mnist import SyntheticMNIST
+from repro.dropout.sampler import PatternSchedule
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.models.mlp import MLPClassifier
 from repro.nn.losses import CrossEntropyLoss
@@ -28,6 +29,7 @@ class ClassifierTrainingConfig:
     epochs: int = 5
     eval_every: int = 0  # 0 = evaluate once per epoch
     max_iterations: int | None = None
+    pattern_pool_size: int = 1024
     seed: int = 0
 
     def __post_init__(self):
@@ -37,6 +39,8 @@ class ClassifierTrainingConfig:
             raise ValueError("learning_rate must be positive")
         if not 0.0 <= self.momentum < 1.0:
             raise ValueError("momentum must be in [0, 1)")
+        if self.pattern_pool_size <= 0:
+            raise ValueError("pattern_pool_size must be positive")
 
 
 class ClassifierTrainer:
@@ -59,6 +63,11 @@ class ClassifierTrainer:
         self.optimizer = SGD(model.parameters(), lr=self.config.learning_rate,
                              momentum=self.config.momentum)
         self.rng = np.random.default_rng(self.config.seed)
+        # Vectorized pattern-pool engine: every pattern site of the model is
+        # fed from a pool drawn in one batched numpy call per epoch instead of
+        # one scalar RNG round-trip per site per step.
+        self.pattern_schedule = PatternSchedule.from_model(
+            model, pool_size=self.config.pattern_pool_size)
 
         timing_model = model.timing_model(self.config.batch_size, device=device)
         self.iteration_time_ms = timing_model.iteration(
@@ -79,6 +88,7 @@ class ClassifierTrainer:
         iteration = 0
         last_loss = float("nan")
         for _ in range(config.epochs):
+            self.pattern_schedule.plan(len(iterator))
             for images, labels in iterator:
                 if config.max_iterations is not None and iteration >= config.max_iterations:
                     break
@@ -108,7 +118,7 @@ class ClassifierTrainer:
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
         """One SGD step; returns the batch loss."""
         self.model.train()
-        self.model.resample_patterns()
+        self.pattern_schedule.step()
         self.optimizer.zero_grad()
         logits = self.model(Tensor(images))
         loss = self.loss_fn(logits, labels)

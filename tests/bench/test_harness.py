@@ -1,0 +1,92 @@
+"""Fast smoke tests for the ``repro.bench`` wall-clock harness.
+
+These run the harness at toy sizes, checking plumbing (config validation, JSON
+report shape, CLI entry point) without asserting speedups — tiny operands are
+timer-noise dominated.  The speedup acceptance check lives in
+``benchmarks/test_bench_compact_engine.py`` (slow tier).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import BenchmarkConfig, run_benchmark, write_report
+from repro.bench.__main__ import main as bench_main, parse_args
+
+
+def tiny_config(**overrides) -> BenchmarkConfig:
+    defaults = dict(widths=(48,), rates=(0.5,), batch=8, steps=2, repeats=1,
+                    warmup=0, max_period=4)
+    defaults.update(overrides)
+    return BenchmarkConfig(**defaults)
+
+
+class TestBenchmarkConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(batch=0)
+        with pytest.raises(ValueError):
+            BenchmarkConfig(warmup=-1)
+        with pytest.raises(ValueError):
+            BenchmarkConfig(families=("bogus",))
+
+    def test_defaults_cover_acceptance_case(self):
+        config = BenchmarkConfig()
+        assert 2048 in config.widths
+        assert 0.7 in config.rates
+
+
+class TestRunBenchmark:
+    def test_row_and_tile_cases_produced(self):
+        results = run_benchmark(tiny_config())
+        assert [r.family for r in results] == ["row", "tile"]
+        for result in results:
+            assert set(result.mode_ms) == {"masked", "compact", "pooled"}
+            assert all(ms > 0 for ms in result.mode_ms.values())
+            assert result.speedup_pooled > 0
+            assert result.speedup_compact > 0
+
+    def test_single_family_selection(self):
+        results = run_benchmark(tiny_config(families=("row",)))
+        assert [r.family for r in results] == ["row"]
+
+    def test_rectangular_layer(self):
+        results = run_benchmark(tiny_config(in_features=24, families=("row",)))
+        (result,) = results
+        assert result.in_features == 24
+        assert result.width == 48
+
+
+class TestReport:
+    def test_report_written_and_parseable(self, tmp_path):
+        config = tiny_config(output=str(tmp_path / "BENCH_compact_engine.json"))
+        results = run_benchmark(config)
+        path = write_report(results, config)
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["benchmark"] == "compact_engine"
+        assert report["config"]["widths"] == [48]
+        assert len(report["results"]) == len(results)
+        for entry in report["results"]:
+            assert {"family", "width", "rate", "mode_ms",
+                    "speedup_pooled", "speedup_compact"} <= set(entry)
+            assert set(entry["mode_ms"]) == {"masked", "compact", "pooled"}
+
+
+class TestCLI:
+    def test_parse_args_defaults(self):
+        args = parse_args([])
+        assert args.widths == [512, 1024, 2048]
+        assert args.rates == [0.5, 0.7]
+        assert args.output == "BENCH_compact_engine.json"
+
+    def test_quick_end_to_end(self, tmp_path, capsys):
+        output = str(tmp_path / "bench.json")
+        exit_code = bench_main(["--quick", "--output", output,
+                                "--families", "row"])
+        assert exit_code == 0
+        with open(output) as handle:
+            report = json.load(handle)
+        assert report["results"]
+        printed = capsys.readouterr().out
+        assert "speedup" in printed

@@ -129,6 +129,79 @@ class TestBatchIterator:
             BatchIterator(tiny_mnist.train_images[:5], tiny_mnist.train_labels[:5], 16)
 
 
+class TestBatchIteratorEdgeCases:
+    """Regression tests for the partial-batch / small-dataset / determinism fixes."""
+
+    def make_data(self, n=10, features=3):
+        images = np.arange(n * features, dtype=float).reshape(n, features)
+        labels = np.arange(n)
+        return images, labels
+
+    def test_final_partial_batch_yielded_when_drop_last_false(self):
+        images, labels = self.make_data(n=10)
+        iterator = BatchIterator(images, labels, batch_size=4, shuffle=False,
+                                 drop_last=False)
+        batches = list(iterator)
+        assert len(batches) == len(iterator) == 3
+        assert [len(b[1]) for b in batches] == [4, 4, 2]
+        # Every sample appears exactly once.
+        seen = np.concatenate([b[1] for b in batches])
+        assert np.array_equal(np.sort(seen), labels)
+
+    def test_drop_last_true_drops_partial_batch(self):
+        images, labels = self.make_data(n=10)
+        iterator = BatchIterator(images, labels, batch_size=4, shuffle=False)
+        batches = list(iterator)
+        assert len(batches) == len(iterator) == 2
+        assert all(len(b[1]) == 4 for b in batches)
+
+    def test_exact_multiple_has_no_empty_trailing_batch(self):
+        images, labels = self.make_data(n=8)
+        iterator = BatchIterator(images, labels, batch_size=4, shuffle=False,
+                                 drop_last=False)
+        batches = list(iterator)
+        assert [len(b[1]) for b in batches] == [4, 4]
+
+    def test_batch_size_larger_than_dataset(self):
+        images, labels = self.make_data(n=3)
+        iterator = BatchIterator(images, labels, batch_size=16, shuffle=False,
+                                 drop_last=False)
+        batches = list(iterator)
+        assert len(batches) == len(iterator) == 1
+        assert batches[0][0].shape == (3, 3)
+        # drop_last=True still refuses (it would yield zero batches).
+        with pytest.raises(ValueError):
+            BatchIterator(images, labels, batch_size=16, drop_last=True)
+
+    def test_empty_dataset_rejected(self):
+        images, labels = self.make_data(n=10)
+        with pytest.raises(ValueError):
+            BatchIterator(images[:0], labels[:0], batch_size=4, drop_last=False)
+
+    def test_shuffle_deterministic_under_fixed_seed(self):
+        images, labels = self.make_data(n=12)
+        a = BatchIterator(images, labels, batch_size=4, seed=99)
+        b = BatchIterator(images, labels, batch_size=4, seed=99)
+        for _ in range(3):  # identical across several epochs, not just the first
+            for (_, la), (_, lb) in zip(a, b):
+                assert np.array_equal(la, lb)
+
+    def test_epochs_reshuffle_but_reproducibly(self):
+        images, labels = self.make_data(n=32)
+        first = [lab for _, lab in BatchIterator(images, labels, 8, seed=5)]
+        iterator = BatchIterator(images, labels, 8, seed=5)
+        epoch1 = [lab for _, lab in iterator]
+        epoch2 = [lab for _, lab in iterator]
+        assert all(np.array_equal(x, y) for x, y in zip(first, epoch1))
+        assert not all(np.array_equal(x, y) for x, y in zip(epoch1, epoch2))
+
+    def test_explicit_rng_takes_precedence_over_seed(self):
+        images, labels = self.make_data(n=12)
+        a = BatchIterator(images, labels, 4, rng=np.random.default_rng(1), seed=7)
+        b = BatchIterator(images, labels, 4, rng=np.random.default_rng(1), seed=8)
+        assert all(np.array_equal(x[1], y[1]) for x, y in zip(a, b))
+
+
 class TestBPTTBatcher:
     def test_window_shapes(self, tiny_corpus):
         batcher = BPTTBatcher(tiny_corpus.train, batch_size=8, seq_len=15)

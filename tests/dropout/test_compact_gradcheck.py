@@ -1,0 +1,236 @@
+"""Property-based gradcheck suite for the compact ops (RDP and TDP).
+
+Every test pits a compact op against the dense mask-multiply reference built
+from the ordinary autodiff ops (dense GEMM + ``apply_mask``), comparing the
+forward values AND the analytic gradients of every differentiable input
+(``x``, ``weight``, ``bias``) across randomized shapes, dropout patterns,
+scale factors and the ``input_pattern`` column-compaction path.  A handful of
+central-finite-difference checks anchor the analytic-vs-analytic comparisons
+to ground truth.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dropout import (
+    CompactWorkspace,
+    RowDropoutPattern,
+    TileDropoutPattern,
+    compile_tile_plan,
+)
+from repro.dropout.compact_ops import row_compact_linear, tile_compact_linear
+from repro.tensor import Tensor, check_gradients, functional as F
+
+
+def make_inputs(rng, batch, in_features, out_features):
+    x = Tensor(rng.normal(size=(batch, in_features)), requires_grad=True)
+    weight = Tensor(rng.normal(size=(out_features, in_features)), requires_grad=True)
+    bias = Tensor(rng.normal(size=out_features), requires_grad=True)
+    return x, weight, bias
+
+
+def dense_row_reference(x, weight, bias, pattern, input_pattern, scale_factor):
+    """Dense autodiff reference for ``row_compact_linear`` (same semantics)."""
+    if input_pattern is not None:
+        x = F.apply_mask(x, input_pattern.mask()[None, :])
+    out = F.apply_mask(F.linear(x, weight, bias), pattern.mask()[None, :])
+    return out * scale_factor
+
+
+def dense_tile_reference(x, weight, bias, pattern, scale_factor):
+    """Dense autodiff reference for ``tile_compact_linear`` (same semantics)."""
+    out = x.matmul(F.apply_mask(weight, pattern.mask()).transpose()) * scale_factor
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def backprop_with_direction(out, direction):
+    """Backprop a fixed non-uniform upstream gradient through ``out``."""
+    (out * direction).sum().backward()
+
+
+def grads_of(tensors):
+    return [t.grad.copy() if t.grad is not None else None for t in tensors]
+
+
+def assert_all_close(actual, expected):
+    for a, e in zip(actual, expected):
+        assert (a is None) == (e is None)
+        if a is not None:
+            np.testing.assert_allclose(a, e, rtol=1e-9, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=st.integers(1, 6), in_features=st.integers(3, 24),
+       out_features=st.integers(3, 24), dp=st.integers(1, 6),
+       in_dp=st.integers(0, 5),  # 0 => no input pattern
+       scale=st.sampled_from([0.5, 1.0, 2.0]), use_ws=st.booleans(),
+       seed=st.integers(0, 10_000))
+def test_row_compact_matches_dense_forward_and_gradients(
+        batch, in_features, out_features, dp, in_dp, scale, use_ws, seed):
+    rng = np.random.default_rng(seed)
+    x, weight, bias = make_inputs(rng, batch, in_features, out_features)
+    dp = min(dp, out_features)
+    pattern = RowDropoutPattern(out_features, dp=dp, bias=int(rng.integers(dp)))
+    input_pattern = None
+    if in_dp:
+        in_dp = min(in_dp, in_features)
+        input_pattern = RowDropoutPattern(in_features, dp=in_dp,
+                                          bias=int(rng.integers(in_dp)))
+    workspace = CompactWorkspace() if use_ws else None
+    direction = rng.normal(size=(batch, out_features))
+
+    compact = row_compact_linear(x, weight, bias, pattern,
+                                 input_pattern=input_pattern,
+                                 scale_factor=scale, workspace=workspace)
+    backprop_with_direction(compact, direction)
+    compact_grads = grads_of([x, weight, bias])
+
+    for tensor in (x, weight, bias):
+        tensor.zero_grad()
+    dense = dense_row_reference(x, weight, bias, pattern, input_pattern, scale)
+    np.testing.assert_allclose(compact.data, dense.data, rtol=1e-9, atol=1e-10)
+    backprop_with_direction(dense, direction)
+    assert_all_close(compact_grads, grads_of([x, weight, bias]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=st.integers(1, 6), in_features=st.integers(3, 24),
+       out_features=st.integers(3, 24), dp=st.integers(1, 8),
+       tile=st.integers(2, 6), scale=st.sampled_from([0.5, 1.0, 1.7]),
+       use_ws=st.booleans(), with_bias=st.booleans(), seed=st.integers(0, 10_000))
+def test_tile_compact_matches_dense_forward_and_gradients(
+        batch, in_features, out_features, dp, tile, scale, use_ws, with_bias, seed):
+    rng = np.random.default_rng(seed)
+    x, weight, bias = make_inputs(rng, batch, in_features, out_features)
+    if not with_bias:
+        bias = None
+    reference = TileDropoutPattern(rows=out_features, cols=in_features, dp=1,
+                                   bias=0, tile=tile)
+    dp = min(dp, reference.num_tiles)
+    pattern = TileDropoutPattern(rows=out_features, cols=in_features, dp=dp,
+                                 bias=int(rng.integers(dp)), tile=tile)
+    workspace = CompactWorkspace() if use_ws else None
+    direction = rng.normal(size=(batch, out_features))
+
+    tensors = [x, weight] + ([bias] if bias is not None else [])
+    compact = tile_compact_linear(x, weight, bias, pattern, scale_factor=scale,
+                                  workspace=workspace)
+    backprop_with_direction(compact, direction)
+    compact_grads = grads_of(tensors)
+
+    for tensor in tensors:
+        tensor.zero_grad()
+    dense = dense_tile_reference(x, weight, bias, pattern, scale)
+    np.testing.assert_allclose(compact.data, dense.data, rtol=1e-9, atol=1e-10)
+    backprop_with_direction(dense, direction)
+    assert_all_close(compact_grads, grads_of(tensors))
+
+
+class TestNumericalGradcheck:
+    """Central-difference anchors for the analytic-vs-analytic property tests."""
+
+    @pytest.mark.parametrize("in_dp", [None, 2, 3])
+    def test_row_compact_numerical(self, rng, in_dp):
+        x, weight, bias = make_inputs(rng, 3, 7, 9)
+        pattern = RowDropoutPattern(9, dp=3, bias=1)
+        input_pattern = RowDropoutPattern(7, dp=in_dp, bias=in_dp - 1) if in_dp else None
+        workspace = CompactWorkspace()
+        check_gradients(
+            lambda: (row_compact_linear(x, weight, bias, pattern,
+                                        input_pattern=input_pattern,
+                                        scale_factor=1.5,
+                                        workspace=workspace) ** 2).sum(),
+            [x, weight, bias])
+
+    def test_tile_compact_numerical_with_workspace(self, rng):
+        x, weight, bias = make_inputs(rng, 3, 7, 9)
+        pattern = TileDropoutPattern(rows=9, cols=7, dp=3, bias=1, tile=3)
+        workspace = CompactWorkspace()
+        check_gradients(
+            lambda: (tile_compact_linear(x, weight, bias, pattern,
+                                         scale_factor=1.3,
+                                         workspace=workspace) ** 2).sum(),
+            [x, weight, bias])
+
+    def test_tile_compact_numerical_with_partial_edge_tiles(self, rng):
+        # 10x11 with tile=4 leaves partial tiles on both edges.
+        x, weight, bias = make_inputs(rng, 2, 11, 10)
+        pattern = TileDropoutPattern(rows=10, cols=11, dp=2, bias=1, tile=4)
+        check_gradients(
+            lambda: (tile_compact_linear(x, weight, bias, pattern) ** 2).sum(),
+            [x, weight, bias])
+
+
+class TestWorkspaceSafety:
+    """The buffer ring must not corrupt tensors still referenced by the tape."""
+
+    def test_two_consecutive_steps_share_no_buffer_corruption(self, rng):
+        x, weight, bias = make_inputs(rng, 4, 6, 8)
+        pattern = RowDropoutPattern(8, dp=2, bias=0)
+        workspace = CompactWorkspace()
+        out1 = row_compact_linear(x, weight, bias, pattern, workspace=workspace)
+        snapshot = out1.data.copy()
+        out1.sum().backward()
+        grad1 = weight.grad.copy()
+        for tensor in (x, weight, bias):
+            tensor.zero_grad()
+        out2 = row_compact_linear(x, weight, bias, pattern, workspace=workspace)
+        # The previous step's output tensor is still intact (ring slot 2 used).
+        np.testing.assert_array_equal(out1.data, snapshot)
+        out2.sum().backward()
+        np.testing.assert_allclose(weight.grad, grad1)
+        # The ring holds `slots` buffers per key, so reuse starts at step 3.
+        assert workspace.hits == 0
+        for tensor in (x, weight, bias):
+            tensor.zero_grad()
+        out3 = row_compact_linear(x, weight, bias, pattern, workspace=workspace)
+        out3.sum().backward()
+        np.testing.assert_allclose(weight.grad, grad1)
+        np.testing.assert_array_equal(out3.data, snapshot)
+        assert workspace.hits > 0
+
+    def test_shape_change_reallocates(self, rng):
+        workspace = CompactWorkspace()
+        a = workspace.zeros("k", (4, 8))
+        a[:] = 7.0
+        b = workspace.zeros("k", (2, 8))
+        assert b.shape == (2, 8)
+        assert np.all(b == 0.0)
+
+    def test_buffers_return_zeroed(self):
+        workspace = CompactWorkspace(slots=1)
+        first = workspace.zeros("k", (3, 3))
+        first += 5.0
+        again = workspace.zeros("k", (3, 3))
+        assert again is first
+        assert np.all(again == 0.0)
+
+
+class TestTilePlan:
+    def test_plan_is_interned(self):
+        pattern = TileDropoutPattern(rows=64, cols=64, dp=2, bias=0, tile=32)
+        assert compile_tile_plan(pattern) is compile_tile_plan(pattern)
+
+    def test_plan_groups_cover_exactly_the_kept_tiles(self):
+        pattern = TileDropoutPattern(rows=12, cols=12, dp=3, bias=1, tile=4)
+        plan = compile_tile_plan(pattern)
+        rebuilt = np.zeros((12, 12))
+        for group in plan.row_groups:
+            rebuilt[group.row_start:group.row_stop][:, group.col_indices] = 1.0
+        np.testing.assert_array_equal(rebuilt, pattern.mask())
+
+    def test_compact_flops_fraction_matches_keep_fraction(self):
+        pattern = TileDropoutPattern(rows=16, cols=16, dp=4, bias=2, tile=4)
+        plan = compile_tile_plan(pattern)
+        assert plan.compact_flops_fraction == pytest.approx(pattern.keep_fraction)
+
+    def test_mismatched_plan_rejected(self, rng):
+        x, weight, bias = make_inputs(rng, 2, 8, 8)
+        pattern = TileDropoutPattern(rows=8, cols=8, dp=2, bias=0, tile=4)
+        other = compile_tile_plan(TileDropoutPattern(rows=8, cols=8, dp=2, bias=1,
+                                                     tile=4))
+        with pytest.raises(ValueError):
+            tile_compact_linear(x, weight, bias, pattern, plan=other)
