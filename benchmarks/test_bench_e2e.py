@@ -1,0 +1,33 @@
+"""Wall-clock acceptance benchmark for the end-to-end trainer-step family.
+
+ISSUE 2 acceptance: whole MLP and LSTM training steps driven through
+``ExecutionConfig`` must be faster under the pooled engine than under the
+conventional-dropout masked baseline.  Run with::
+
+    PYTHONPATH=src python -m pytest -m slow benchmarks/test_bench_e2e.py -s
+"""
+
+import pytest
+
+from repro.bench import BenchmarkConfig, run_benchmark
+
+
+@pytest.fixture(scope="module")
+def e2e_results():
+    config = BenchmarkConfig(widths=(512,), rates=(0.7,), batch=64, steps=4,
+                             repeats=2, warmup=1, families=("e2e",))
+    return run_benchmark(config, verbose=True)
+
+
+def test_e2e_produces_one_mlp_and_one_lstm_case(e2e_results):
+    assert sorted(r.family for r in e2e_results) == ["e2e_lstm", "e2e_mlp"]
+
+
+def test_pooled_mlp_trainer_step_beats_masked_baseline(e2e_results):
+    (mlp,) = [r for r in e2e_results if r.family == "e2e_mlp"]
+    assert mlp.speedup_pooled > 1.0, f"pooled MLP step not faster: {mlp.mode_ms}"
+
+
+def test_pooled_lstm_trainer_step_beats_masked_baseline(e2e_results):
+    (lstm,) = [r for r in e2e_results if r.family == "e2e_lstm"]
+    assert lstm.speedup_pooled > 1.0, f"pooled LSTM step not faster: {lstm.mode_ms}"

@@ -11,9 +11,16 @@ to ``BENCH_compact_engine.json``:
 * ``pooled`` — the vectorized pattern-pool engine: batched pattern draws,
   interned patterns/plans and preallocated scatter buffers.
 
-See :mod:`repro.bench.harness` for the configuration knobs.
+The ``e2e`` family times *whole trainer steps* (MLP classifier and LSTM
+language model) built through :class:`repro.execution.ExecutionConfig`, with
+``masked`` being the conventional-dropout baseline model.
+
+See :mod:`repro.bench.harness` for the configuration knobs and
+:mod:`repro.bench.delta` for the CI regression gate
+(``python -m repro.bench.delta``).
 """
 
+from repro.bench.delta import compare_reports, load_report
 from repro.bench.harness import (
     BenchmarkConfig,
     BenchmarkResult,
@@ -24,6 +31,8 @@ from repro.bench.harness import (
 __all__ = [
     "BenchmarkConfig",
     "BenchmarkResult",
+    "compare_reports",
+    "load_report",
     "run_benchmark",
     "write_report",
 ]

@@ -28,8 +28,12 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument("--warmup", type=int, default=2,
                         help="untimed warm-up steps per repeat")
     parser.add_argument("--tile", type=int, default=32, help="TDP tile edge")
-    parser.add_argument("--families", nargs="+", default=["row", "tile"],
-                        choices=["row", "tile"], help="pattern families to time")
+    parser.add_argument("--families", nargs="+", default=["row", "tile", "e2e"],
+                        choices=["row", "tile", "e2e"],
+                        help="benchmark families to time (e2e = whole trainer steps)")
+    parser.add_argument("--e2e-dtype", default="float64",
+                        choices=["float64", "float32"],
+                        help="floating dtype of the e2e trainer-step cases")
     parser.add_argument("--output", default="BENCH_compact_engine.json",
                         help="path of the JSON report")
     parser.add_argument("--quick", action="store_true",
@@ -42,13 +46,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick:
         config = BenchmarkConfig(widths=(256,), rates=(0.5,), batch=32, steps=3,
                                  repeats=1, warmup=1, families=tuple(args.families),
-                                 output=args.output)
+                                 e2e_dtype=args.e2e_dtype, output=args.output)
     else:
         config = BenchmarkConfig(widths=tuple(args.widths), rates=tuple(args.rates),
                                  batch=args.batch, steps=args.steps,
                                  repeats=args.repeats, warmup=args.warmup,
                                  tile=args.tile, families=tuple(args.families),
-                                 output=args.output)
+                                 e2e_dtype=args.e2e_dtype, output=args.output)
     print("repro.bench — compact pattern-execution engine vs mask-based dropout")
     print(f"batch={config.batch} steps={config.steps} repeats={config.repeats} "
           f"(best repeat reported; per-step ms)\n")

@@ -1,0 +1,137 @@
+"""Benchmark-regression gate: compare a fresh run against a committed report.
+
+``python -m repro.bench.delta`` runs a quick benchmark at the acceptance case
+(width 2048, rate 0.7, both the row and tile families), loads the committed
+``BENCH_compact_engine.json`` and **fails (exit code 1) when the freshly
+measured ``speedup_pooled`` regresses by more than 30%** relative to the
+committed value.  This is the CI hook that keeps the pooled engine's headline
+speedup honest across PRs without re-running the full sweep.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.delta                      # run + compare
+    PYTHONPATH=src python -m repro.bench.delta --fresh new.json     # compare two reports
+    PYTHONPATH=src python -m repro.bench.delta --threshold 0.2      # stricter gate
+
+The comparison logic (:func:`compare_reports`) is pure and unit-tested; the
+measurement side reuses :func:`repro.bench.harness.run_benchmark` with a
+reduced quick configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.bench.harness import BenchmarkConfig, run_benchmark
+
+#: The acceptance cases gated by the delta check: (family, width, rate).
+ACCEPTANCE_CASES: tuple[tuple[str, int, float], ...] = (
+    ("row", 2048, 0.7),
+    ("tile", 2048, 0.7),
+)
+
+#: Maximum tolerated relative drop in ``speedup_pooled`` (0.3 = 30%).
+DEFAULT_THRESHOLD = 0.3
+
+
+def load_report(path: str) -> dict:
+    """Load a ``BENCH_compact_engine.json`` report."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _case_entries(entries: list[dict]) -> dict[tuple[str, int, float], dict]:
+    return {(e["family"], int(e["width"]), float(e["rate"])): e for e in entries}
+
+
+def compare_reports(fresh: list[dict], baseline: list[dict],
+                    threshold: float = DEFAULT_THRESHOLD,
+                    cases: tuple[tuple[str, int, float], ...] = ACCEPTANCE_CASES,
+                    ) -> list[str]:
+    """Failure messages for every gated case that regressed (empty = pass).
+
+    ``fresh`` and ``baseline`` are lists of result dicts (the ``results``
+    entries of a report).  A case fails when its fresh ``speedup_pooled``
+    drops below ``(1 - threshold)`` times the committed value; a gated case
+    missing from either side also fails, so the gate cannot rot silently.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    fresh_by_case = _case_entries(fresh)
+    baseline_by_case = _case_entries(baseline)
+    failures: list[str] = []
+    for case in cases:
+        family, width, rate = case
+        label = f"{family} width={width} rate={rate}"
+        fresh_entry = fresh_by_case.get(case)
+        baseline_entry = baseline_by_case.get(case)
+        if baseline_entry is None:
+            failures.append(f"{label}: missing from the committed baseline report")
+            continue
+        if fresh_entry is None:
+            failures.append(f"{label}: missing from the fresh run")
+            continue
+        committed = float(baseline_entry["speedup_pooled"])
+        measured = float(fresh_entry["speedup_pooled"])
+        floor = (1.0 - threshold) * committed
+        if measured < floor:
+            drop = 1.0 - measured / committed
+            failures.append(
+                f"{label}: speedup_pooled regressed {drop:.0%} "
+                f"({committed:.2f}x committed -> {measured:.2f}x fresh, "
+                f"floor {floor:.2f}x at threshold {threshold:.0%})")
+    return failures
+
+
+def quick_acceptance_config() -> BenchmarkConfig:
+    """A reduced configuration that still measures the acceptance case.
+
+    Only the sweep is reduced (one width, one rate); the per-case protocol
+    (steps/warmup/repeats) matches the committed full run, because a lighter
+    protocol measures systematically lower speedups (cold BLAS threads, page
+    faults in the masked baseline's fresh allocations) and would trip the gate
+    without any real regression.
+    """
+    full = BenchmarkConfig()
+    return BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=full.batch,
+                           steps=full.steps, repeats=full.repeats,
+                           warmup=full.warmup, families=("row", "tile"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.delta",
+        description="Fail on >threshold regression of speedup_pooled vs the "
+                    "committed benchmark report.")
+    parser.add_argument("--baseline", default="BENCH_compact_engine.json",
+                        help="committed report to compare against")
+    parser.add_argument("--fresh", default=None,
+                        help="optional pre-computed fresh report; when omitted "
+                             "a quick benchmark of the acceptance case is run")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="maximum tolerated relative regression (default 0.3)")
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    if args.fresh is not None:
+        fresh_entries = load_report(args.fresh)["results"]
+    else:
+        print("repro.bench.delta — quick re-measurement of the acceptance case")
+        results = run_benchmark(quick_acceptance_config(), verbose=True)
+        fresh_entries = [result.to_dict() for result in results]
+
+    failures = compare_reports(fresh_entries, baseline["results"],
+                               threshold=args.threshold)
+    if failures:
+        print("\nBENCHMARK REGRESSION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbenchmark delta check passed "
+          f"(threshold {args.threshold:.0%}, baseline {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,8 +20,18 @@ measures wall-clock time per step.  Three modes are timed per case:
 All three modes replay the *same* pre-drawn ``(dp, bias)`` sequence, so the
 comparison is not confounded by one mode drawing cheaper patterns.
 
+The ``e2e`` family widens the measurement from one layer to *whole trainer
+steps*: it times ``ClassifierTrainer.train_step`` (MLP) and
+``LanguageModelTrainer.train_step`` (LSTM) with the model and trainer built
+through the same :class:`~repro.execution.ExecutionConfig` the experiment
+drivers use.  There, ``masked`` is the conventional-dropout baseline (the
+``original`` strategy: dense GEMMs + i.i.d. Bernoulli masks), while
+``compact`` and ``pooled`` run the pattern strategy under
+``ExecutionConfig(mode="compact")`` / ``ExecutionConfig(mode="pooled")``.
+
 Results are written as ``BENCH_compact_engine.json`` so successive PRs can
-track the perf trajectory.
+track the perf trajectory (see :mod:`repro.bench.delta` for the regression
+gate).
 """
 
 from __future__ import annotations
@@ -63,7 +73,9 @@ class BenchmarkConfig:
     tile: int = 32
     max_period: int = 16
     seed: int = 0
-    families: tuple[str, ...] = ("row", "tile")
+    families: tuple[str, ...] = ("row", "tile", "e2e")
+    #: Floating dtype of the e2e trainer-step cases ("float64" or "float32").
+    e2e_dtype: str = "float64"
     output: str = "BENCH_compact_engine.json"
 
     def __post_init__(self):
@@ -72,7 +84,7 @@ class BenchmarkConfig:
         if self.warmup < 0:
             raise ValueError("warmup must be >= 0")
         for family in self.families:
-            if family not in ("row", "tile"):
+            if family not in ("row", "tile", "e2e"):
                 raise ValueError(f"unknown benchmark family {family!r}")
 
 
@@ -286,6 +298,111 @@ def _bench_tile_case(config: BenchmarkConfig, width: int, rate: float,
     return result
 
 
+# ----------------------------------------------------------------------
+# end-to-end trainer-step cases
+# ----------------------------------------------------------------------
+#
+# The e2e family times *whole* training steps — forward, loss, backward,
+# gradient clip/update, pattern (re)sampling — with the model and trainer
+# wired through the same ExecutionConfig/EngineRuntime the experiment drivers
+# use.  The "masked" mode is the conventional-dropout baseline (the paper's
+# "old time"): the `original` strategy with dense GEMMs and i.i.d. Bernoulli
+# masks.  "compact" and "pooled" train the pattern (`row`) strategy under the
+# matching engine mode.  Dimensions are derived from the sweep config but
+# capped so the CPU-bound dense baselines stay affordable.
+
+_E2E_STRATEGY = {"masked": "original", "compact": "row", "pooled": "row"}
+
+
+def _e2e_runtime(mode: str, config: BenchmarkConfig):
+    from repro.execution import EngineRuntime, ExecutionConfig
+
+    return EngineRuntime(ExecutionConfig(mode=mode, dtype=config.e2e_dtype,
+                                         seed=config.seed))
+
+
+def _bench_e2e_mlp_case(config: BenchmarkConfig,
+                        rng: np.random.Generator) -> BenchmarkResult:
+    from repro.data.synthetic_mnist import make_synthetic_mnist
+    from repro.models.mlp import MLPClassifier, MLPConfig
+    from repro.training.trainer import ClassifierTrainer, ClassifierTrainingConfig
+
+    hidden = min(max(config.widths), 512)
+    rate = max(config.rates)
+    batch = config.batch
+    data = make_synthetic_mnist(num_train=max(batch, 64), num_test=32,
+                                seed=config.seed)
+    images = data.train_images[:batch]
+    labels = data.train_labels[:batch]
+
+    step_fns: dict[str, object] = {}
+    for mode, strategy in _E2E_STRATEGY.items():
+        model = MLPClassifier(MLPConfig(
+            input_size=data.num_features, hidden_sizes=(hidden, hidden),
+            num_classes=data.num_classes, drop_rates=(rate, rate),
+            strategy=strategy, seed=config.seed))
+        trainer = ClassifierTrainer(
+            model, data,
+            ClassifierTrainingConfig(batch_size=batch, epochs=1, seed=config.seed),
+            runtime=_e2e_runtime(mode, config))
+        step_fns[mode] = (lambda t=trainer: t.train_step(images, labels))
+
+    result = BenchmarkResult(family="e2e_mlp", width=hidden,
+                             in_features=data.num_features, batch=batch,
+                             rate=rate, steps=config.steps, repeats=config.repeats)
+    result.mode_ms = _timed_modes(step_fns, config.steps, config.warmup,
+                                  config.repeats)
+    return result
+
+
+def _bench_e2e_lstm_case(config: BenchmarkConfig,
+                         rng: np.random.Generator) -> BenchmarkResult:
+    from repro.data.synthetic_text import make_synthetic_corpus
+    from repro.models.lstm_lm import LSTMConfig, LSTMLanguageModel
+    from repro.training.lm_trainer import (
+        LanguageModelTrainer,
+        LanguageModelTrainingConfig,
+    )
+
+    hidden = min(max(config.widths) // 2, 256)
+    vocab = 8 * hidden
+    seq_len = 12
+    batch = max(4, config.batch // 4)
+    rate = max(config.rates)
+    corpus = make_synthetic_corpus(vocab_size=vocab,
+                                   num_train_tokens=seq_len * batch * 4,
+                                   num_valid_tokens=seq_len * batch,
+                                   num_test_tokens=seq_len * batch,
+                                   seed=config.seed)
+    inputs = rng.integers(0, vocab, size=(seq_len, batch))
+    targets = rng.integers(0, vocab, size=(seq_len, batch))
+
+    step_fns: dict[str, object] = {}
+    for mode, strategy in _E2E_STRATEGY.items():
+        model = LSTMLanguageModel(LSTMConfig(
+            vocab_size=vocab, embed_size=hidden, hidden_size=hidden,
+            num_layers=2, drop_rates=(rate, rate), strategy=strategy,
+            seed=config.seed))
+        trainer = LanguageModelTrainer(
+            model, corpus,
+            LanguageModelTrainingConfig(batch_size=batch, seq_len=seq_len,
+                                        epochs=1, seed=config.seed),
+            runtime=_e2e_runtime(mode, config))
+        state = model.init_state(batch)
+
+        def step_fn(t=trainer, state_box=[state]):
+            _, state_box[0] = t.train_step(inputs, targets, state_box[0])
+
+        step_fns[mode] = step_fn
+
+    result = BenchmarkResult(family="e2e_lstm", width=hidden, in_features=vocab,
+                             batch=batch, rate=rate, steps=config.steps,
+                             repeats=config.repeats)
+    result.mode_ms = _timed_modes(step_fns, config.steps, config.warmup,
+                                  config.repeats)
+    return result
+
+
 def run_benchmark(config: BenchmarkConfig | None = None,
                   verbose: bool = False) -> list[BenchmarkResult]:
     """Run every (family, width, rate) case of ``config`` and return the results."""
@@ -293,6 +410,13 @@ def run_benchmark(config: BenchmarkConfig | None = None,
     rng = np.random.default_rng(config.seed)
     results: list[BenchmarkResult] = []
     for family in config.families:
+        if family == "e2e":
+            for bench_e2e in (_bench_e2e_mlp_case, _bench_e2e_lstm_case):
+                result = bench_e2e(config, rng)
+                results.append(result)
+                if verbose:
+                    print(_format_row(result))
+            continue
         bench = _bench_row_case if family == "row" else _bench_tile_case
         for width in config.widths:
             for rate in config.rates:
@@ -306,7 +430,7 @@ def run_benchmark(config: BenchmarkConfig | None = None,
 def _format_row(result: BenchmarkResult) -> str:
     modes = "  ".join(f"{mode}={ms:8.3f}ms"
                       for mode, ms in result.mode_ms.items())
-    return (f"[{result.family:4s}] width={result.width:5d} rate={result.rate:.2f}  "
+    return (f"[{result.family:8s}] width={result.width:5d} rate={result.rate:.2f}  "
             f"{modes}  speedup(pooled)={result.speedup_pooled:5.2f}x")
 
 
@@ -332,6 +456,7 @@ def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
             "tile": config.tile,
             "max_period": config.max_period,
             "families": list(config.families),
+            "e2e_dtype": config.e2e_dtype,
             "seed": config.seed,
         },
         "results": [result.to_dict() for result in results],

@@ -38,6 +38,11 @@ from repro.dropout.engine import (
     TileExecutionPlan,
     compile_tile_plan,
 )
+from repro.dropout.compact_ops import (
+    input_compact_linear,
+    row_compact_linear,
+    tile_compact_linear,
+)
 from repro.dropout.search import PatternDistributionSearch, SearchResult, pattern_drop_rates
 from repro.dropout.sampler import PatternPool, PatternSampler, PatternSchedule
 from repro.dropout.layers import (
@@ -67,6 +72,9 @@ __all__ = [
     "CompactWorkspace",
     "TileExecutionPlan",
     "compile_tile_plan",
+    "input_compact_linear",
+    "row_compact_linear",
+    "tile_compact_linear",
     "max_row_patterns",
     "max_tile_patterns",
     "PatternDistributionSearch",

@@ -235,6 +235,58 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
     return Tensor.from_op(out, parents, "tile_compact_linear")
 
 
+def input_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
+                         input_pattern: RowDropoutPattern,
+                         workspace: CompactWorkspace | None = None) -> Tensor:
+    """Affine layer that skips the input columns dropped by ``input_pattern``.
+
+    This is the *consumer* side of a row pattern (Fig. 3(a) step 2) on its
+    own: the layer's outputs are fully dense, but the columns of ``x`` that an
+    upstream RDP dropout zeroed are skipped in the GEMM, together with the
+    matching weight columns.  It accelerates layers that directly consume a
+    pattern-dropped activation — e.g. the LSTM vocabulary projection behind
+    ``output_dropout`` — where the dense product would multiply by zeros for
+    ``1 - 1/dp`` of the inner dimension.
+
+    Numerically identical (dropped columns contribute exactly zero either
+    way); gradients of the dropped input columns and weight columns are zero,
+    matching what the upstream mask's backward pass would produce.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"input_compact_linear expects 2-D input, got shape {x.shape}")
+    out_features, in_features = weight.shape
+    if input_pattern.num_units != in_features:
+        raise ValueError(
+            f"input_pattern covers {input_pattern.num_units} units but the layer "
+            f"has {in_features} inputs")
+    if x.shape[1] != in_features:
+        raise ValueError(
+            f"input feature dimension {x.shape[1]} does not match weight columns {in_features}")
+
+    kept_cols = input_pattern.kept_indices
+    x_compact = x.data[:, kept_cols]
+    weight_compact = weight.data[:, kept_cols]
+    out = x_compact @ weight_compact.T
+    if bias is not None:
+        out = out + bias.data
+
+    def backward_x(grad: np.ndarray) -> np.ndarray:
+        grad_x = _zeros(workspace, "input_grad_x", x.data.shape, x.data.dtype)
+        grad_x[:, kept_cols] = grad @ weight_compact
+        return grad_x
+
+    def backward_weight(grad: np.ndarray) -> np.ndarray:
+        grad_weight = _zeros(workspace, "input_grad_w", weight.data.shape,
+                             weight.data.dtype)
+        grad_weight[:, kept_cols] = grad.T @ x_compact
+        return grad_weight
+
+    parents = [(x, backward_x), (weight, backward_weight)]
+    if bias is not None:
+        parents.append((bias, lambda grad: grad.sum(axis=0)))
+    return Tensor.from_op(out, parents, "input_compact_linear")
+
+
 def dense_masked_linear_reference(x: np.ndarray, weight: np.ndarray,
                                   bias: np.ndarray | None,
                                   mask: np.ndarray, scale_factor: float = 1.0,

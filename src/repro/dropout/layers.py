@@ -21,6 +21,15 @@ training iteration (usually through :class:`repro.dropout.sampler.PatternSchedul
 or by the trainer), which draws a fresh ``(dp, bias)`` from the searched
 distribution.  In eval mode they behave exactly like a plain linear layer /
 identity, matching inverted-dropout semantics.
+
+Execution modes: every layer carries an ``execution_mode`` attribute
+(``"compact"``, the default, or ``"masked"``) and a ``use_workspace`` flag,
+both normally set by :meth:`repro.execution.EngineRuntime.bind`.  Under
+``"masked"`` the layer executes the conventional Fig. 1(a) way — dense GEMM
+(or identity) followed by a 0/1 mask that is rebuilt every step — which is
+the baseline the compact modes are benchmarked against.  ``use_workspace``
+toggles the :class:`~repro.dropout.engine.CompactWorkspace` scatter-buffer
+reuse of the pooled engine.
 """
 
 from __future__ import annotations
@@ -29,7 +38,12 @@ import numpy as np
 
 from repro.dropout.compact_ops import row_compact_linear, tile_compact_linear
 from repro.dropout.engine import CompactWorkspace
-from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.dropout.patterns import (
+    RowDropoutPattern,
+    TileDropoutPattern,
+    row_pattern_mask,
+    tile_pattern_mask,
+)
 from repro.dropout.sampler import PatternSampler
 from repro.nn import initializers
 from repro.nn.module import Module, Parameter
@@ -98,6 +112,7 @@ class ApproxRandomDropout(Module):
         self.max_period = max_period or default_max_period(self.drop_rate, num_units)
         self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
         self.pattern: RowDropoutPattern | None = None
+        self.execution_mode = "compact"
         if self.drop_rate > 0.0:
             self.resample()
 
@@ -126,7 +141,12 @@ class ApproxRandomDropout(Module):
             return x * (1.0 - self.drop_rate) if self.scale else x
         if self.pattern is None:
             self.resample()
-        mask = self.pattern.mask()
+        if self.execution_mode == "masked":
+            # Conventional-execution baseline: the mask is rebuilt every step.
+            mask = row_pattern_mask(self.num_units, self.pattern.dp,
+                                    self.pattern.bias, dtype=x.data.dtype)
+        else:
+            mask = self.pattern.mask(dtype=x.data.dtype)
         return F.apply_mask(x, mask)
 
     def __repr__(self) -> str:
@@ -172,6 +192,7 @@ class ApproxBlockDropout(Module):
         self.max_period = max_period or default_max_period(self.drop_rate, self.num_blocks)
         self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
         self.pattern: RowDropoutPattern | None = None
+        self.execution_mode = "compact"
         if self.drop_rate > 0.0:
             self.resample()
 
@@ -191,11 +212,15 @@ class ApproxBlockDropout(Module):
                 f"pattern covers {pattern.num_units} blocks, layer has {self.num_blocks}")
         self.pattern = pattern
 
-    def unit_mask(self) -> np.ndarray:
+    def unit_mask(self, dtype=np.float64) -> np.ndarray:
         """Expand the block pattern to a 0/1 keep-mask over individual units."""
         if self.pattern is None:
-            return np.ones(self.num_units)
-        block_mask = self.pattern.mask()
+            return np.ones(self.num_units, dtype=dtype)
+        if self.execution_mode == "masked":
+            block_mask = row_pattern_mask(self.num_blocks, self.pattern.dp,
+                                          self.pattern.bias, dtype=dtype)
+        else:
+            block_mask = self.pattern.mask(dtype=dtype)
         return np.repeat(block_mask, self.block)[:self.num_units]
 
     def forward(self, x: Tensor) -> Tensor:
@@ -205,7 +230,7 @@ class ApproxBlockDropout(Module):
             return x * (1.0 - self.drop_rate) if self.scale else x
         if self.pattern is None:
             self.resample()
-        mask = self.unit_mask()
+        mask = self.unit_mask(dtype=x.data.dtype)
         return F.apply_mask(x, mask)
 
     def __repr__(self) -> str:
@@ -247,6 +272,8 @@ class ApproxRandomDropoutLinear(Module):
         self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
         self.pattern: RowDropoutPattern | None = None
         self.workspace = CompactWorkspace()
+        self.execution_mode = "compact"
+        self.use_workspace = True
         self._forwards_since_pattern = 0
         if self.drop_rate > 0.0:
             self.resample()
@@ -269,10 +296,13 @@ class ApproxRandomDropoutLinear(Module):
         self._forwards_since_pattern = 0
 
     def _step_workspace(self) -> CompactWorkspace | None:
-        """The workspace, unless this pattern installment has already used up
-        the buffer ring (a layer run more than ``slots`` times in one graph —
-        e.g. weight sharing — must fall back to fresh allocations; see the
-        buffer-reuse contract in :mod:`repro.dropout.engine`)."""
+        """The workspace, unless it is disabled for this execution mode or this
+        pattern installment has already used up the buffer ring (a layer run
+        more than ``slots`` times in one graph — e.g. weight sharing — must
+        fall back to fresh allocations; see the buffer-reuse contract in
+        :mod:`repro.dropout.engine`)."""
+        if not self.use_workspace:
+            return None
         self._forwards_since_pattern += 1
         if self._forwards_since_pattern > self.workspace.slots:
             return None
@@ -289,6 +319,12 @@ class ApproxRandomDropoutLinear(Module):
             return out * (1.0 - self.drop_rate) if self.scale else out
         if self.pattern is None:
             self.resample()
+        if self.execution_mode == "masked":
+            # Fig. 1(a) baseline: dense GEMM, then the per-step mask pass.
+            out = F.linear(x, self.weight, self.bias)
+            mask = row_pattern_mask(self.out_features, self.pattern.dp,
+                                    self.pattern.bias, dtype=x.data.dtype)
+            return F.apply_mask(out, mask[None, :])
         return row_compact_linear(x, self.weight, self.bias, self.pattern,
                                   input_pattern=input_pattern, scale_factor=1.0,
                                   workspace=self._step_workspace())
@@ -342,6 +378,8 @@ class ApproxDropConnectLinear(Module):
         self.sampler = PatternSampler(self.drop_rate, self.max_period, rng=self.rng)
         self.pattern: TileDropoutPattern | None = None
         self.workspace = CompactWorkspace()
+        self.execution_mode = "compact"
+        self.use_workspace = True
         self._forwards_since_pattern = 0
         if self.drop_rate > 0.0:
             self.resample()
@@ -368,6 +406,8 @@ class ApproxDropConnectLinear(Module):
 
     def _step_workspace(self) -> CompactWorkspace | None:
         """See :meth:`ApproxRandomDropoutLinear._step_workspace`."""
+        if not self.use_workspace:
+            return None
         self._forwards_since_pattern += 1
         if self._forwards_since_pattern > self.workspace.slots:
             return None
@@ -386,6 +426,12 @@ class ApproxDropConnectLinear(Module):
             return out + self.bias if self.bias is not None else out
         if self.pattern is None:
             self.resample()
+        if self.execution_mode == "masked":
+            # Fig. 1(a) baseline: mask the dense weight matrix every step.
+            mask = tile_pattern_mask(self.out_features, self.in_features,
+                                     self.pattern.dp, self.pattern.bias,
+                                     self.tile, dtype=x.data.dtype)
+            return F.linear(x, F.apply_mask(self.weight, mask), self.bias)
         return tile_compact_linear(x, self.weight, self.bias, self.pattern,
                                    scale_factor=1.0,
                                    workspace=self._step_workspace())

@@ -64,22 +64,27 @@ def max_tile_patterns(rows: int, cols: int, tile: int = 32) -> int:
     return max(tiles, 1)
 
 
-def row_pattern_mask(num_units: int, dp: int, bias: int) -> np.ndarray:
+def row_pattern_mask(num_units: int, dp: int, bias: int,
+                     dtype=np.float64) -> np.ndarray:
     """0/1 keep-mask over ``num_units`` rows for pattern ``(dp, bias)``.
 
-    ``mask[i] == 1`` means row/neuron ``i`` is kept.
+    ``mask[i] == 1`` means row/neuron ``i`` is kept.  ``dtype`` selects the
+    floating dtype of the mask so a float32 execution path never builds
+    float64 intermediates.
     """
     _validate_period(dp, bias)
     indices = np.arange(num_units)
-    return (indices % dp == bias).astype(np.float64)
+    return (indices % dp == bias).astype(dtype)
 
 
-def tile_pattern_mask(rows: int, cols: int, dp: int, bias: int, tile: int = 32) -> np.ndarray:
+def tile_pattern_mask(rows: int, cols: int, dp: int, bias: int, tile: int = 32,
+                      dtype=np.float64) -> np.ndarray:
     """0/1 keep-mask of shape ``(rows, cols)`` for tile pattern ``(dp, bias)``.
 
     Tiles are numbered row-major over the tile grid; tile ``t`` is kept when
     ``t mod dp == bias``.  Rows/columns beyond the last whole tile belong to
-    the (partial) edge tiles of their row/column block.
+    the (partial) edge tiles of their row/column block.  ``dtype`` selects the
+    floating dtype of the mask.
     """
     _validate_period(dp, bias)
     if tile <= 0:
@@ -89,7 +94,7 @@ def tile_pattern_mask(rows: int, cols: int, dp: int, bias: int, tile: int = 32) 
     tile_ids = np.arange(tile_rows * tile_cols).reshape(tile_rows, tile_cols)
     keep_tiles = (tile_ids % dp == bias)
     mask = np.repeat(np.repeat(keep_tiles, tile, axis=0), tile, axis=1)
-    return mask[:rows, :cols].astype(np.float64)
+    return mask[:rows, :cols].astype(dtype)
 
 
 def _validate_period(dp: int, bias: int) -> None:
@@ -152,12 +157,17 @@ class RowDropoutPattern:
         return 1.0 - self.keep_fraction
 
     @cached_property
-    def _mask(self) -> np.ndarray:
-        return _freeze(row_pattern_mask(self.num_units, self.dp, self.bias))
+    def _mask_cache(self) -> dict:
+        return {}
 
-    def mask(self) -> np.ndarray:
-        """0/1 keep-mask of length ``num_units`` (cached, read-only)."""
-        return self._mask
+    def mask(self, dtype=np.float64) -> np.ndarray:
+        """0/1 keep-mask of length ``num_units`` (cached per dtype, read-only)."""
+        key = np.dtype(dtype)
+        cached = self._mask_cache.get(key)
+        if cached is None:
+            cached = self._mask_cache[key] = _freeze(
+                row_pattern_mask(self.num_units, self.dp, self.bias, dtype=key))
+        return cached
 
     # ------------------------------------------------------------------
     # compaction helpers
@@ -253,12 +263,18 @@ class TileDropoutPattern:
         return 1.0 - self.keep_fraction
 
     @cached_property
-    def _mask(self) -> np.ndarray:
-        return _freeze(tile_pattern_mask(self.rows, self.cols, self.dp, self.bias, self.tile))
+    def _mask_cache(self) -> dict:
+        return {}
 
-    def mask(self) -> np.ndarray:
-        """0/1 keep-mask of shape ``(rows, cols)`` (cached, read-only)."""
-        return self._mask
+    def mask(self, dtype=np.float64) -> np.ndarray:
+        """0/1 keep-mask of shape ``(rows, cols)`` (cached per dtype, read-only)."""
+        key = np.dtype(dtype)
+        cached = self._mask_cache.get(key)
+        if cached is None:
+            cached = self._mask_cache[key] = _freeze(
+                tile_pattern_mask(self.rows, self.cols, self.dp, self.bias,
+                                  self.tile, dtype=key))
+        return cached
 
     def tile_bounds(self, tile_id: int) -> tuple[slice, slice]:
         """Row/column slices of tile ``tile_id`` in the full matrix."""
@@ -357,12 +373,13 @@ def clear_pattern_caches() -> None:
 # ----------------------------------------------------------------------
 
 def row_pattern_masks(num_units: int, periods: np.ndarray,
-                      biases: np.ndarray) -> np.ndarray:
+                      biases: np.ndarray, dtype=np.float64) -> np.ndarray:
     """0/1 keep-masks for a whole batch of row patterns in one vectorized call.
 
     ``periods`` and ``biases`` are equal-length integer arrays; the result has
     shape ``(len(periods), num_units)`` with row ``k`` equal to
-    ``row_pattern_mask(num_units, periods[k], biases[k])``.
+    ``row_pattern_mask(num_units, periods[k], biases[k])``.  ``dtype`` selects
+    the floating dtype of the masks.
     """
     periods = np.asarray(periods, dtype=np.int64)
     biases = np.asarray(biases, dtype=np.int64)
@@ -371,7 +388,7 @@ def row_pattern_masks(num_units: int, periods: np.ndarray,
     if np.any(periods < 1) or np.any(biases < 0) or np.any(biases >= periods):
         raise ValueError("need dp >= 1 and 0 <= bias < dp for every pattern")
     indices = np.arange(num_units)
-    return (indices[None, :] % periods[:, None] == biases[:, None]).astype(np.float64)
+    return (indices[None, :] % periods[:, None] == biases[:, None]).astype(dtype)
 
 
 def row_keep_counts(num_units: int, periods: np.ndarray,

@@ -138,6 +138,18 @@ class PatternSampler:
         return self.result.achieved_rate
 
 
+def is_pattern_site(module) -> bool:
+    """True when ``module`` is a live, poolable dropout site.
+
+    The single definition shared by :meth:`PatternSchedule.from_model` and
+    :meth:`repro.execution.EngineRuntime.bind`: the module must expose the
+    pool protocol (``draw_pool``/``set_pattern``) and actually drop something.
+    """
+    return (callable(getattr(module, "draw_pool", None))
+            and callable(getattr(module, "set_pattern", None))
+            and getattr(module, "drop_rate", 0.0) > 0.0)
+
+
 class PatternPool:
     """A pre-drawn pool of dropout patterns for one site.
 
@@ -250,16 +262,24 @@ class PatternSchedule:
         schedule = cls(rng=rng, pool_size=pool_size)
         schedule._model = model
         for index, module in enumerate(model.modules()):
-            if module is model:
-                continue
-            draw = getattr(module, "draw_pool", None)
-            install = getattr(module, "set_pattern", None)
-            if not (callable(draw) and callable(install)):
-                continue
-            if getattr(module, "drop_rate", 0.0) <= 0.0:
+            if module is model or not is_pattern_site(module):
                 continue
             name = f"site{index}:{type(module).__name__}"
             schedule.attach_module(name, module)
+        return schedule
+
+    @classmethod
+    def scalar_for_model(cls, model,
+                         rng: np.random.Generator | None = None) -> "PatternSchedule":
+        """A schedule that resamples ``model`` per step without any pooling.
+
+        This is the scalar (per-step, per-site RNG round-trip) sampling path of
+        the seed implementation: :meth:`step` falls back to the model's own
+        ``resample_patterns()``.  Used by the ``masked`` and ``compact``
+        execution modes of :class:`repro.execution.EngineRuntime`.
+        """
+        schedule = cls(rng=rng)
+        schedule._model = model
         return schedule
 
     def attach_module(self, name: str, module) -> PatternPool:

@@ -1,0 +1,328 @@
+"""Unified execution configuration for the pattern-pool engine.
+
+Every consumer of the approximate-dropout machinery — the experiment drivers,
+both trainers and the benchmark harness — needs to make the same three
+decisions: *how* the dropout patterns are executed (dense masked GEMMs, the
+compact ops, or the full vectorized pattern-pool engine), *which* floating
+dtype the hot path runs in, and *where* the randomness of the whole pooled
+schedule comes from.  Before this module each caller wired those choices up by
+hand (and several could not make them at all); :class:`ExecutionConfig` is the
+single value object that carries them and :class:`EngineRuntime` is the object
+that applies them to a model and owns the per-run execution state.
+
+Execution modes
+---------------
+
+``"masked"``
+    The conventional baseline of Fig. 1(a): pattern layers run the dense GEMM
+    and multiply by a 0/1 mask that is rebuilt every step; nothing is pooled
+    or cached.  Pattern sampling stays per-step and scalar.
+``"compact"``
+    The seed repo's execution model: the compact ops (only surviving
+    rows/tiles are computed) with per-step scalar pattern sampling, fresh
+    scatter buffers every step (no workspace reuse) and no pooling.
+``"pooled"``
+    The full vectorized engine: batched pattern draws into per-site
+    :class:`~repro.dropout.sampler.PatternPool` rings, interned patterns and
+    compiled tile plans, and :class:`~repro.dropout.engine.CompactWorkspace`
+    buffer reuse across steps.
+
+Determinism
+-----------
+
+``ExecutionConfig.seed`` fixes the *whole* pooled schedule: at
+:meth:`EngineRuntime.bind` every pattern site's sampler is reseeded from one
+``np.random.SeedSequence`` spawned per site in deterministic module-traversal
+order, so two runs with the same seed replay bit-identical pattern streams
+regardless of how the layers' own generators were created.  Pass
+``seed=None`` to keep each layer's original stream (the pre-runtime
+behaviour).
+
+Dtype / backend
+---------------
+
+``dtype`` selects the floating dtype of the hot path ("float64" or
+"float32"); binding a runtime casts the model parameters in place and the
+trainers cast their input batches, and the mask/compact machinery keeps the
+chosen dtype end to end.  ``backend`` is the seam for accelerated execution
+backends behind the same :class:`~repro.dropout.engine.TileExecutionPlan` /
+:class:`~repro.dropout.engine.CompactWorkspace` objects; only the reference
+``"numpy"`` backend ships today, unknown names fail fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.dropout.engine import CompactWorkspace, tile_plan_cache_info
+from repro.dropout.patterns import pattern_cache_info
+from repro.dropout.sampler import PatternSchedule, is_pattern_site
+
+#: Engine execution modes, in increasing order of caching aggressiveness.
+EXECUTION_MODES: tuple[str, ...] = ("masked", "compact", "pooled")
+
+#: Supported floating dtypes of the execution hot path.
+EXECUTION_DTYPES: dict[str, np.dtype] = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+}
+
+#: Registered execution backends.  "numpy" is the reference implementation;
+#: accelerated backends plug in behind the same plan/workspace objects.
+EXECUTION_BACKENDS: tuple[str, ...] = ("numpy",)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the pattern-pool engine should execute a training run.
+
+    Attributes
+    ----------
+    mode:
+        Execution mode: ``"masked"``, ``"compact"`` or ``"pooled"`` (see the
+        module docstring).
+    dtype:
+        Floating dtype of the hot path: ``"float64"`` or ``"float32"``.
+    backend:
+        Execution backend selector; only ``"numpy"`` is available.
+    seed:
+        Pool-wide pattern seed.  A single integer deterministically fixes the
+        pattern streams of *every* dropout site; ``None`` leaves each layer's
+        own generator untouched.
+    pool_size:
+        Patterns per batched pool draw for pooled sites.
+    workspace_slots:
+        Buffer-ring depth of each layer's :class:`CompactWorkspace`.
+    """
+
+    mode: str = "pooled"
+    dtype: str = "float64"
+    backend: str = "numpy"
+    seed: int | None = 0
+    pool_size: int = 1024
+    workspace_slots: int = 2
+
+    def __post_init__(self):
+        if self.mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {self.mode!r}; available: {EXECUTION_MODES}")
+        if self.dtype not in EXECUTION_DTYPES:
+            raise ValueError(
+                f"unknown execution dtype {self.dtype!r}; "
+                f"available: {tuple(EXECUTION_DTYPES)}")
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"available: {EXECUTION_BACKENDS}")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if self.workspace_slots < 1:
+            raise ValueError("workspace_slots must be >= 1")
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype selected by :attr:`dtype`."""
+        return EXECUTION_DTYPES[self.dtype]
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used in formatted table output)."""
+        seed = "-" if self.seed is None else self.seed
+        return (f"mode={self.mode} dtype={self.dtype} backend={self.backend} "
+                f"seed={seed} pool={self.pool_size}")
+
+
+def _pattern_sites(model) -> list:
+    """The pattern sites of ``model`` in deterministic traversal order.
+
+    Uses the same :func:`~repro.dropout.sampler.is_pattern_site` predicate as
+    :meth:`PatternSchedule.from_model`, so the set of reseeded samplers and
+    the set of pooled sites are always the same modules.
+    """
+    return [module for module in model.modules()
+            if module is not model and is_pattern_site(module)]
+
+
+class EngineRuntime:
+    """Applies an :class:`ExecutionConfig` to models and owns the run state.
+
+    One runtime can serve several sequential training runs (an experiment
+    driver binds one model per table cell); :meth:`bind` configures a model's
+    pattern layers for the runtime's execution mode and dtype, reseeds their
+    samplers from the pool-wide seed and returns the
+    :class:`~repro.dropout.sampler.PatternSchedule` the trainer should drive.
+    :meth:`stats` aggregates the engine-side counters — tile-plan cache
+    hits/misses (as deltas since the runtime was created), pattern-cache
+    deltas, pool refill/consumption counts and workspace buffer totals —
+    which the experiment drivers attach to their records.
+    """
+
+    def __init__(self, config: ExecutionConfig | None = None):
+        self.config = config or ExecutionConfig()
+        self._plan_baseline = tile_plan_cache_info()
+        self._pattern_baseline = pattern_cache_info()
+        #: The most recent bind only; earlier runs' counters are folded into
+        #: ``_archived`` at the next bind so a driver sharing one runtime
+        #: across many training runs does not keep every model alive.
+        self._bound: list[tuple[Any, PatternSchedule]] = []
+        self._archived = self._zero_totals()
+        self.runs = 0
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return self.config.np_dtype
+
+    # ------------------------------------------------------------------
+    # binding models
+    # ------------------------------------------------------------------
+    def bind(self, model) -> PatternSchedule:
+        """Configure ``model`` for this runtime and return its schedule.
+
+        * casts every parameter to the configured dtype (in place);
+        * sets ``execution_mode`` / ``use_workspace`` on every module that
+          exposes them (the pattern layers, and models with engine-aware
+          fast paths such as the LSTM projection compaction);
+        * reseeds every pattern site's sampler from the pool-wide seed;
+        * builds the pooled or scalar :class:`PatternSchedule` for the mode.
+        """
+        config = self.config
+        self.runs += 1
+        self._archive_finished_runs()
+        for param in model.parameters():
+            if param.data.dtype != config.np_dtype:
+                param.data = param.data.astype(config.np_dtype)
+
+        layer_mode = "masked" if config.mode == "masked" else "compact"
+        use_workspace = config.mode == "pooled"
+        for module in model.modules():
+            if hasattr(module, "execution_mode"):
+                module.execution_mode = layer_mode
+            if hasattr(module, "use_workspace"):
+                module.use_workspace = use_workspace
+            workspace = getattr(module, "workspace", None)
+            if (isinstance(workspace, CompactWorkspace)
+                    and workspace.slots != config.workspace_slots):
+                module.workspace = CompactWorkspace(slots=config.workspace_slots)
+
+        sites = _pattern_sites(model)
+        if config.seed is not None and sites:
+            # One spawned child stream per site: the single config seed fixes
+            # the whole schedule, and successive binds (run index) of the same
+            # runtime get fresh-but-reproducible streams.
+            root = np.random.SeedSequence([int(config.seed), self.runs])
+            for site, child in zip(sites, root.spawn(len(sites))):
+                site_rng = np.random.default_rng(child)
+                sampler = getattr(site, "sampler", None)
+                if sampler is not None:
+                    sampler.rng = site_rng
+                if hasattr(site, "rng"):
+                    site.rng = site_rng
+
+        if config.mode == "pooled":
+            schedule_rng = (np.random.default_rng(config.seed)
+                            if config.seed is not None else None)
+            schedule = PatternSchedule.from_model(model, pool_size=config.pool_size,
+                                                  rng=schedule_rng)
+        else:
+            schedule = PatternSchedule.scalar_for_model(model)
+        self._bound.append((model, schedule))
+        return schedule
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _zero_totals() -> dict[str, Any]:
+        return {
+            "steps": 0,
+            "pools": {"sites": 0, "refills": 0, "consumed": 0, "remaining": 0},
+            "workspace": {"num_buffers": 0, "hits": 0, "misses": 0},
+        }
+
+    @staticmethod
+    def _fold(totals: dict[str, Any],
+              bound: list[tuple[Any, PatternSchedule]]) -> None:
+        """Add the live counters of ``bound`` (model, schedule) pairs to ``totals``."""
+        seen_models: set[int] = set()
+        for model, schedule in bound:
+            totals["steps"] += schedule.iteration
+            for site_stats in schedule.pool_stats().values():
+                totals["pools"]["sites"] += 1
+                totals["pools"]["refills"] += site_stats["refills"]
+                totals["pools"]["consumed"] += site_stats["consumed"]
+                totals["pools"]["remaining"] += site_stats["remaining"]
+            if id(model) in seen_models:
+                continue  # one model bound twice: count its workspaces once
+            seen_models.add(id(model))
+            for module in model.modules():
+                ws = getattr(module, "workspace", None)
+                if isinstance(ws, CompactWorkspace):
+                    totals["workspace"]["num_buffers"] += ws.num_buffers
+                    totals["workspace"]["hits"] += ws.hits
+                    totals["workspace"]["misses"] += ws.misses
+
+    def _archive_finished_runs(self) -> None:
+        """Fold the previous binds' counters and release their models.
+
+        Called at the top of every :meth:`bind`: drivers run their training
+        runs sequentially, so anything bound before a new bind is finished
+        (its trainer has read its per-run :meth:`stats` already) and only its
+        aggregate counters need to survive.
+        """
+        self._fold(self._archived, self._bound)
+        self._bound = []
+
+    def stats(self, model=None) -> dict[str, Any]:
+        """Engine counters: runtime-wide, or restricted to one bound model.
+
+        Without ``model`` the pool/workspace/step counters aggregate over
+        every run of this runtime (the table-level record a driver stamps on
+        its :class:`ExperimentTable`).  With ``model`` they cover only that
+        model's schedule(s) and workspaces — the per-run record a trainer
+        attaches to its :class:`TrainingResult`; read it before the runtime's
+        next ``bind``, which archives earlier runs and releases their models.
+        The tile-plan / pattern cache counters are process-global caches
+        reported as deltas since this runtime was created in either case.
+        """
+        config = self.config
+        plan = tile_plan_cache_info()
+        pattern = pattern_cache_info()
+        if model is None:
+            totals = {"steps": self._archived["steps"],
+                      "pools": dict(self._archived["pools"]),
+                      "workspace": dict(self._archived["workspace"])}
+            self._fold(totals, self._bound)
+        else:
+            totals = self._zero_totals()
+            self._fold(totals, [(m, s) for m, s in self._bound if m is model])
+        steps = totals["steps"]
+        pools = totals["pools"]
+        workspace = totals["workspace"]
+        return {
+            "mode": config.mode,
+            "dtype": config.dtype,
+            "backend": config.backend,
+            "seed": config.seed,
+            "runs": self.runs,
+            "steps": steps,
+            "tile_plan_cache": {
+                "hits": plan.hits - self._plan_baseline.hits,
+                "misses": plan.misses - self._plan_baseline.misses,
+                "currsize": plan.currsize,
+            },
+            "pattern_cache": {
+                kind: {
+                    "hits": info.hits - self._pattern_baseline[kind].hits,
+                    "misses": info.misses - self._pattern_baseline[kind].misses,
+                    "currsize": info.currsize,
+                }
+                for kind, info in pattern.items()
+            },
+            "pools": pools,
+            "workspace": workspace,
+        }
+
+    def __repr__(self) -> str:
+        return f"EngineRuntime({self.config.describe()}, runs={self.runs})"

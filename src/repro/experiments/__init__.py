@@ -11,7 +11,12 @@ Every driver follows the same contract:
   accuracy-training scale;
 * it returns an :class:`~repro.experiments.records.ExperimentTable` whose rows
   mirror the paper's artefact, and whose ``format()`` output is what the
-  benchmark harness prints.
+  benchmark harness prints;
+* it accepts an ``execution`` knob (an
+  :class:`repro.execution.ExecutionConfig`) selecting the engine mode
+  (masked/compact/pooled), dtype (float64/float32) and pool-wide pattern seed
+  of its training runs, and stamps the runtime's cache/pool/workspace counters
+  into the table's ``engine`` record.
 
 | Driver | Paper artefact |
 |---------------------------------------|----------------------------------|

@@ -21,6 +21,8 @@ import numpy as np
 from repro.dropout.sampler import PatternSampler
 from repro.dropout.search import PatternDistributionSearch
 from repro.dropout.statistics import empirical_unit_drop_rate
+from repro.execution import ExecutionConfig
+from repro.experiments.common import driver_runtime
 from repro.experiments.records import ExperimentTable
 
 RATES: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
@@ -29,7 +31,8 @@ RATES: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
 def run_algorithm1(max_period: int = 16, num_units: int = 256,
                    monte_carlo_iterations: int = 1500,
                    rates: tuple[float, ...] = RATES,
-                   seed: int = 0) -> ExperimentTable:
+                   seed: int = 0,
+                   execution: ExecutionConfig | None = None) -> ExperimentTable:
     """Verify the statistical-equivalence claims of Algorithm 1.
 
     Parameters
@@ -40,7 +43,11 @@ def run_algorithm1(max_period: int = 16, num_units: int = 256,
         Width of the layer used for the Monte-Carlo per-neuron estimate.
     monte_carlo_iterations:
         Number of sampled patterns in the empirical estimate.
+    execution:
+        Stamps the engine record of the table (no training happens here; the
+        Monte-Carlo sampler seed stays the explicit ``seed`` argument).
     """
+    runtime = driver_runtime(execution)
     table = ExperimentTable(
         name="Algorithm 1 (SGD-based pattern-distribution search)",
         description=("Convergence, achieved global dropout rate and empirical per-neuron "
@@ -69,4 +76,5 @@ def run_algorithm1(max_period: int = 16, num_units: int = 256,
             },
             paper={"achieved_rate": rate, "empirical_unit_rate": rate},
         )
+    table.engine = runtime.stats()
     return table

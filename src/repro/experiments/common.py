@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
 from repro.data.synthetic_text import SyntheticCorpus, make_synthetic_corpus
+from repro.execution import EngineRuntime, ExecutionConfig
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.gpu.training_time import DropoutTimingConfig, LSTMTimingModel, MLPTimingModel
 from repro.models.lstm_lm import LSTMConfig, LSTMLanguageModel
@@ -125,12 +126,32 @@ def timing_mode_for(strategy_name: str) -> str:
 
 
 # ----------------------------------------------------------------------
+# execution runtimes for the drivers
+# ----------------------------------------------------------------------
+def driver_runtime(execution: ExecutionConfig | None = None) -> EngineRuntime:
+    """The :class:`EngineRuntime` a driver shares across its training runs.
+
+    One runtime per driver invocation means the table-level engine record
+    aggregates the cache/pool/workspace counters over every run that built the
+    table, and a single ``execution.seed`` fixes all of their pattern streams.
+    """
+    return EngineRuntime(execution or ExecutionConfig())
+
+
+# ----------------------------------------------------------------------
 # reduced-scale accuracy training
 # ----------------------------------------------------------------------
 def train_reduced_mlp(strategy: str, rates: tuple[float, ...], scale: ReducedScale,
                       hidden: int | None = None, epochs: int | None = None,
-                      seed: int | None = None) -> float:
-    """Train the reduced MLP with a given dropout strategy; return test accuracy."""
+                      seed: int | None = None,
+                      runtime: EngineRuntime | None = None,
+                      return_result: bool = False):
+    """Train the reduced MLP with a given dropout strategy; return test accuracy.
+
+    ``runtime`` selects the execution engine (mode/dtype/pool seed) the run
+    uses; ``return_result`` returns the full :class:`TrainingResult` (with its
+    ``engine_stats``) instead of just the final metric.
+    """
     data = mnist_for(scale)
     hidden = hidden or scale.mlp_hidden
     config = MLPConfig(
@@ -148,15 +169,21 @@ def train_reduced_mlp(strategy: str, rates: tuple[float, ...], scale: ReducedSca
         momentum=0.9,
         epochs=epochs or scale.mlp_epochs,
         seed=scale.seed if seed is None else seed,
-    ))
-    return trainer.train().final_metric
+    ), runtime=runtime)
+    result = trainer.train()
+    return result if return_result else result.final_metric
 
 
 def train_reduced_lstm(strategy: str, rates: tuple[float, ...], scale: ReducedScale,
                        num_layers: int | None = None, epochs: int | None = None,
                        eval_metric: str = "accuracy", seed: int | None = None,
-                       return_history: bool = False):
-    """Train the reduced LSTM LM; return the final metric (and optionally the run)."""
+                       return_history: bool = False,
+                       runtime: EngineRuntime | None = None):
+    """Train the reduced LSTM LM; return the final metric (and optionally the run).
+
+    ``runtime`` selects the execution engine the run uses (see
+    :func:`train_reduced_mlp`).
+    """
     corpus = corpus_for(scale)
     num_layers = num_layers or len(rates)
     config = LSTMConfig(
@@ -176,7 +203,7 @@ def train_reduced_lstm(strategy: str, rates: tuple[float, ...], scale: ReducedSc
         epochs=epochs or scale.lstm_epochs,
         eval_metric=eval_metric,
         seed=scale.seed if seed is None else seed,
-    ))
+    ), runtime=runtime)
     result = trainer.train()
     if return_history:
         return result

@@ -11,8 +11,10 @@ Paper-reported shape: RDP speedup grows from ≈1.2x at (0.3, 0.3) to ≈1.8x at
 
 from __future__ import annotations
 
+from repro.execution import ExecutionConfig
 from repro.experiments.common import (
     ReducedScale,
+    driver_runtime,
     mlp_speedup,
     timing_mode_for,
     train_reduced_mlp,
@@ -46,6 +48,7 @@ PAPER_HIDDEN = (2048, 2048)
 def run_fig4(pattern: str = "ROW", scale: ReducedScale | None = None,
              train_accuracy: bool = True,
              rate_pairs: tuple[tuple[float, float], ...] = RATE_PAIRS,
+             execution: ExecutionConfig | None = None,
              ) -> ExperimentTable:
     """Reproduce Fig. 4 for one pattern family ("ROW" or "TILE").
 
@@ -61,11 +64,14 @@ def run_fig4(pattern: str = "ROW", scale: ReducedScale | None = None,
         the speedup column — useful for the speedup-focused benchmarks.
     rate_pairs:
         Subset of rate pairs to evaluate (defaults to all nine).
+    execution:
+        Engine mode/dtype of the accuracy training runs.
     """
     pattern = pattern.upper()
     if pattern not in ("ROW", "TILE"):
         raise ValueError(f"pattern must be 'ROW' or 'TILE', got {pattern!r}")
     scale = scale or ReducedScale()
+    runtime = driver_runtime(execution)
     paper_speedups = PAPER_SPEEDUP_ROW if pattern == "ROW" else PAPER_SPEEDUP_TILE
     mode = timing_mode_for(pattern)
 
@@ -82,14 +88,20 @@ def run_fig4(pattern: str = "ROW", scale: ReducedScale | None = None,
         speedup = mlp_speedup(PAPER_HIDDEN, rates, mode)
         values: dict = {"speedup": speedup}
         paper = {"speedup": paper_speedups.get(tuple(rates))}
+        engine: dict = {}
         if train_accuracy:
-            baseline_accuracy = train_reduced_mlp("original", rates, scale)
-            pattern_accuracy = train_reduced_mlp(pattern.lower(), rates, scale)
+            baseline_accuracy = train_reduced_mlp("original", rates, scale,
+                                                  runtime=runtime)
+            pattern_result = train_reduced_mlp(pattern.lower(), rates, scale,
+                                               runtime=runtime, return_result=True)
+            pattern_accuracy = pattern_result.final_metric
+            engine = pattern_result.engine_stats
             values.update({
                 "baseline_accuracy": baseline_accuracy,
                 "pattern_accuracy": pattern_accuracy,
                 "accuracy_drop": baseline_accuracy - pattern_accuracy,
             })
             paper["accuracy_drop"] = 0.005
-        table.add_row(f"rates={rates}", values, paper)
+        table.add_row(f"rates={rates}", values, paper, engine=engine)
+    table.engine = runtime.stats()
     return table

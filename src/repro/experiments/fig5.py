@@ -14,20 +14,24 @@ how the speedup manifests as a left-shifted curve.
 
 from __future__ import annotations
 
-from repro.experiments.common import ReducedScale, train_reduced_lstm
+from repro.execution import ExecutionConfig
+from repro.experiments.common import ReducedScale, driver_runtime, train_reduced_lstm
 from repro.experiments.records import ExperimentTable
 
 RATE = 0.5
 
 
 def run_fig5(scale: ReducedScale | None = None, epochs: int | None = None,
+             execution: ExecutionConfig | None = None,
              ) -> ExperimentTable:
     """Reproduce the Fig. 5 convergence comparison (baseline vs. ROW at rate 0.5).
 
     Each row of the returned table is one evaluation point of one curve, with
     the modelled cumulative GPU time and the next-word accuracy at that point.
+    ``execution`` selects the engine mode/dtype of both training runs.
     """
     scale = scale or ReducedScale()
+    runtime = driver_runtime(execution)
     table = ExperimentTable(
         name="Fig. 5 (convergence: conventional dropout vs. RDP, rate 0.5)",
         description=("Accuracy vs. modelled GPU time; the ROW curve should reach a given "
@@ -36,7 +40,8 @@ def run_fig5(scale: ReducedScale | None = None, epochs: int | None = None,
     )
     for strategy, label in (("original", "baseline"), ("row", "row_dropout_pattern")):
         result = train_reduced_lstm(strategy, (RATE, RATE), scale, epochs=epochs,
-                                    eval_metric="accuracy", return_history=True)
+                                    eval_metric="accuracy", return_history=True,
+                                    runtime=runtime)
         history = result.history
         for index in range(len(history)):
             table.add_row(
@@ -46,7 +51,9 @@ def run_fig5(scale: ReducedScale | None = None, epochs: int | None = None,
                     "simulated_time_ms": history.simulated_time_ms[index],
                     "accuracy": history.eval_metric[index],
                 },
+                engine=result.engine_stats if index == len(history) - 1 else None,
             )
+    table.engine = runtime.stats()
     return table
 
 

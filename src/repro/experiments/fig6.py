@@ -13,8 +13,12 @@ batch so fewer distinct sub-models are sampled per epoch.
 
 from __future__ import annotations
 
+import dataclasses
+
+from repro.execution import ExecutionConfig
 from repro.experiments.common import (
     ReducedScale,
+    driver_runtime,
     lstm_speedup,
     train_reduced_lstm,
 )
@@ -33,9 +37,11 @@ FIG6B_RATE = 0.7
 
 
 def run_fig6a(scale: ReducedScale | None = None, train_perplexity: bool = True,
-              rates: tuple[float, ...] = FIG6A_RATES) -> ExperimentTable:
+              rates: tuple[float, ...] = FIG6A_RATES,
+              execution: ExecutionConfig | None = None) -> ExperimentTable:
     """Reproduce Fig. 6(a): perplexity and speedup vs. dropout rate (RDP, 3-layer LSTM)."""
     scale = scale or ReducedScale()
+    runtime = driver_runtime(execution)
     columns = ["speedup"]
     if train_perplexity:
         columns += ["baseline_perplexity", "row_perplexity", "perplexity_increase"]
@@ -51,27 +57,33 @@ def run_fig6a(scale: ReducedScale | None = None, train_perplexity: bool = True,
                                "row", batch_size=20, seq_len=PAPER_SEQ_LEN)
         values: dict = {"speedup": speedup}
         paper = {"speedup": PAPER_FIG6A_SPEEDUP.get(rate)}
+        engine: dict = {}
         if train_perplexity:
             baseline_perplexity = train_reduced_lstm(
                 "original", rate_tuple, scale, num_layers=PAPER_LAYERS,
-                eval_metric="perplexity")
-            row_perplexity = train_reduced_lstm(
+                eval_metric="perplexity", runtime=runtime)
+            row_result = train_reduced_lstm(
                 "row", rate_tuple, scale, num_layers=PAPER_LAYERS,
-                eval_metric="perplexity")
+                eval_metric="perplexity", runtime=runtime, return_history=True)
+            row_perplexity = row_result.final_metric
+            engine = row_result.engine_stats
             values.update({
                 "baseline_perplexity": baseline_perplexity,
                 "row_perplexity": row_perplexity,
                 "perplexity_increase": row_perplexity - baseline_perplexity,
             })
-        table.add_row(f"rate={rate}", values, paper)
+        table.add_row(f"rate={rate}", values, paper, engine=engine)
+    table.engine = runtime.stats()
     return table
 
 
 def run_fig6b(scale: ReducedScale | None = None, train_perplexity: bool = True,
               batch_sizes: tuple[int, ...] = FIG6B_BATCH_SIZES,
-              rate: float = FIG6B_RATE) -> ExperimentTable:
+              rate: float = FIG6B_RATE,
+              execution: ExecutionConfig | None = None) -> ExperimentTable:
     """Reproduce Fig. 6(b): speedup and perplexity vs. batch size (RDP, fixed rate)."""
     scale = scale or ReducedScale()
+    runtime = driver_runtime(execution)
     columns = ["speedup"]
     if train_perplexity:
         columns += ["row_perplexity"]
@@ -87,12 +99,16 @@ def run_fig6b(scale: ReducedScale | None = None, train_perplexity: bool = True,
         speedup = lstm_speedup(PAPER_VOCAB, PAPER_HIDDEN, PAPER_LAYERS, rate_tuple,
                                "row", batch_size=batch_size, seq_len=PAPER_SEQ_LEN)
         values: dict = {"speedup": speedup}
+        engine: dict = {}
         if train_perplexity:
             # Scale the reduced batch proportionally to the paper batch (20 -> base).
             reduced_batch = max(2, round(scale.lstm_batch_size * batch_size / 20))
-            scaled = ReducedScale(**{**scale.__dict__, "lstm_batch_size": reduced_batch})
-            values["row_perplexity"] = train_reduced_lstm(
+            scaled = dataclasses.replace(scale, lstm_batch_size=reduced_batch)
+            row_result = train_reduced_lstm(
                 "row", rate_tuple, scaled, num_layers=PAPER_LAYERS,
-                eval_metric="perplexity")
-        table.add_row(f"batch={batch_size}", values)
+                eval_metric="perplexity", runtime=runtime, return_history=True)
+            values["row_perplexity"] = row_result.final_metric
+            engine = row_result.engine_stats
+        table.add_row(f"batch={batch_size}", values, engine=engine)
+    table.engine = runtime.stats()
     return table

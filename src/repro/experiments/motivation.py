@@ -10,6 +10,8 @@ compaction at the same dropout rate.
 
 from __future__ import annotations
 
+from repro.execution import ExecutionConfig
+from repro.experiments.common import driver_runtime
 from repro.experiments.records import ExperimentTable
 from repro.gpu.device import GTX_1080TI, DeviceSpec
 from repro.gpu.divergence import DivergenceModel
@@ -21,15 +23,18 @@ RATES: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9)
 def run_fig1b(device: DeviceSpec = GTX_1080TI,
               hidden_sizes: tuple[int, int] = (2048, 2048),
               batch_size: int = 128,
-              rates: tuple[float, ...] = RATES) -> ExperimentTable:
+              rates: tuple[float, ...] = RATES,
+              execution: ExecutionConfig | None = None) -> ExperimentTable:
     """Compare naive branch-skipping against regular-pattern compaction.
 
     For each dropout rate the table reports the expected warp-level speedup of
     the naive conditional kernel (≈1.0 or below), the end-to-end iteration
     speedup the naive approach would give on the paper's MLP (≈1.0), the
     end-to-end speedup of the Row-based pattern, and the ideal speedup if all
-    dropped work could be skipped.
+    dropped work could be skipped.  This driver never trains, so ``execution``
+    only stamps the engine record of the table.
     """
+    runtime = driver_runtime(execution)
     divergence = DivergenceModel(device)
     timing = MLPTimingModel([784, *hidden_sizes, 10], batch_size, device=device)
     table = ExperimentTable(
@@ -55,4 +60,5 @@ def run_fig1b(device: DeviceSpec = GTX_1080TI,
             },
             paper={"naive_iteration_speedup": 1.0},
         )
+    table.engine = runtime.stats()
     return table

@@ -13,11 +13,17 @@ class ExperimentRow:
     ``values`` maps column name to value; ``paper`` optionally maps the same
     column names to the values the paper reports, so the formatted output can
     show paper-vs-measured side by side (the EXPERIMENTS.md requirement).
+    ``engine`` optionally carries the execution-engine counters of the
+    training run that produced this row — pool/workspace/step counts are
+    restricted to that run's model; the tile-plan/pattern cache entries are
+    process-global deltas for the driver's runtime (see
+    :meth:`repro.execution.EngineRuntime.stats`).
     """
 
     label: str
     values: dict[str, Any] = field(default_factory=dict)
     paper: dict[str, Any] = field(default_factory=dict)
+    engine: dict[str, Any] = field(default_factory=dict)
 
     def get(self, column: str, default=None):
         return self.values.get(column, default)
@@ -25,16 +31,25 @@ class ExperimentRow:
 
 @dataclass
 class ExperimentTable:
-    """A reproduced table/figure: a list of rows plus formatting helpers."""
+    """A reproduced table/figure: a list of rows plus formatting helpers.
+
+    ``engine`` holds the table-level execution-engine record — which
+    :class:`~repro.execution.ExecutionConfig` the driver ran under plus the
+    aggregated cache/pool/workspace counters — and is printed as a trailing
+    summary by :meth:`format`.
+    """
 
     name: str
     description: str
     columns: list[str]
     rows: list[ExperimentRow] = field(default_factory=list)
+    engine: dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, label: str, values: dict[str, Any],
-                paper: dict[str, Any] | None = None) -> ExperimentRow:
-        row = ExperimentRow(label=label, values=dict(values), paper=dict(paper or {}))
+                paper: dict[str, Any] | None = None,
+                engine: dict[str, Any] | None = None) -> ExperimentRow:
+        row = ExperimentRow(label=label, values=dict(values),
+                            paper=dict(paper or {}), engine=dict(engine or {}))
         self.rows.append(row)
         return row
 
@@ -68,19 +83,52 @@ class ExperimentTable:
                  "  ".join("-" * widths[i] for i in range(len(header)))]
         for cells in body:
             lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(cells))))
+        if self.engine:
+            lines.append(format_engine_stats(self.engine))
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly representation (used by tests and by EXPERIMENTS.md tooling)."""
-        return {
+        record: dict[str, Any] = {
             "name": self.name,
             "description": self.description,
             "columns": list(self.columns),
             "rows": [
-                {"label": row.label, "values": row.values, "paper": row.paper}
+                {"label": row.label, "values": row.values, "paper": row.paper,
+                 **({"engine": row.engine} if row.engine else {})}
                 for row in self.rows
             ],
         }
+        if self.engine:
+            record["engine"] = self.engine
+        return record
+
+
+def format_engine_stats(engine: dict[str, Any]) -> str:
+    """One-line rendering of an engine-stats record for formatted tables."""
+    parts = []
+    mode = engine.get("mode")
+    if mode is not None:
+        seed = engine.get("seed")
+        parts.append(f"mode={mode} dtype={engine.get('dtype')} "
+                     f"seed={'-' if seed is None else seed}")
+    plan = engine.get("tile_plan_cache")
+    if plan:
+        parts.append(f"tile-plan cache hits={plan.get('hits', 0)} "
+                     f"misses={plan.get('misses', 0)}")
+    pools = engine.get("pools")
+    if pools:
+        parts.append(f"pools sites={pools.get('sites', 0)} "
+                     f"refills={pools.get('refills', 0)} "
+                     f"consumed={pools.get('consumed', 0)}")
+    workspace = engine.get("workspace")
+    if workspace:
+        parts.append(f"workspace buffers={workspace.get('num_buffers', 0)} "
+                     f"hits={workspace.get('hits', 0)} "
+                     f"misses={workspace.get('misses', 0)}")
+    if not parts:
+        parts.append(str(engine))
+    return "engine: " + " | ".join(parts)
 
 
 def _format_value(value, float_digits: int) -> str:

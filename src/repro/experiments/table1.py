@@ -10,8 +10,10 @@ reaching ≈2x for the 4096x4096 network, while the accuracy change stays within
 
 from __future__ import annotations
 
+from repro.execution import ExecutionConfig
 from repro.experiments.common import (
     ReducedScale,
+    driver_runtime,
     mlp_speedup,
     timing_mode_for,
     train_reduced_mlp,
@@ -44,15 +46,18 @@ RATES = (0.7, 0.7)
 
 def run_table1(scale: ReducedScale | None = None, train_accuracy: bool = True,
                network_sizes: tuple[tuple[int, int], ...] = NETWORK_SIZES,
-               patterns: tuple[str, ...] = ("ROW", "TILE")) -> ExperimentTable:
+               patterns: tuple[str, ...] = ("ROW", "TILE"),
+               execution: ExecutionConfig | None = None) -> ExperimentTable:
     """Reproduce Table I.
 
     The speedup column uses the paper's exact layer widths; the accuracy
     columns train a reduced-width proxy network (width scaled down but the
     same 2-hidden-layer topology and rate), because training a 4096x4096 MLP
-    on a CPU is not feasible.
+    on a CPU is not feasible.  ``execution`` selects the engine mode/dtype of
+    the accuracy training runs (pooled float64 by default).
     """
     scale = scale or ReducedScale()
+    runtime = driver_runtime(execution)
     columns = ["speedup"]
     if train_accuracy:
         columns += ["baseline_accuracy", "pattern_accuracy", "accuracy_change"]
@@ -62,20 +67,25 @@ def run_table1(scale: ReducedScale | None = None, train_accuracy: bool = True,
                      "reduced-scale proxy training on synthetic MNIST."),
         columns=columns,
     )
-    accuracy_cache: dict[str, float] = {}
+    accuracy_cache: dict[str, tuple[float, dict]] = {}
+
+    def trained(strategy: str) -> tuple[float, dict]:
+        if strategy not in accuracy_cache:
+            result = train_reduced_mlp(strategy, RATES, scale, runtime=runtime,
+                                       return_result=True)
+            accuracy_cache[strategy] = (result.final_metric, result.engine_stats)
+        return accuracy_cache[strategy]
+
     for hidden_sizes in network_sizes:
         for pattern in patterns:
             mode = timing_mode_for(pattern)
             speedup = mlp_speedup(hidden_sizes, RATES, mode)
             values: dict = {"speedup": speedup}
             paper = {"speedup": PAPER_SPEEDUPS.get((pattern, tuple(hidden_sizes)))}
+            engine: dict = {}
             if train_accuracy:
-                if "original" not in accuracy_cache:
-                    accuracy_cache["original"] = train_reduced_mlp("original", RATES, scale)
-                if pattern not in accuracy_cache:
-                    accuracy_cache[pattern] = train_reduced_mlp(pattern.lower(), RATES, scale)
-                baseline_accuracy = accuracy_cache["original"]
-                pattern_accuracy = accuracy_cache[pattern]
+                baseline_accuracy, _ = trained("original")
+                pattern_accuracy, engine = trained(pattern.lower())
                 values.update({
                     "baseline_accuracy": baseline_accuracy,
                     "pattern_accuracy": pattern_accuracy,
@@ -83,5 +93,7 @@ def run_table1(scale: ReducedScale | None = None, train_accuracy: bool = True,
                 })
                 paper["accuracy_change"] = PAPER_ACCURACY_LOSS.get(
                     (pattern, tuple(hidden_sizes)))
-            table.add_row(f"{hidden_sizes[0]}x{hidden_sizes[1]} {pattern}", values, paper)
+            table.add_row(f"{hidden_sizes[0]}x{hidden_sizes[1]} {pattern}", values,
+                          paper, engine=engine)
+    table.engine = runtime.stats()
     return table

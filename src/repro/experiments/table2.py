@@ -11,8 +11,10 @@ Paper shape: accuracy degrades by at most ≈1.5 points; ROW speedups are
 
 from __future__ import annotations
 
+from repro.execution import ExecutionConfig
 from repro.experiments.common import (
     ReducedScale,
+    driver_runtime,
     lstm_speedup,
     timing_mode_for,
     train_reduced_lstm,
@@ -43,14 +45,17 @@ PAPER_SPEEDUP = {
 
 def run_table2(scale: ReducedScale | None = None, train_accuracy: bool = True,
                rates: tuple[float, ...] = RATES,
-               patterns: tuple[str, ...] = ("ROW", "TILE")) -> ExperimentTable:
+               patterns: tuple[str, ...] = ("ROW", "TILE"),
+               execution: ExecutionConfig | None = None) -> ExperimentTable:
     """Reproduce Table II.
 
     Speedups use the paper's LSTM dimensions through the timing model; the
     accuracy columns train a reduced LSTM on the synthetic dictionary corpus
     and report next-word top-1 accuracy for the baseline and each pattern.
+    ``execution`` selects the engine mode/dtype of the training runs.
     """
     scale = scale or ReducedScale()
+    runtime = driver_runtime(execution)
     columns = ["speedup"]
     if train_accuracy:
         columns += ["baseline_accuracy", "pattern_accuracy", "accuracy_change"]
@@ -69,13 +74,18 @@ def run_table2(scale: ReducedScale | None = None, train_accuracy: bool = True,
                                    mode, batch_size=PAPER_BATCH, seq_len=PAPER_SEQ_LEN)
             values: dict = {"speedup": speedup}
             paper = {"speedup": PAPER_SPEEDUP.get((pattern, rate))}
+            engine: dict = {}
             if train_accuracy:
                 if rate not in baseline_accuracy_cache:
                     baseline_accuracy_cache[rate] = train_reduced_lstm(
-                        "original", rate_pair, scale, eval_metric="accuracy")
+                        "original", rate_pair, scale, eval_metric="accuracy",
+                        runtime=runtime)
                 baseline_accuracy = baseline_accuracy_cache[rate]
-                pattern_accuracy = train_reduced_lstm(
-                    pattern.lower(), rate_pair, scale, eval_metric="accuracy")
+                pattern_result = train_reduced_lstm(
+                    pattern.lower(), rate_pair, scale, eval_metric="accuracy",
+                    runtime=runtime, return_history=True)
+                pattern_accuracy = pattern_result.final_metric
+                engine = pattern_result.engine_stats
                 values.update({
                     "baseline_accuracy": baseline_accuracy,
                     "pattern_accuracy": pattern_accuracy,
@@ -85,5 +95,6 @@ def run_table2(scale: ReducedScale | None = None, train_accuracy: bool = True,
                     "baseline_accuracy": PAPER_ACCURACY.get(("original", rate)),
                     "pattern_accuracy": PAPER_ACCURACY.get((pattern, rate)),
                 })
-            table.add_row(f"rate={rate} {pattern}", values, paper)
+            table.add_row(f"rate={rate} {pattern}", values, paper, engine=engine)
+    table.engine = runtime.stats()
     return table

@@ -16,12 +16,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dropout.compact_ops import input_compact_linear
+from repro.dropout.engine import CompactWorkspace
+from repro.dropout.patterns import RowDropoutPattern
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.gpu.training_time import DropoutTimingConfig, LSTMTimingModel
 from repro.models.dropout_strategy import DropoutStrategy, build_strategy
 from repro.nn.layers import Embedding, Linear
 from repro.nn.module import Module
-from repro.nn.recurrent import LSTM
+from repro.nn.recurrent import LSTM, active_input_pattern
 from repro.tensor import Tensor
 
 
@@ -94,6 +97,19 @@ class LSTMLanguageModel(Module):
         self.output_dropout = self.strategy.activation_dropout(
             config.hidden_size, config.drop_rates[-1], self.rng)
         self.projection = Linear(config.hidden_size, config.vocab_size, rng=self.rng)
+        # Engine integration (set by repro.execution.EngineRuntime.bind):
+        # under "compact"/"pooled" execution the vocabulary projection skips
+        # the input columns that output_dropout's row pattern zeroed — the
+        # consumer-GEMM compaction of Fig. 3(a) step 2, which is where most of
+        # the LSTM's accelerable work lives (the projection is its largest
+        # GEMM).  "masked" keeps the dense projection of the baseline.
+        self.execution_mode = "masked"
+        self.use_workspace = False
+        # Named `workspace` so EngineRuntime.bind configures its slot depth
+        # and stats() counts its buffers like any pattern layer's workspace.
+        self.workspace = CompactWorkspace()
+        self._projection_forwards = 0
+        self._projection_pattern = None
 
     # ------------------------------------------------------------------
     # forward / lifecycle
@@ -120,11 +136,34 @@ class LSTMLanguageModel(Module):
             raise ValueError(f"tokens must be 2-D (seq_len, batch), got shape {tokens.shape}")
         embedded = self.embedding(tokens)
         embedded = self.input_dropout(embedded)
-        outputs, new_state = self.lstm(embedded, state)
+        outputs, new_state = self.lstm(
+            embedded, state,
+            input_pattern=active_input_pattern(self.input_dropout,
+                                               self.config.embed_size))
         outputs = self.output_dropout(outputs)
         seq_len, batch = tokens.shape
         flat = outputs.reshape(seq_len * batch, self.config.hidden_size)
-        logits = self.projection(flat)
+        pattern = getattr(self.output_dropout, "pattern", None)
+        if (self.training and self.execution_mode != "masked"
+                and isinstance(pattern, RowDropoutPattern)
+                and pattern.num_units == self.config.hidden_size
+                and pattern.dp > 1):
+            # The columns dropped by output_dropout are exactly zero, so the
+            # projection GEMM can skip them (numerically identical result).
+            # Same buffer-reuse contract as the pattern layers: once this
+            # pattern installment has used up the workspace ring (more than
+            # `slots` forwards inside one graph), fall back to fresh buffers.
+            if pattern is not self._projection_pattern:
+                self._projection_pattern = pattern
+                self._projection_forwards = 0
+            self._projection_forwards += 1
+            use_ring = (self.use_workspace
+                        and self._projection_forwards <= self.workspace.slots)
+            logits = input_compact_linear(
+                flat, self.projection.weight, self.projection.bias, pattern,
+                workspace=self.workspace if use_ring else None)
+        else:
+            logits = self.projection(flat)
         return logits, new_state
 
     def init_state(self, batch: int) -> list[tuple[Tensor, Tensor]]:

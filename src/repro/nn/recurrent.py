@@ -20,13 +20,43 @@ from repro.nn.module import Module, Parameter
 from repro.tensor import Tensor, functional as F
 
 
+def active_input_pattern(dropout_module, num_units: int):
+    """The row pattern a dropout module is currently zeroing its output with,
+    if a consumer GEMM may compact against it.
+
+    Duck-typed so :mod:`repro.nn` needs no import from :mod:`repro.dropout`:
+    a module qualifies when it is training, executes in a compact mode, has a
+    positive drop rate and exposes a unit-level ``pattern`` covering exactly
+    ``num_units`` with a period that actually drops something.  Conventional
+    :class:`~repro.nn.dropout.Dropout` (no ``pattern`` attribute) and
+    block-granular patterns (different unit count) yield ``None``.
+    """
+    if dropout_module is None or not getattr(dropout_module, "training", False):
+        return None
+    if getattr(dropout_module, "execution_mode", "masked") == "masked":
+        return None
+    if getattr(dropout_module, "drop_rate", 0.0) <= 0.0:
+        return None
+    pattern = getattr(dropout_module, "pattern", None)
+    if pattern is None or getattr(pattern, "num_units", -1) != num_units:
+        return None
+    if getattr(pattern, "dp", 1) <= 1:
+        return None
+    return pattern
+
+
 class LSTMCell(Module):
     """A single LSTM cell computing one timestep.
 
-    The four gates (input, forget, cell, output) are fused into one matrix of
-    shape ``(4 * hidden, in + hidden)`` so the per-step computation is a single
-    GEMM — the same layout cuDNN/Caffe use and the layout the paper's dropout
-    patterns compress.
+    The four gates (input, forget, cell, output) are fused along the output
+    dimension, split into an input projection ``weight_x`` of shape
+    ``(4 * hidden, input_size)`` and a recurrent projection ``weight_h`` of
+    shape ``(4 * hidden, hidden)`` — two GEMMs per step instead of one fused
+    ``concat`` GEMM.  The split is what lets the paper's dropout patterns
+    compress the cell: when the *input* activations were dropped by a row
+    pattern (non-recurrent dropout, the only kind the paper applies to LSTMs),
+    the input GEMM skips the dropped columns entirely while the recurrent GEMM
+    stays dense.
     """
 
     def __init__(self, input_size: int, hidden_size: int,
@@ -39,15 +69,32 @@ class LSTMCell(Module):
         self.hidden_size = hidden_size
         rng = rng or np.random.default_rng()
         scale = 1.0 / np.sqrt(hidden_size)
-        self.weight = Parameter(
-            initializers.uniform((4 * hidden_size, input_size + hidden_size), rng,
+        self.weight_x = Parameter(
+            initializers.uniform((4 * hidden_size, input_size), rng,
+                                 low=-scale, high=scale))
+        self.weight_h = Parameter(
+            initializers.uniform((4 * hidden_size, hidden_size), rng,
                                  low=-scale, high=scale))
         bias = np.zeros(4 * hidden_size)
         # Positive forget-gate bias is the standard trick for trainability.
         bias[hidden_size:2 * hidden_size] = forget_bias
         self.bias = Parameter(bias)
 
+    def compact_input_context(self, input_pattern) -> tuple[np.ndarray, Tensor]:
+        """Precompact the input projection against a row pattern.
+
+        Returns ``(kept_indices, compact_weight)`` where ``compact_weight`` is
+        a *differentiable* gather of the surviving weight columns.  Callers
+        unrolling the cell over a window (BPTT) should build this once per
+        window and pass it to every timestep: the weight-gather cost and the
+        backward scatter then amortise over the whole unroll instead of being
+        paid per timestep.
+        """
+        kept = input_pattern.kept_indices
+        return kept, F.cols_select(self.weight_x, kept)
+
     def forward(self, x: Tensor, state: tuple[Tensor, Tensor] | None = None,
+                input_pattern=None, compact_input=None,
                 ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
         """Run one timestep.
 
@@ -58,6 +105,13 @@ class LSTMCell(Module):
         state:
             Optional ``(h, c)`` tuple, each ``(batch, hidden_size)``.  Zeros
             are used when omitted.
+        input_pattern:
+            Optional row pattern the upstream dropout zeroed ``x`` with; when
+            given, the input GEMM only multiplies the surviving columns.
+        compact_input:
+            Optional precomputed :meth:`compact_input_context`; takes
+            precedence over ``input_pattern``.  Used by the window unroll so
+            the weight gather happens once per window, not once per timestep.
 
         Returns
         -------
@@ -65,12 +119,19 @@ class LSTMCell(Module):
         """
         batch = x.shape[0]
         if state is None:
-            h = Tensor(np.zeros((batch, self.hidden_size)))
-            c = Tensor(np.zeros((batch, self.hidden_size)))
+            dtype = self.weight_x.data.dtype
+            h = Tensor(np.zeros((batch, self.hidden_size), dtype=dtype), dtype=dtype)
+            c = Tensor(np.zeros((batch, self.hidden_size), dtype=dtype), dtype=dtype)
         else:
             h, c = state
-        combined = F.concat([x, h], axis=1)
-        gates = F.linear(combined, self.weight, self.bias)
+        if compact_input is None and input_pattern is not None:
+            compact_input = self.compact_input_context(input_pattern)
+        if compact_input is not None:
+            kept, compact_weight = compact_input
+            gates = F.linear(F.cols_select(x, kept), compact_weight, self.bias)
+        else:
+            gates = F.linear(x, self.weight_x, self.bias)
+        gates = gates + F.linear(h, self.weight_h, None)
         hs = self.hidden_size
         i_gate = gates[:, 0 * hs:1 * hs].sigmoid()
         f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
@@ -79,10 +140,6 @@ class LSTMCell(Module):
         c_new = f_gate * c + i_gate * g_gate
         h_new = o_gate * c_new.tanh()
         return h_new, (h_new, c_new)
-
-    def gate_projection(self, combined: Tensor) -> Tensor:
-        """Expose the fused gate GEMM so dropout variants can override it."""
-        return F.linear(combined, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"LSTMCell(input_size={self.input_size}, hidden_size={self.hidden_size})"
@@ -128,15 +185,17 @@ class LSTM(Module):
             self.inter_layer_dropout.append(dropout)
 
     def init_state(self, batch: int) -> list[tuple[Tensor, Tensor]]:
-        """Zero initial (h, c) state for every layer."""
+        """Zero initial (h, c) state for every layer (dtype follows the weights)."""
+        dtype = self.cells[0].weight_x.data.dtype
         return [
-            (Tensor(np.zeros((batch, self.hidden_size))),
-             Tensor(np.zeros((batch, self.hidden_size))))
+            (Tensor(np.zeros((batch, self.hidden_size), dtype=dtype), dtype=dtype),
+             Tensor(np.zeros((batch, self.hidden_size), dtype=dtype), dtype=dtype))
             for _ in range(self.num_layers)
         ]
 
     def forward(self, inputs: Tensor,
                 state: list[tuple[Tensor, Tensor]] | None = None,
+                input_pattern=None,
                 ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
         """Run the full sequence.
 
@@ -147,6 +206,11 @@ class LSTM(Module):
         state:
             Optional per-layer ``(h, c)`` list from a previous call (used for
             truncated BPTT continuation).
+        input_pattern:
+            Optional row pattern the caller's input dropout zeroed ``inputs``
+            with; lets the first layer's input GEMM skip dropped columns.
+            Inter-layer patterns are discovered from the layer dropout modules
+            automatically (see :func:`active_input_pattern`).
 
         Returns
         -------
@@ -159,12 +223,24 @@ class LSTM(Module):
         if len(state) != self.num_layers:
             raise ValueError(
                 f"state must have one (h, c) pair per layer ({self.num_layers}), got {len(state)}")
+        # One dropout pattern per layer input, fixed for the whole window: the
+        # first layer's comes from the caller, deeper layers' from the
+        # inter-layer dropout modules that zero their inputs.  The compact
+        # weight gather is hoisted here so it is paid once per window, not
+        # once per timestep.
+        patterns = [input_pattern if self.training else None]
+        patterns += [active_input_pattern(dropout, self.hidden_size)
+                     for dropout in self.inter_layer_dropout]
+        contexts = [None if pattern is None
+                    else self.cells[layer].compact_input_context(pattern)
+                    for layer, pattern in enumerate(patterns)]
         outputs: list[Tensor] = []
         for t in range(seq_len):
             layer_input = inputs[t]
             new_state: list[tuple[Tensor, Tensor]] = []
             for layer, cell in enumerate(self.cells):
-                h, layer_state = cell(layer_input, state[layer])
+                h, layer_state = cell(layer_input, state[layer],
+                                      compact_input=contexts[layer])
                 new_state.append(layer_state)
                 if layer < self.num_layers - 1:
                     h = self.inter_layer_dropout[layer](h)

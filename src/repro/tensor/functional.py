@@ -17,15 +17,16 @@ from repro.tensor.tensor import Tensor
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    max_vals = x.data.max(axis=axis, keepdims=True)
+    shifted = x - Tensor(max_vals, dtype=max_vals.dtype)
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    max_vals = Tensor(x.data.max(axis=axis, keepdims=True))
-    shifted = x - max_vals
+    max_data = x.data.max(axis=axis, keepdims=True)
+    shifted = x - Tensor(max_data, dtype=max_data.dtype)
     log_sum = shifted.exp().sum(axis=axis, keepdims=True).log()
     return shifted - log_sum
 

@@ -111,10 +111,15 @@ class Tensor:
     def from_op(data: np.ndarray,
                 parents: Iterable[tuple["Tensor", Callable[[np.ndarray], np.ndarray]]],
                 op_name: str) -> "Tensor":
-        """Build a non-leaf tensor produced by a differentiable operation."""
+        """Build a non-leaf tensor produced by a differentiable operation.
+
+        The computed dtype is preserved (no silent upcast to float64), so a
+        float32 execution path stays float32 through every op.
+        """
+        data = np.asarray(data)
         parents = [(p, fn) for p, fn in parents if p.requires_grad]
         requires_grad = bool(parents) and is_grad_enabled()
-        out = Tensor(data, requires_grad=requires_grad)
+        out = Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
         if requires_grad:
             out._parents = parents
             out._op_name = op_name
@@ -152,7 +157,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the tape."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -232,7 +237,9 @@ class Tensor:
     # arithmetic
     # ------------------------------------------------------------------
     def _binary(self, other, forward, backward_self, backward_other, name: str) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        # Non-tensor operands (python scalars, lists, arrays) adopt this
+        # tensor's dtype so constants never upcast a float32 graph to float64.
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
         out_data = forward(self.data, other_t.data)
         parents = [
             (self, lambda g, s=self: _unbroadcast(backward_self(g, self.data, other_t.data), s.shape)),
@@ -252,7 +259,7 @@ class Tensor:
                             lambda g, a, b: g, lambda g, a, b: -g, "sub")
 
     def __rsub__(self, other) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
         return other_t.__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
@@ -268,7 +275,7 @@ class Tensor:
                             lambda g, a, b: -g * a / (b * b), "div")
 
     def __rtruediv__(self, other) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
         return other_t.__truediv__(self)
 
     def __neg__(self) -> "Tensor":
@@ -302,7 +309,7 @@ class Tensor:
     # linear algebra / shaping
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
         a, b = self.data, other_t.data
         out = a @ b
         parents = [

@@ -74,6 +74,10 @@ class TrainingResult:
         Actual CPU wall-clock spent in this process (informational).
     history:
         The full learning curves.
+    engine_stats:
+        Execution-engine counters (mode/dtype/seed, tile-plan cache hits and
+        misses, pool refill/consumption, workspace buffers) captured from the
+        :class:`repro.execution.EngineRuntime` that drove the run.
     """
 
     strategy: str
@@ -84,6 +88,7 @@ class TrainingResult:
     simulated_baseline_time_ms: float
     wall_time_s: float
     history: TrainingHistory
+    engine_stats: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.data.batching import BPTTBatcher
 from repro.data.synthetic_text import SyntheticCorpus
-from repro.dropout.sampler import PatternSchedule
+from repro.execution import EngineRuntime, ExecutionConfig
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.models.lstm_lm import LSTMLanguageModel
 from repro.nn.losses import CrossEntropyLoss
@@ -58,21 +58,26 @@ class LanguageModelTrainer:
 
     def __init__(self, model: LSTMLanguageModel, corpus: SyntheticCorpus,
                  config: LanguageModelTrainingConfig | None = None,
-                 device: DeviceSpec = GTX_1080TI):
+                 device: DeviceSpec = GTX_1080TI,
+                 runtime: EngineRuntime | None = None):
         self.model = model
         self.corpus = corpus
         self.config = config or LanguageModelTrainingConfig()
         self.device = device
         self.loss_fn = CrossEntropyLoss()
+        # Unified execution shared with the MLP trainer: the runtime selects
+        # the engine mode/dtype, reseeds the pattern streams pool-wide and
+        # returns the schedule (pooled mode: one batched draw per epoch feeds
+        # every pattern site of the model).  Bound before the optimizer so its
+        # state buffers match the cast parameter dtype.
+        self.runtime = runtime or EngineRuntime(ExecutionConfig(
+            seed=self.config.seed, pool_size=self.config.pattern_pool_size))
+        self.pattern_schedule = self.runtime.bind(model)
         self.optimizer = SGD(model.parameters(), lr=self.config.learning_rate,
                              grad_clip=self.config.grad_clip)
         self.schedule = ExponentialLR(self.optimizer, gamma=self.config.lr_decay,
                                       flat_epochs=self.config.lr_flat_epochs)
         self.rng = np.random.default_rng(self.config.seed)
-        # Vectorized pattern-pool engine shared with the MLP trainer: one
-        # batched draw per epoch feeds every pattern site of the model.
-        self.pattern_schedule = PatternSchedule.from_model(
-            model, pool_size=self.config.pattern_pool_size)
 
         timing_model = model.timing_model(self.config.batch_size, self.config.seq_len,
                                           device=device)
@@ -117,6 +122,7 @@ class LanguageModelTrainer:
             simulated_baseline_time_ms=iteration * self.baseline_iteration_time_ms,
             wall_time_s=time.perf_counter() - start,
             history=history,
+            engine_stats=self.runtime.stats(model=self.model),
         )
 
     def train_step(self, inputs: np.ndarray, targets: np.ndarray,

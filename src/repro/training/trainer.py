@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.data.batching import BatchIterator
 from repro.data.synthetic_mnist import SyntheticMNIST
-from repro.dropout.sampler import PatternSchedule
+from repro.execution import EngineRuntime, ExecutionConfig
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.models.mlp import MLPClassifier
 from repro.nn.losses import CrossEntropyLoss
@@ -50,24 +50,34 @@ class ClassifierTrainer:
     iteration (the approximate-dropout lifecycle), trains with SGD + momentum,
     and integrates the :mod:`repro.gpu` timing model so each run knows both
     how well it learned and how long the paper's GPU would have taken.
+
+    Execution (engine mode, dtype, pool-wide seed) is governed by an
+    :class:`~repro.execution.EngineRuntime`; by default the trainer builds a
+    pooled runtime seeded from its own training seed, so the full vectorized
+    pattern-pool engine drives every run.  Pass an explicit ``runtime`` to
+    select a different mode (``masked``/``compact``) or a float32 hot path.
     """
 
     def __init__(self, model: MLPClassifier, dataset: SyntheticMNIST,
                  config: ClassifierTrainingConfig | None = None,
-                 device: DeviceSpec = GTX_1080TI):
+                 device: DeviceSpec = GTX_1080TI,
+                 runtime: EngineRuntime | None = None):
         self.model = model
         self.dataset = dataset
         self.config = config or ClassifierTrainingConfig()
         self.device = device
         self.loss_fn = CrossEntropyLoss()
+        # Unified execution: the runtime configures every pattern site for its
+        # engine mode/dtype and hands back the schedule driving per-iteration
+        # resampling (pooled mode: one batched numpy draw per epoch instead of
+        # one scalar RNG round-trip per site per step).  Bound before the
+        # optimizer so momentum buffers match the cast parameter dtype.
+        self.runtime = runtime or EngineRuntime(ExecutionConfig(
+            seed=self.config.seed, pool_size=self.config.pattern_pool_size))
+        self.pattern_schedule = self.runtime.bind(model)
         self.optimizer = SGD(model.parameters(), lr=self.config.learning_rate,
                              momentum=self.config.momentum)
         self.rng = np.random.default_rng(self.config.seed)
-        # Vectorized pattern-pool engine: every pattern site of the model is
-        # fed from a pool drawn in one batched numpy call per epoch instead of
-        # one scalar RNG round-trip per site per step.
-        self.pattern_schedule = PatternSchedule.from_model(
-            model, pool_size=self.config.pattern_pool_size)
 
         timing_model = model.timing_model(self.config.batch_size, device=device)
         self.iteration_time_ms = timing_model.iteration(
@@ -113,6 +123,7 @@ class ClassifierTrainer:
             simulated_baseline_time_ms=iteration * self.baseline_iteration_time_ms,
             wall_time_s=time.perf_counter() - start,
             history=history,
+            engine_stats=self.runtime.stats(model=self.model),
         )
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
@@ -120,7 +131,7 @@ class ClassifierTrainer:
         self.model.train()
         self.pattern_schedule.step()
         self.optimizer.zero_grad()
-        logits = self.model(Tensor(images))
+        logits = self.model(Tensor(images, dtype=self.runtime.np_dtype))
         loss = self.loss_fn(logits, labels)
         loss.backward()
         self.optimizer.step()
@@ -141,7 +152,7 @@ class ClassifierTrainer:
         with no_grad():
             for start in range(0, len(images), batch_size):
                 stop = start + batch_size
-                logits = self.model(Tensor(images[start:stop]))
+                logits = self.model(Tensor(images[start:stop], dtype=self.runtime.np_dtype))
                 correct += accuracy(logits, labels[start:stop]) * (min(stop, len(images)) - start)
                 total += min(stop, len(images)) - start
         self.model.train()

@@ -16,7 +16,7 @@ from repro.bench.__main__ import main as bench_main, parse_args
 
 def tiny_config(**overrides) -> BenchmarkConfig:
     defaults = dict(widths=(48,), rates=(0.5,), batch=8, steps=2, repeats=1,
-                    warmup=0, max_period=4)
+                    warmup=0, max_period=4, families=("row", "tile"))
     defaults.update(overrides)
     return BenchmarkConfig(**defaults)
 
@@ -90,3 +90,94 @@ class TestCLI:
         assert report["results"]
         printed = capsys.readouterr().out
         assert "speedup" in printed
+
+
+class TestE2EFamily:
+    """Whole-trainer-step benchmark cases built through ExecutionConfig."""
+
+    def test_e2e_family_produces_mlp_and_lstm_cases(self):
+        config = tiny_config(widths=(32,), batch=8, families=("e2e",))
+        results = run_benchmark(config)
+        assert [r.family for r in results] == ["e2e_mlp", "e2e_lstm"]
+        for result in results:
+            assert set(result.mode_ms) == {"masked", "compact", "pooled"}
+            assert all(ms > 0 for ms in result.mode_ms.values())
+            assert result.speedup_pooled > 0
+
+    def test_e2e_float32_dtype(self):
+        config = tiny_config(widths=(32,), batch=8, families=("e2e",),
+                             e2e_dtype="float32")
+        results = run_benchmark(config)
+        assert len(results) == 2
+
+    def test_e2e_in_default_families_and_cli(self):
+        assert "e2e" in BenchmarkConfig().families
+        args = parse_args([])
+        assert "e2e" in args.families
+
+
+class TestDeltaCheck:
+    """The CI regression gate comparing fresh vs committed speedups."""
+
+    @staticmethod
+    def entry(family="row", width=2048, rate=0.7, speedup=4.0):
+        return {"family": family, "width": width, "rate": rate,
+                "speedup_pooled": speedup}
+
+    def test_no_regression_passes(self):
+        from repro.bench import compare_reports
+
+        fresh = [self.entry(speedup=3.9), self.entry("tile", speedup=3.5)]
+        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6)]
+        assert compare_reports(fresh, baseline) == []
+
+    def test_large_regression_fails(self):
+        from repro.bench import compare_reports
+
+        fresh = [self.entry(speedup=2.0), self.entry("tile", speedup=3.6)]
+        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6)]
+        failures = compare_reports(fresh, baseline)
+        assert len(failures) == 1
+        assert "row" in failures[0] and "regressed" in failures[0]
+
+    def test_small_regression_within_threshold_passes(self):
+        from repro.bench import compare_reports
+
+        fresh = [self.entry(speedup=3.0), self.entry("tile", speedup=3.0)]
+        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=4.0)]
+        assert compare_reports(fresh, baseline) == []  # 25% < 30%
+        assert compare_reports(fresh, baseline, threshold=0.2)
+
+    def test_missing_cases_fail(self):
+        from repro.bench import compare_reports
+
+        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6)]
+        failures = compare_reports([self.entry(speedup=4.0)], baseline)
+        assert any("missing from the fresh run" in f for f in failures)
+        failures = compare_reports(baseline, [self.entry(speedup=4.0)])
+        assert any("missing from the committed baseline" in f for f in failures)
+
+    def test_threshold_validation(self):
+        from repro.bench import compare_reports
+
+        with pytest.raises(ValueError):
+            compare_reports([], [], threshold=1.5)
+
+    def test_cli_compare_two_reports(self, tmp_path, capsys):
+        from repro.bench.delta import main as delta_main
+
+        baseline = {"results": [self.entry(speedup=4.0),
+                                self.entry("tile", speedup=3.6)]}
+        fresh = {"results": [self.entry(speedup=3.8),
+                             self.entry("tile", speedup=3.5)]}
+        baseline_path = tmp_path / "baseline.json"
+        fresh_path = tmp_path / "fresh.json"
+        baseline_path.write_text(json.dumps(baseline))
+        fresh_path.write_text(json.dumps(fresh))
+        assert delta_main(["--baseline", str(baseline_path),
+                           "--fresh", str(fresh_path)]) == 0
+        fresh["results"][0]["speedup_pooled"] = 1.0
+        fresh_path.write_text(json.dumps(fresh))
+        assert delta_main(["--baseline", str(baseline_path),
+                           "--fresh", str(fresh_path)]) == 1
+        assert "BENCHMARK REGRESSION" in capsys.readouterr().out

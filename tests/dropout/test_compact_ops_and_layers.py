@@ -266,3 +266,106 @@ def test_row_compact_equals_masked_dense_property(out_features, in_features, dp,
     dense = dense_masked_linear_reference(x.data, weight.data, bias.data,
                                           pattern.mask(), 1.0, mask_axis="rows")
     assert np.allclose(compact.data, dense)
+
+
+class TestInputCompactLinear:
+    """The consumer-GEMM compaction used by the LSTM projection fast path."""
+
+    def _masked_input(self, rng, pattern, batch=4):
+        x = Tensor(rng.normal(size=(batch, pattern.num_units)) * pattern.mask()[None, :],
+                   requires_grad=True)
+        return x
+
+    def test_matches_dense_on_masked_input(self, rng):
+        from repro.dropout.compact_ops import input_compact_linear
+
+        pattern = RowDropoutPattern(num_units=12, dp=3, bias=2)
+        x = self._masked_input(rng, pattern)
+        weight = Tensor(rng.normal(size=(5, 12)), requires_grad=True)
+        bias = Tensor(rng.normal(size=5), requires_grad=True)
+        out = input_compact_linear(x, weight, bias, pattern)
+        dense = x.data @ weight.data.T + bias.data
+        assert np.allclose(out.data, dense)
+
+    def test_gradients_match_numerical(self, rng):
+        from repro.dropout.compact_ops import input_compact_linear
+
+        pattern = RowDropoutPattern(num_units=8, dp=2, bias=0)
+        x = self._masked_input(rng, pattern, batch=3)
+        weight = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        bias = Tensor(rng.normal(size=4), requires_grad=True)
+
+        check_gradients(
+            lambda: (input_compact_linear(x, weight, bias, pattern) ** 2).sum(),
+            [x, weight, bias])
+
+    def test_dropped_columns_get_zero_gradient(self, rng):
+        from repro.dropout.compact_ops import input_compact_linear
+
+        pattern = RowDropoutPattern(num_units=10, dp=5, bias=3)
+        x = self._masked_input(rng, pattern)
+        weight = Tensor(rng.normal(size=(6, 10)), requires_grad=True)
+        out = input_compact_linear(x, weight, None, pattern)
+        out.sum().backward()
+        dropped = pattern.dropped_indices
+        assert np.all(x.grad[:, dropped] == 0)
+        assert np.all(weight.grad[:, dropped] == 0)
+        kept = pattern.kept_indices
+        assert np.any(weight.grad[:, kept] != 0)
+
+    def test_shape_validation(self, rng):
+        from repro.dropout.compact_ops import input_compact_linear
+
+        pattern = RowDropoutPattern(num_units=9, dp=3, bias=0)
+        x = Tensor(rng.normal(size=(4, 7)), requires_grad=True)
+        weight = Tensor(rng.normal(size=(5, 7)), requires_grad=True)
+        with pytest.raises(ValueError):
+            input_compact_linear(x, weight, None, pattern)
+
+    def test_float32_stays_float32(self, rng):
+        from repro.dropout.compact_ops import input_compact_linear
+
+        pattern = RowDropoutPattern(num_units=8, dp=2, bias=0)
+        x = Tensor(rng.normal(size=(3, 8)), requires_grad=True, dtype=np.float32)
+        weight = Tensor(rng.normal(size=(4, 8)), requires_grad=True, dtype=np.float32)
+        bias = Tensor(np.zeros(4), requires_grad=True, dtype=np.float32)
+        out = input_compact_linear(x, weight, bias, pattern)
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        assert weight.grad.dtype == np.float32
+
+
+class TestMaskedExecutionMode:
+    """The Fig. 1(a) dense-masked execution path of the pattern layers."""
+
+    def test_row_linear_masked_matches_compact(self, rng):
+        layers = [ApproxRandomDropoutLinear(7, 9, 0.5, rng=np.random.default_rng(5))
+                  for _ in range(2)]
+        pattern = RowDropoutPattern(num_units=9, dp=3, bias=1)
+        x = Tensor(rng.normal(size=(4, 7)))
+        for layer, mode in zip(layers, ("masked", "compact")):
+            layer.execution_mode = mode
+            layer.set_pattern(pattern)
+        assert np.allclose(layers[0](x).data, layers[1](x).data)
+
+    def test_activation_dropout_masked_matches_compact(self, rng):
+        layers = [ApproxRandomDropout(12, 0.5, rng=np.random.default_rng(5))
+                  for _ in range(2)]
+        pattern = RowDropoutPattern(num_units=12, dp=2, bias=1)
+        x = Tensor(rng.normal(size=(4, 12)))
+        for layer, mode in zip(layers, ("masked", "compact")):
+            layer.execution_mode = mode
+            layer.set_pattern(pattern)
+        assert np.allclose(layers[0](x).data, layers[1](x).data)
+
+    def test_use_workspace_toggle(self, rng):
+        layer = ApproxRandomDropoutLinear(7, 9, 0.5, rng=np.random.default_rng(5))
+        layer.use_workspace = False
+        x = Tensor(rng.normal(size=(4, 7)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.workspace.num_buffers == 0  # never touched
+        layer.use_workspace = True
+        layer.set_pattern(layer.pattern)  # reset the per-pattern forward count
+        layer(x).sum().backward()
+        assert layer.workspace.num_buffers > 0

@@ -230,3 +230,44 @@ def test_block_sparse_matmul_always_matches_masked_dense(rows, cols, dp, batch, 
 def test_tile_pattern_mask_function_matches_class():
     assert np.allclose(tile_pattern_mask(6, 6, 2, 0, tile=3),
                        TileDropoutPattern(6, 6, 2, 0, tile=3).mask())
+
+
+class TestMaskDtypeRouting:
+    """Satellite fix: mask construction honours a requested dtype end to end."""
+
+    def test_row_mask_dtype(self):
+        from repro.dropout import row_pattern_mask
+
+        assert row_pattern_mask(8, 2, 0).dtype == np.float64
+        assert row_pattern_mask(8, 2, 0, dtype=np.float32).dtype == np.float32
+
+    def test_tile_mask_dtype(self):
+        from repro.dropout import tile_pattern_mask
+
+        assert tile_pattern_mask(8, 8, 2, 0, tile=4).dtype == np.float64
+        assert tile_pattern_mask(8, 8, 2, 0, tile=4,
+                                 dtype=np.float32).dtype == np.float32
+
+    def test_batched_masks_dtype(self):
+        from repro.dropout import row_pattern_masks
+
+        masks = row_pattern_masks(6, np.array([2, 3]), np.array([0, 1]),
+                                  dtype=np.float32)
+        assert masks.dtype == np.float32
+
+    def test_pattern_mask_cached_per_dtype(self):
+        pattern = RowDropoutPattern(num_units=10, dp=2, bias=0)
+        m64 = pattern.mask()
+        m32 = pattern.mask(dtype=np.float32)
+        assert m64.dtype == np.float64 and m32.dtype == np.float32
+        assert pattern.mask(dtype=np.float32) is m32  # cached
+        assert pattern.mask() is m64
+        assert not m32.flags.writeable
+        np.testing.assert_array_equal(m64, m32.astype(np.float64))
+
+    def test_tile_pattern_mask_cached_per_dtype(self):
+        pattern = TileDropoutPattern(rows=8, cols=8, dp=2, bias=1, tile=4)
+        m32 = pattern.mask(dtype=np.float32)
+        assert m32.dtype == np.float32
+        assert pattern.mask(dtype=np.float32) is m32
+        np.testing.assert_array_equal(pattern.mask(), m32.astype(np.float64))

@@ -1,0 +1,259 @@
+"""Tests for the unified ExecutionConfig / EngineRuntime stack.
+
+Covers config validation, mode wiring into the pattern layers, the float32
+execution path (end-to-end dtype retention), and the pool-wide determinism
+contract: one ``ExecutionConfig.seed`` fixes the whole pooled schedule, so two
+runs with the same seed produce bit-identical training histories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dropout.layers import ApproxDropConnectLinear, ApproxRandomDropoutLinear
+from repro.dropout.sampler import PatternSchedule
+from repro.execution import EngineRuntime, ExecutionConfig
+from repro.models import LSTMConfig, LSTMLanguageModel, MLPClassifier, MLPConfig
+from repro.tensor import Tensor
+from repro.training import (
+    ClassifierTrainer,
+    ClassifierTrainingConfig,
+    LanguageModelTrainer,
+    LanguageModelTrainingConfig,
+)
+
+
+def make_mlp(strategy="row", hidden=32, rate=0.5, seed=0) -> MLPClassifier:
+    return MLPClassifier(MLPConfig(hidden_sizes=(hidden, hidden),
+                                   drop_rates=(rate, rate),
+                                   strategy=strategy, seed=seed))
+
+
+class TestExecutionConfig:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.mode == "pooled"
+        assert config.dtype == "float64"
+        assert config.backend == "numpy"
+        assert config.np_dtype == np.dtype(np.float64)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mode": "bogus"},
+        {"dtype": "float16"},
+        {"backend": "cuda"},
+        {"pool_size": 0},
+        {"workspace_slots": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionConfig(**kwargs)
+
+    def test_describe_mentions_mode_and_dtype(self):
+        text = ExecutionConfig(mode="compact", dtype="float32").describe()
+        assert "compact" in text and "float32" in text
+
+
+class TestEngineRuntimeBind:
+    def test_pooled_mode_builds_pooled_schedule(self):
+        model = make_mlp("row")
+        schedule = EngineRuntime(ExecutionConfig(mode="pooled")).bind(model)
+        assert isinstance(schedule, PatternSchedule)
+        assert schedule.pooled_sites()
+        for module in model.modules():
+            if isinstance(module, ApproxRandomDropoutLinear):
+                assert module.execution_mode == "compact"
+                assert module.use_workspace is True
+
+    @pytest.mark.parametrize("mode,layer_mode,use_workspace", [
+        ("masked", "masked", False),
+        ("compact", "compact", False),
+    ])
+    def test_scalar_modes_configure_layers(self, mode, layer_mode, use_workspace):
+        model = make_mlp("row")
+        schedule = EngineRuntime(ExecutionConfig(mode=mode)).bind(model)
+        assert not schedule.pooled_sites()
+        for module in model.modules():
+            if isinstance(module, ApproxRandomDropoutLinear):
+                assert module.execution_mode == layer_mode
+                assert module.use_workspace is use_workspace
+
+    def test_masked_and_compact_modes_match_numerically(self):
+        """Dense-masked and compact execution compute the same function."""
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 24)))
+        layers = [ApproxDropConnectLinear(24, 24, 0.5, rng=np.random.default_rng(3))
+                  for _ in range(2)]
+        pattern = layers[0].sampler.sample_tile_pattern(24, 24, tile=layers[0].tile)
+        for layer, mode in zip(layers, ("masked", "compact")):
+            layer.execution_mode = mode
+            layer.set_pattern(pattern)
+        np.testing.assert_allclose(layers[0](x).data, layers[1](x).data,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_stats_structure(self):
+        model = make_mlp("row")
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=5))
+        schedule = runtime.bind(model)
+        schedule.plan(4)
+        for _ in range(4):
+            schedule.step()
+        stats = runtime.stats()
+        assert stats["mode"] == "pooled"
+        assert stats["runs"] == 1
+        assert stats["steps"] == 4
+        assert stats["pools"]["consumed"] == 4 * len(schedule.pooled_sites())
+        assert {"hits", "misses", "currsize"} <= set(stats["tile_plan_cache"])
+        assert {"num_buffers", "hits", "misses"} <= set(stats["workspace"])
+
+    def test_per_model_stats_exclude_other_runs(self):
+        """stats(model=...) restricts pool/step counters to that model's run,
+        and earlier runs are archived (models released) at the next bind."""
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=5))
+        per_run = {}
+        models = {}
+        for name, steps in (("first", 3), ("second", 5)):
+            models[name] = make_mlp("row")
+            schedule = runtime.bind(models[name])
+            schedule.plan(steps)
+            for _ in range(steps):
+                schedule.step()
+            per_run[name] = runtime.stats(model=models[name])
+        assert per_run["first"]["steps"] == 3
+        assert per_run["first"]["pools"]["consumed"] == 3 * 2  # 2 pooled sites
+        assert per_run["second"]["steps"] == 5
+        # Table-level totals still cover both runs after archival...
+        assert runtime.stats()["steps"] == 8
+        assert runtime.stats()["pools"]["consumed"] == 16
+        # ...but the first model's pair was released at the second bind.
+        assert runtime.stats(model=models["first"])["steps"] == 0
+        assert len(runtime._bound) == 1
+
+
+class TestFloat32Path:
+    def test_parameters_cast_and_logits_stay_float32(self, tiny_mnist):
+        model = make_mlp("row", hidden=32)
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled", dtype="float32"))
+        trainer = ClassifierTrainer(
+            model, tiny_mnist,
+            ClassifierTrainingConfig(batch_size=50, epochs=1, seed=0),
+            runtime=runtime)
+        for param in model.parameters():
+            assert param.data.dtype == np.float32
+        loss = trainer.train_step(tiny_mnist.train_images[:50],
+                                  tiny_mnist.train_labels[:50])
+        assert np.isfinite(loss)
+        logits = model(Tensor(tiny_mnist.train_images[:8], dtype=np.float32))
+        assert logits.data.dtype == np.float32
+        for param in model.parameters():
+            assert param.data.dtype == np.float32
+            if param.grad is not None:
+                assert param.grad.dtype == np.float32
+
+    def test_float32_training_learns(self, tiny_mnist):
+        model = make_mlp("row", hidden=48, rate=0.3)
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled", dtype="float32"))
+        trainer = ClassifierTrainer(
+            model, tiny_mnist,
+            ClassifierTrainingConfig(batch_size=50, epochs=8, learning_rate=0.05,
+                                     seed=0),
+            runtime=runtime)
+        result = trainer.train()
+        assert result.final_metric > 0.5  # chance is 0.1
+        assert result.engine_stats["dtype"] == "float32"
+
+    def test_float32_lstm_stays_float32(self, tiny_corpus):
+        model = LSTMLanguageModel(LSTMConfig(
+            vocab_size=tiny_corpus.vocab_size, embed_size=16, hidden_size=24,
+            num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled", dtype="float32"))
+        trainer = LanguageModelTrainer(
+            model, tiny_corpus,
+            LanguageModelTrainingConfig(batch_size=5, seq_len=8, epochs=1, seed=0),
+            runtime=runtime)
+        state = model.init_state(5)
+        assert state[0][0].data.dtype == np.float32
+        inputs = tiny_corpus.train[:40].reshape(8, 5)
+        targets = tiny_corpus.train[1:41].reshape(8, 5)
+        loss, state = trainer.train_step(inputs, targets, state)
+        assert np.isfinite(loss)
+        assert state[0][0].data.dtype == np.float32
+        for param in model.parameters():
+            assert param.data.dtype == np.float32
+
+
+class TestPoolWideDeterminism:
+    """Satellite: one ExecutionConfig.seed fixes the whole pooled schedule."""
+
+    def _train_mlp(self, dataset, exec_seed: int):
+        model = make_mlp("row", hidden=32, seed=0)
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=exec_seed))
+        trainer = ClassifierTrainer(
+            model, dataset,
+            ClassifierTrainingConfig(batch_size=50, epochs=2, seed=0),
+            runtime=runtime)
+        return trainer.train()
+
+    def test_same_seed_bit_identical_histories(self, tiny_mnist):
+        first = self._train_mlp(tiny_mnist, exec_seed=123)
+        second = self._train_mlp(tiny_mnist, exec_seed=123)
+        assert first.history.train_loss == second.history.train_loss
+        assert first.history.eval_metric == second.history.eval_metric
+        assert first.history.iterations == second.history.iterations
+
+    def test_different_seeds_differ(self, tiny_mnist):
+        first = self._train_mlp(tiny_mnist, exec_seed=123)
+        second = self._train_mlp(tiny_mnist, exec_seed=321)
+        assert first.history.train_loss != second.history.train_loss
+
+    def test_same_seed_bit_identical_lstm_histories(self, tiny_corpus):
+        def run():
+            model = LSTMLanguageModel(LSTMConfig(
+                vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
+                num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
+            runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=9))
+            trainer = LanguageModelTrainer(
+                model, tiny_corpus,
+                LanguageModelTrainingConfig(batch_size=5, seq_len=10, epochs=1,
+                                            seed=0),
+                runtime=runtime)
+            return trainer.train()
+
+        first, second = run(), run()
+        assert first.history.train_loss == second.history.train_loss
+        assert first.history.eval_metric == second.history.eval_metric
+
+    def test_compact_mode_is_also_seed_deterministic(self, tiny_mnist):
+        def run():
+            model = make_mlp("row", hidden=32, seed=0)
+            runtime = EngineRuntime(ExecutionConfig(mode="compact", seed=11))
+            trainer = ClassifierTrainer(
+                model, tiny_mnist,
+                ClassifierTrainingConfig(batch_size=50, epochs=1, seed=0),
+                runtime=runtime)
+            return trainer.train()
+
+        assert run().history.train_loss == run().history.train_loss
+
+
+class TestDtypePreservation:
+    """The tensor stack must not silently upcast a float32 graph."""
+
+    def test_op_chain_stays_float32(self):
+        x = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True,
+                   dtype=np.float32)
+        w = Tensor(np.ones((2, 4), dtype=np.float32), requires_grad=True,
+                   dtype=np.float32)
+        out = ((x * 2.0 + 1.0).matmul(w.transpose()) / 3.0).relu().sum()
+        assert out.data.dtype == np.float32
+        out.backward()
+        assert x.grad.dtype == np.float32
+        assert w.grad.dtype == np.float32
+
+    def test_scalar_constants_adopt_tensor_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float32), dtype=np.float32)
+        assert (1.0 - x).data.dtype == np.float32
+        assert (1.0 / (x + 1.0)).data.dtype == np.float32
+
+    def test_float64_default_unchanged(self):
+        x = Tensor([1.0, 2.0])
+        assert x.data.dtype == np.float64
+        assert (x * 2.0).data.dtype == np.float64
+        assert x.detach().data.dtype == np.float64

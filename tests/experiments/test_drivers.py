@@ -120,3 +120,99 @@ class TestTrainedDrivers:
         for points in series.values():
             assert len(points) >= 1
             assert all(time > 0 for time, _ in points)
+
+
+# ----------------------------------------------------------------------
+# ExecutionConfig integration: every driver under every engine mode
+# ----------------------------------------------------------------------
+
+from repro.execution import ExecutionConfig  # noqa: E402
+
+ENGINE_MODES = ("masked", "compact", "pooled")
+
+#: Smaller than ReducedScale.smoke(): the mode matrix trains each driver three
+#: times, so the per-run cost must stay tiny.
+TINY_SCALE = ReducedScale(
+    mlp_hidden=32, mlp_train_samples=256, mlp_test_samples=128, mlp_epochs=1,
+    mlp_batch_size=64, lstm_vocab=60, lstm_hidden=16, lstm_train_tokens=800,
+    lstm_eval_tokens=300, lstm_epochs=1, lstm_batch_size=5, lstm_seq_len=8)
+
+
+def _driver_matrix(execution: ExecutionConfig) -> dict:
+    """Run every driver once at tiny scale under one execution config."""
+    return {
+        "table1": run_table1(scale=TINY_SCALE, network_sizes=((1024, 64),),
+                             patterns=("ROW",), execution=execution),
+        "table2": run_table2(scale=TINY_SCALE, rates=(0.5,), patterns=("ROW",),
+                             execution=execution),
+        "fig4": run_fig4(pattern="ROW", scale=TINY_SCALE,
+                         rate_pairs=((0.5, 0.5),), execution=execution),
+        "fig5": run_fig5(scale=TINY_SCALE, execution=execution),
+        "fig6a": run_fig6a(scale=TINY_SCALE, rates=(0.5,), execution=execution),
+        "fig6b": run_fig6b(scale=TINY_SCALE, batch_sizes=(20,),
+                           execution=execution),
+        "fig1b": run_fig1b(rates=(0.5,), execution=execution),
+        "algorithm1": run_algorithm1(monte_carlo_iterations=100, rates=(0.5,),
+                                     execution=execution),
+    }
+
+
+@pytest.fixture(scope="module")
+def mode_matrix():
+    return {mode: _driver_matrix(ExecutionConfig(mode=mode, seed=0))
+            for mode in ENGINE_MODES}
+
+
+class TestDriversAcrossEngineModes:
+    """Satellite: every driver runs under every engine mode with identical
+    row labels and columns, and engine stats land in the records."""
+
+    def test_identical_labels_and_columns_across_modes(self, mode_matrix):
+        reference = mode_matrix[ENGINE_MODES[0]]
+        for mode in ENGINE_MODES[1:]:
+            tables = mode_matrix[mode]
+            assert set(tables) == set(reference)
+            for driver, table in tables.items():
+                assert table.columns == reference[driver].columns, driver
+                assert ([row.label for row in table.rows]
+                        == [row.label for row in reference[driver].rows]), driver
+
+    def test_engine_stats_present_in_every_table(self, mode_matrix):
+        for mode, tables in mode_matrix.items():
+            for driver, table in tables.items():
+                assert table.engine, f"{driver} has no engine record under {mode}"
+                assert table.engine["mode"] == mode
+                assert "tile_plan_cache" in table.engine
+                assert "workspace" in table.engine
+
+    def test_pooled_mode_actually_pools(self, mode_matrix):
+        pooled = mode_matrix["pooled"]
+        assert pooled["table1"].engine["pools"]["consumed"] > 0
+        assert mode_matrix["masked"]["table1"].engine["pools"]["consumed"] == 0
+
+    def test_engine_stats_printed_in_format(self, mode_matrix):
+        text = mode_matrix["pooled"]["table1"].format()
+        assert "engine:" in text
+        assert "tile-plan cache" in text
+        assert "workspace buffers=" in text
+
+    def test_trained_rows_carry_engine_records(self, mode_matrix):
+        table = mode_matrix["pooled"]["table1"]
+        assert any(row.engine for row in table.rows)
+        assert mode_matrix["pooled"]["table1"].to_dict()["engine"]
+
+
+class TestPooledFloat32Drivers:
+    """Acceptance: drivers run under ExecutionConfig(mode='pooled', dtype='float32')."""
+
+    def test_mlp_and_lstm_drivers_run_float32(self):
+        execution = ExecutionConfig(mode="pooled", dtype="float32", seed=0)
+        table1 = run_table1(scale=TINY_SCALE, network_sizes=((1024, 64),),
+                            patterns=("ROW",), execution=execution)
+        table2 = run_table2(scale=TINY_SCALE, rates=(0.5,), patterns=("ROW",),
+                            execution=execution)
+        for table in (table1, table2):
+            assert table.engine["dtype"] == "float32"
+            for row in table.rows:
+                accuracy = row.values.get("pattern_accuracy")
+                assert accuracy is not None and 0.0 <= accuracy <= 1.0

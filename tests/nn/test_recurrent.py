@@ -46,7 +46,8 @@ class TestLSTMCell:
             out, _ = cell(x2, state)
             return (out ** 2).sum()
 
-        check_gradients(loss_fn, [cell.weight, cell.bias], rtol=1e-3, atol=1e-5)
+        check_gradients(loss_fn, [cell.weight_x, cell.weight_h, cell.bias],
+                        rtol=1e-3, atol=1e-5)
 
     def test_cell_state_bounded_by_tanh_output(self, rng):
         cell = LSTMCell(3, 4, rng=rng)
@@ -109,3 +110,54 @@ class TestLSTM:
     def test_single_layer_has_no_interlayer_dropout(self, rng):
         lstm = LSTM(4, 4, num_layers=1, rng=rng)
         assert lstm.inter_layer_dropout == []
+
+
+class TestInputPatternCompaction:
+    """The pattern-aware cell input GEMM (paper's non-recurrent LSTM dropout)."""
+
+    def _pattern(self, num_units, dp=2, bias=0):
+        from repro.dropout.patterns import RowDropoutPattern
+
+        return RowDropoutPattern(num_units=num_units, dp=dp, bias=bias)
+
+    def test_cell_compact_matches_dense_on_masked_input(self, rng):
+        cell = LSTMCell(6, 5, rng=rng)
+        pattern = self._pattern(6, dp=3, bias=1)
+        x = Tensor(rng.normal(size=(4, 6)) * pattern.mask()[None, :])
+        dense, _ = cell(x)
+        compact, _ = cell(x, input_pattern=pattern)
+        assert np.allclose(dense.data, compact.data)
+
+    def test_lstm_discovers_interlayer_patterns(self, rng):
+        from repro.dropout.layers import ApproxRandomDropout
+        from repro.nn.recurrent import active_input_pattern
+
+        dropout = ApproxRandomDropout(6, 0.5, rng=np.random.default_rng(0))
+        assert active_input_pattern(dropout, 6) is not None or dropout.pattern.dp == 1
+        assert active_input_pattern(dropout, 7) is None  # wrong width
+        dropout.execution_mode = "masked"
+        assert active_input_pattern(dropout, 6) is None
+        dropout.execution_mode = "compact"
+        dropout.eval()
+        assert active_input_pattern(dropout, 6) is None  # not training
+
+    def test_conventional_dropout_never_compacts(self, rng):
+        from repro.nn.recurrent import active_input_pattern
+
+        assert active_input_pattern(Dropout(0.5, rng=rng), 6) is None
+        assert active_input_pattern(None, 6) is None
+
+    def test_lstm_forward_with_pattern_matches_dense(self, rng):
+        from repro.dropout.layers import ApproxRandomDropout
+
+        def builder(layer):
+            return ApproxRandomDropout(5, 0.5, rng=np.random.default_rng(3))
+
+        lstm = LSTM(4, 5, num_layers=2, rng=rng, dropout_builder=builder)
+        inputs = Tensor(rng.normal(size=(3, 2, 4)))
+        out_compact, _ = lstm(inputs)
+        for module in lstm.modules():
+            if hasattr(module, "execution_mode"):
+                module.execution_mode = "masked"
+        out_masked, _ = lstm(inputs)
+        assert np.allclose(out_compact.data, out_masked.data)
