@@ -1,0 +1,80 @@
+"""Pluggable execution backends of the compact pattern engine.
+
+The compact dropout ops (:mod:`repro.dropout.compact_ops`) describe *what* to
+compute — gather the surviving rows/tiles, multiply, scatter back — and an
+:class:`ExecutionBackend` decides *how*.  Two backends ship:
+
+``"numpy"``
+    :class:`NumpyBackend`, the reference implementation: one BLAS GEMM per
+    gathered operand pair / per surviving tile-row group.
+``"fused"``
+    :class:`FusedBackend`: tile-row groups of a compiled
+    :class:`~repro.dropout.engine.TileExecutionPlan` that share an identical
+    column set are concatenated into single stacked GEMM calls, cutting the
+    Python-loop, gather and skinny-GEMM overhead of tile-pattern execution.
+``"fused-predict"``
+    ``fused`` with every class GEMM also dispatched through the
+    :mod:`repro.gpu` roofline model, accumulating predicted
+    accelerator time in its ``stats()["predicted_ms"]``.
+
+Selection is by name through :class:`repro.execution.ExecutionConfig`
+(``backend="fused"``), which validates against this registry and whose
+:class:`~repro.execution.EngineRuntime` instantiates the backend and installs
+it on every pattern layer it binds.  Third-party backends plug in with::
+
+    from repro.backends import ExecutionBackend, register_backend
+
+    class MyBackend(ExecutionBackend): ...
+    register_backend("mine", MyBackend)
+
+after which ``ExecutionConfig(backend="mine")`` works everywhere (trainers,
+experiment drivers, ``python -m repro.bench --backend mine``).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.fused import FusedBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.registry import (
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+
+def _fused_predict_factory() -> FusedBackend:
+    """``fused`` preconfigured to model each class GEMM on the paper's GPU.
+
+    The device spec is imported lazily so importing :mod:`repro.backends`
+    never drags in the :mod:`repro.gpu` layer.
+    """
+    from repro.gpu.device import GTX_1080TI
+
+    return FusedBackend(predict_device=GTX_1080TI)
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("fused", FusedBackend)
+register_backend("fused-predict", _fused_predict_factory)
+
+#: Shared fallback instance used by compact ops called without a runtime
+#: (ad-hoc layer use, unit tests); runtimes always install their own instance.
+_DEFAULT_BACKEND = NumpyBackend()
+
+
+def default_backend() -> NumpyBackend:
+    """The process-wide fallback :class:`NumpyBackend` instance."""
+    return _DEFAULT_BACKEND
+
+
+__all__ = [
+    "ExecutionBackend",
+    "NumpyBackend",
+    "FusedBackend",
+    "available_backends",
+    "create_backend",
+    "default_backend",
+    "register_backend",
+    "unregister_backend",
+]

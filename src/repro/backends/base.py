@@ -1,0 +1,135 @@
+"""Abstract execution-backend interface of the compact pattern engine.
+
+An :class:`ExecutionBackend` owns the three numeric primitives the compact
+dropout ops are built from — dense GEMM on the gathered operands, compact
+gather/scatter of the surviving rows/columns, and scatter-buffer allocation —
+plus the execution of a whole compiled
+:class:`~repro.dropout.engine.TileExecutionPlan` (forward and both backward
+passes).  The autodiff orchestration stays in
+:mod:`repro.dropout.compact_ops`: the ops build the tape and decide *what* to
+compute, the backend decides *how* the arrays are produced.  Swapping the
+backend therefore never changes semantics, only the execution strategy
+(per-group loops vs. batched stacked GEMMs vs., eventually, device kernels).
+
+Every primitive increments a per-operation call counter (``self.calls``);
+:meth:`ExecutionBackend.stats` exposes the counters so
+:meth:`repro.execution.EngineRuntime.stats` can stamp per-backend call counts
+into the experiment records.
+
+Backends are instantiated through the registry
+(:func:`repro.backends.create_backend`), one instance per
+:class:`~repro.execution.EngineRuntime`, so the counters of concurrent
+runtimes never mix.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> backends)
+    from repro.dropout.engine import CompactWorkspace, TileExecutionPlan
+
+
+class ExecutionBackend(abc.ABC):
+    """Numeric execution strategy behind the compact dropout ops.
+
+    Subclasses implement the GEMM/plan primitives; the shared base provides
+    workspace-aware buffer allocation, gather/scatter helpers and the
+    per-operation call counters.
+    """
+
+    #: Registry name of the backend (set by subclasses).
+    name: str = "abstract"
+
+    def __init__(self):
+        self.calls: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # call accounting
+    # ------------------------------------------------------------------
+    def count(self, op: str, n: int = 1) -> None:
+        """Record ``n`` executions of primitive ``op``."""
+        self.calls[op] = self.calls.get(op, 0) + n
+
+    def reset_stats(self) -> None:
+        self.calls = {}
+
+    def stats(self) -> dict[str, Any]:
+        """Per-operation call counts (plus subclass extras) for diagnostics."""
+        return {"name": self.name, "calls": dict(self.calls)}
+
+    # ------------------------------------------------------------------
+    # workspace allocation
+    # ------------------------------------------------------------------
+    def zeros(self, workspace: "CompactWorkspace | None", key: str,
+              shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A zero-filled scatter buffer, drawn from ``workspace`` when given.
+
+        This is the single allocation point of the compact ops' full-size
+        output/gradient arrays; the workspace ring (when present) turns the
+        per-step allocation into a ``fill(0)``.
+        """
+        self.count("alloc")
+        if workspace is None:
+            return np.zeros(shape, dtype=dtype)
+        return workspace.zeros(key, shape, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # compact gather / scatter
+    # ------------------------------------------------------------------
+    def gather_rows(self, array: np.ndarray, indices) -> np.ndarray:
+        """The rows of ``array`` selected by ``indices`` (compact gather)."""
+        self.count("gather")
+        return array[indices]
+
+    def gather_cols(self, array: np.ndarray, indices) -> np.ndarray:
+        """The columns of ``array`` selected by ``indices`` (compact gather)."""
+        self.count("gather")
+        return array[:, indices]
+
+    def scatter_rows(self, out: np.ndarray, indices, values: np.ndarray) -> None:
+        """``out[indices] = values`` (compact scatter into a zeroed buffer)."""
+        self.count("scatter")
+        out[indices] = values
+
+    def scatter_cols(self, out: np.ndarray, indices, values: np.ndarray) -> None:
+        """``out[:, indices] = values`` (compact scatter into a zeroed buffer)."""
+        self.count("scatter")
+        out[:, indices] = values
+
+    # ------------------------------------------------------------------
+    # GEMM primitives
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense matrix product ``a @ b`` of the gathered compact operands."""
+
+    # ------------------------------------------------------------------
+    # tile-plan execution
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def tile_forward(self, plan: "TileExecutionPlan", x: np.ndarray,
+                     weight: np.ndarray, out: np.ndarray) -> None:
+        """Fill ``out[:, row_start:row_stop]`` for every surviving tile-row.
+
+        ``out`` arrives zero-filled; dropped tile-rows must stay zero.
+        """
+
+    @abc.abstractmethod
+    def tile_backward_input(self, plan: "TileExecutionPlan", grad: np.ndarray,
+                            weight: np.ndarray, grad_x: np.ndarray,
+                            scale: float = 1.0) -> None:
+        """Accumulate ``d loss / d x`` into the zero-filled ``grad_x``."""
+
+    @abc.abstractmethod
+    def tile_backward_weight(self, plan: "TileExecutionPlan", grad: np.ndarray,
+                             x: np.ndarray, grad_weight: np.ndarray,
+                             scale: float = 1.0) -> None:
+        """Write ``d loss / d W`` for the surviving tiles into ``grad_weight``."""
+
+    def __repr__(self) -> str:
+        total = sum(self.calls.values())
+        return f"{type(self).__name__}(name={self.name!r}, calls={total})"

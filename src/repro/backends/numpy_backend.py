@@ -1,0 +1,77 @@
+"""Reference numpy execution backend.
+
+This is the execution strategy the compact ops always had, factored behind
+the :class:`~repro.backends.base.ExecutionBackend` interface: one BLAS GEMM
+per gathered operand pair, and one GEMM per surviving tile-row group when
+executing a :class:`~repro.dropout.engine.TileExecutionPlan`.  It is the
+correctness baseline every accelerated backend is property-tested against.
+
+The per-group loop bodies are exposed as static helpers
+(:meth:`NumpyBackend._groups_forward` and friends) so subclasses that fuse
+*most* of a plan can delegate their leftover groups without duplicating the
+reference arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend
+
+
+class NumpyBackend(ExecutionBackend):
+    """Straightforward per-group numpy/BLAS execution."""
+
+    name = "numpy"
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.count("gemm")
+        return a @ b
+
+    # ------------------------------------------------------------------
+    # tile-plan execution
+    # ------------------------------------------------------------------
+    def tile_forward(self, plan, x, weight, out) -> None:
+        self.count("tile_forward")
+        self.count("tile_group_gemm", len(plan.row_groups))
+        self._groups_forward(plan.row_groups, x, weight, out)
+
+    def tile_backward_input(self, plan, grad, weight, grad_x,
+                            scale: float = 1.0) -> None:
+        self.count("tile_backward_input")
+        self.count("tile_group_gemm", len(plan.row_groups))
+        self._groups_backward_input(plan.row_groups, grad, weight, grad_x, scale)
+
+    def tile_backward_weight(self, plan, grad, x, grad_weight,
+                             scale: float = 1.0) -> None:
+        self.count("tile_backward_weight")
+        self.count("tile_group_gemm", len(plan.row_groups))
+        self._groups_backward_weight(plan.row_groups, grad, x, grad_weight, scale)
+
+    # ------------------------------------------------------------------
+    # shared per-group loop bodies
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _groups_forward(groups, x, weight, out) -> None:
+        for group in groups:
+            block = weight[group.row_start:group.row_stop, group.selector]
+            out[:, group.row_start:group.row_stop] = x[:, group.selector] @ block.T
+
+    @staticmethod
+    def _groups_backward_input(groups, grad, weight, grad_x, scale) -> None:
+        for group in groups:
+            block = weight[group.row_start:group.row_stop, group.selector]
+            grad_compact = grad[:, group.row_start:group.row_stop]
+            if scale != 1.0:
+                grad_compact = grad_compact * scale
+            # += not =: tiles from different tile-rows may share columns.
+            grad_x[:, group.selector] += grad_compact @ block
+
+    @staticmethod
+    def _groups_backward_weight(groups, grad, x, grad_weight, scale) -> None:
+        for group in groups:
+            grad_compact = grad[:, group.row_start:group.row_stop]
+            if scale != 1.0:
+                grad_compact = grad_compact * scale
+            grad_weight[group.row_start:group.row_stop, group.selector] = (
+                grad_compact.T @ x[:, group.selector])

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.backends import available_backends
 from repro.bench.harness import BenchmarkConfig, run_benchmark, write_report
 
 
@@ -34,6 +35,12 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument("--e2e-dtype", default="float64",
                         choices=["float64", "float32"],
                         help="floating dtype of the e2e trainer-step cases")
+    parser.add_argument("--backend", default="numpy",
+                        choices=list(available_backends()),
+                        help="execution backend of the compact/pooled modes")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker processes to shard the cases across "
+                             "(one BLAS thread domain each)")
     parser.add_argument("--output", default="BENCH_compact_engine.json",
                         help="path of the JSON report")
     parser.add_argument("--quick", action="store_true",
@@ -46,15 +53,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick:
         config = BenchmarkConfig(widths=(256,), rates=(0.5,), batch=32, steps=3,
                                  repeats=1, warmup=1, families=tuple(args.families),
-                                 e2e_dtype=args.e2e_dtype, output=args.output)
+                                 e2e_dtype=args.e2e_dtype, backend=args.backend,
+                                 shards=args.shards, output=args.output)
     else:
         config = BenchmarkConfig(widths=tuple(args.widths), rates=tuple(args.rates),
                                  batch=args.batch, steps=args.steps,
                                  repeats=args.repeats, warmup=args.warmup,
                                  tile=args.tile, families=tuple(args.families),
-                                 e2e_dtype=args.e2e_dtype, output=args.output)
+                                 e2e_dtype=args.e2e_dtype, backend=args.backend,
+                                 shards=args.shards, output=args.output)
     print("repro.bench — compact pattern-execution engine vs mask-based dropout")
     print(f"batch={config.batch} steps={config.steps} repeats={config.repeats} "
+          f"backend={config.backend} shards={config.shards} "
           f"(best repeat reported; per-step ms)\n")
     results = run_benchmark(config, verbose=True)
     path = write_report(results, config)

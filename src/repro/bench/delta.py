@@ -84,19 +84,22 @@ def compare_reports(fresh: list[dict], baseline: list[dict],
     return failures
 
 
-def quick_acceptance_config() -> BenchmarkConfig:
+def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     """A reduced configuration that still measures the acceptance case.
 
     Only the sweep is reduced (one width, one rate); the per-case protocol
     (steps/warmup/repeats) matches the committed full run, because a lighter
     protocol measures systematically lower speedups (cold BLAS threads, page
     faults in the masked baseline's fresh allocations) and would trip the gate
-    without any real regression.
+    without any real regression.  ``backend`` selects the execution backend of
+    the fresh measurement — ``--backend fused`` gates the fused backend
+    against the committed ``numpy`` baseline (it must be at least as fast).
     """
     full = BenchmarkConfig()
     return BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=full.batch,
                            steps=full.steps, repeats=full.repeats,
-                           warmup=full.warmup, families=("row", "tile"))
+                           warmup=full.warmup, families=("row", "tile"),
+                           backend=backend)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -111,14 +114,19 @@ def main(argv: list[str] | None = None) -> int:
                              "a quick benchmark of the acceptance case is run")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="maximum tolerated relative regression (default 0.3)")
+    parser.add_argument("--backend", default="numpy",
+                        help="execution backend of the fresh measurement "
+                             "(gate an accelerated backend against the "
+                             "committed numpy baseline)")
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
     if args.fresh is not None:
         fresh_entries = load_report(args.fresh)["results"]
     else:
-        print("repro.bench.delta — quick re-measurement of the acceptance case")
-        results = run_benchmark(quick_acceptance_config(), verbose=True)
+        print("repro.bench.delta — quick re-measurement of the acceptance case "
+              f"(backend={args.backend})")
+        results = run_benchmark(quick_acceptance_config(args.backend), verbose=True)
         fresh_entries = [result.to_dict() for result in results]
 
     failures = compare_reports(fresh_entries, baseline["results"],

@@ -29,6 +29,19 @@ drivers use.  There, ``masked`` is the conventional-dropout baseline (the
 ``compact`` and ``pooled`` run the pattern strategy under
 ``ExecutionConfig(mode="compact")`` / ``ExecutionConfig(mode="pooled")``.
 
+Backends: ``BenchmarkConfig.backend`` selects the
+:class:`~repro.backends.ExecutionBackend` the compact/pooled modes execute
+through (``--backend fused`` on the CLI), so every family compares the
+conventional ``masked`` baseline against the chosen backend — run the
+harness once per backend to compare ``numpy`` vs ``fused`` per mode.
+
+Sharding: ``BenchmarkConfig.shards`` splits the (family, width, rate) cases
+across that many worker *processes*, each pinned to its own BLAS thread
+domain (``OMP_NUM_THREADS`` & friends set to ``cpu_count // shards`` before
+numpy is imported in the worker), so concurrently timed cases do not fight
+over the same BLAS pool.  Every case still times all of its modes inside one
+worker, which keeps the per-case mode comparison fair.
+
 Results are written as ``BENCH_compact_engine.json`` so successive PRs can
 track the perf trajectory (see :mod:`repro.bench.delta` for the regression
 gate).
@@ -37,12 +50,14 @@ gate).
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends import available_backends, create_backend
 from repro.dropout.compact_ops import row_compact_linear, tile_compact_linear
 from repro.dropout.engine import CompactWorkspace, compile_tile_plan
 from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
@@ -76,6 +91,10 @@ class BenchmarkConfig:
     families: tuple[str, ...] = ("row", "tile", "e2e")
     #: Floating dtype of the e2e trainer-step cases ("float64" or "float32").
     e2e_dtype: str = "float64"
+    #: Execution backend of the compact/pooled modes (registry name).
+    backend: str = "numpy"
+    #: Worker processes the cases are sharded across (1 = run in-process).
+    shards: int = 1
     output: str = "BENCH_compact_engine.json"
 
     def __post_init__(self):
@@ -83,6 +102,12 @@ class BenchmarkConfig:
             raise ValueError("batch, steps and repeats must be positive")
         if self.warmup < 0:
             raise ValueError("warmup must be >= 0")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"available: {available_backends()}")
         for family in self.families:
             if family not in ("row", "tile", "e2e"):
                 raise ValueError(f"unknown benchmark family {family!r}")
@@ -99,6 +124,8 @@ class BenchmarkResult:
     rate: float
     steps: int
     repeats: int
+    #: Execution backend the compact/pooled modes ran through.
+    backend: str = "numpy"
     mode_ms: dict[str, float] = field(default_factory=dict)
     #: Mean fraction of the dense GEMM the compact modes execute over the
     #: case's shared pattern sequence (kept rows / kept tile area).
@@ -123,6 +150,7 @@ class BenchmarkResult:
             "rate": self.rate,
             "steps": self.steps,
             "repeats": self.repeats,
+            "backend": self.backend,
             "mode_ms": {mode: round(ms, 4) for mode, ms in self.mode_ms.items()},
             "keep_fraction": (round(self.keep_fraction, 4)
                               if self.keep_fraction is not None else None),
@@ -205,6 +233,7 @@ def _bench_row_case(config: BenchmarkConfig, width: int, rate: float,
     sequence = _shared_pattern_sequence(sampler, width,
                                         config.steps + config.warmup)
     masked_seq, compact_seq, pooled_seq = _Cycle(sequence), _Cycle(sequence), None
+    backend = create_backend(config.backend)
 
     def masked_step():
         _zero_grads(x, weight, bias)
@@ -217,7 +246,7 @@ def _bench_row_case(config: BenchmarkConfig, width: int, rate: float,
         _zero_grads(x, weight, bias)
         dp, bias_phase = compact_seq.next()
         pattern = RowDropoutPattern(width, dp, bias_phase)  # fresh object, no interning
-        out = row_compact_linear(x, weight, bias, pattern)
+        out = row_compact_linear(x, weight, bias, pattern, backend=backend)
         out.sum().backward()
 
     # The pooled mode replays the same (dp, bias) stream through interned
@@ -228,14 +257,15 @@ def _bench_row_case(config: BenchmarkConfig, width: int, rate: float,
     def pooled_step():
         _zero_grads(x, weight, bias)
         pattern = pooled_seq.next()  # interned pattern from the pre-drawn pool
-        out = row_compact_linear(x, weight, bias, pattern, workspace=workspace)
+        out = row_compact_linear(x, weight, bias, pattern, workspace=workspace,
+                                 backend=backend)
         out.sum().backward()
 
     periods = np.array([dp for dp, _ in sequence])
     phases = np.array([b for _, b in sequence])
     result = BenchmarkResult(family="row", width=width, in_features=in_features,
                              batch=config.batch, rate=rate, steps=config.steps,
-                             repeats=config.repeats,
+                             repeats=config.repeats, backend=config.backend,
                              keep_fraction=float(
                                  row_keep_counts(width, periods, phases).mean() / width))
     result.mode_ms = _timed_modes(
@@ -258,6 +288,7 @@ def _bench_tile_case(config: BenchmarkConfig, width: int, rate: float,
     sequence = _shared_pattern_sequence(sampler, reference.num_tiles,
                                         config.steps + config.warmup)
     masked_seq, compact_seq = _Cycle(sequence), _Cycle(sequence)
+    backend = create_backend(config.backend)
 
     def masked_step():
         _zero_grads(x, weight, bias)
@@ -271,7 +302,7 @@ def _bench_tile_case(config: BenchmarkConfig, width: int, rate: float,
         dp, bias_phase = compact_seq.next()
         pattern = TileDropoutPattern(width, in_features, dp, bias_phase,
                                      config.tile)  # fresh object, no interning
-        out = tile_compact_linear(x, weight, bias, pattern)
+        out = tile_compact_linear(x, weight, bias, pattern, backend=backend)
         out.sum().backward()
 
     pooled_seq = _Cycle([tile_pattern(width, in_features, dp, b, config.tile)
@@ -282,12 +313,12 @@ def _bench_tile_case(config: BenchmarkConfig, width: int, rate: float,
         _zero_grads(x, weight, bias)
         pattern = pooled_seq.next()  # interned pattern from the pre-drawn pool
         out = tile_compact_linear(x, weight, bias, pattern, workspace=workspace,
-                                  plan=compile_tile_plan(pattern))
+                                  plan=compile_tile_plan(pattern), backend=backend)
         out.sum().backward()
 
     result = BenchmarkResult(family="tile", width=width, in_features=in_features,
                              batch=config.batch, rate=rate, steps=config.steps,
-                             repeats=config.repeats,
+                             repeats=config.repeats, backend=config.backend,
                              keep_fraction=float(np.mean(
                                  [plan.compact_flops_fraction
                                   for plan in (compile_tile_plan(p)
@@ -318,6 +349,7 @@ def _e2e_runtime(mode: str, config: BenchmarkConfig):
     from repro.execution import EngineRuntime, ExecutionConfig
 
     return EngineRuntime(ExecutionConfig(mode=mode, dtype=config.e2e_dtype,
+                                         backend=config.backend,
                                          seed=config.seed))
 
 
@@ -349,7 +381,8 @@ def _bench_e2e_mlp_case(config: BenchmarkConfig,
 
     result = BenchmarkResult(family="e2e_mlp", width=hidden,
                              in_features=data.num_features, batch=batch,
-                             rate=rate, steps=config.steps, repeats=config.repeats)
+                             rate=rate, steps=config.steps, repeats=config.repeats,
+                             backend=config.backend)
     result.mode_ms = _timed_modes(step_fns, config.steps, config.warmup,
                                   config.repeats)
     return result
@@ -397,40 +430,123 @@ def _bench_e2e_lstm_case(config: BenchmarkConfig,
 
     result = BenchmarkResult(family="e2e_lstm", width=hidden, in_features=vocab,
                              batch=batch, rate=rate, steps=config.steps,
-                             repeats=config.repeats)
+                             repeats=config.repeats, backend=config.backend)
     result.mode_ms = _timed_modes(step_fns, config.steps, config.warmup,
                                   config.repeats)
     return result
 
 
-def run_benchmark(config: BenchmarkConfig | None = None,
-                  verbose: bool = False) -> list[BenchmarkResult]:
-    """Run every (family, width, rate) case of ``config`` and return the results."""
-    config = config or BenchmarkConfig()
-    rng = np.random.default_rng(config.seed)
-    results: list[BenchmarkResult] = []
+# ----------------------------------------------------------------------
+# case scheduling (in-process or sharded across worker processes)
+# ----------------------------------------------------------------------
+
+def case_descriptors(config: BenchmarkConfig) -> list[tuple[str, int | None, float | None]]:
+    """The flat list of ``(kind, width, rate)`` cases ``config`` expands to.
+
+    ``e2e`` expands to one descriptor per trainer workload (their dimensions
+    derive from the sweep bounds, not the grid).  The descriptor list is the
+    unit of sharding: each descriptor runs entirely inside one worker.
+    """
+    cases: list[tuple[str, int | None, float | None]] = []
     for family in config.families:
         if family == "e2e":
-            for bench_e2e in (_bench_e2e_mlp_case, _bench_e2e_lstm_case):
-                result = bench_e2e(config, rng)
-                results.append(result)
-                if verbose:
-                    print(_format_row(result))
+            cases.append(("e2e_mlp", None, None))
+            cases.append(("e2e_lstm", None, None))
             continue
-        bench = _bench_row_case if family == "row" else _bench_tile_case
         for width in config.widths:
             for rate in config.rates:
-                result = bench(config, width, rate, rng)
-                results.append(result)
+                cases.append((family, width, rate))
+    return cases
+
+
+def run_case(config: BenchmarkConfig, index: int,
+             case: tuple[str, int | None, float | None]) -> BenchmarkResult:
+    """Run one case descriptor (the unit of work a shard executes).
+
+    Each case gets an independent, deterministic operand stream seeded from
+    ``(config.seed, index)``, so the results do not depend on which process
+    (or in which order) a case ran.
+    """
+    kind, width, rate = case
+    rng = np.random.default_rng([config.seed, index])
+    if kind == "e2e_mlp":
+        return _bench_e2e_mlp_case(config, rng)
+    if kind == "e2e_lstm":
+        return _bench_e2e_lstm_case(config, rng)
+    bench = _bench_row_case if kind == "row" else _bench_tile_case
+    return bench(config, width, rate, rng)
+
+
+#: Environment variables that bound a process's BLAS/threading domain.
+_BLAS_THREAD_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                     "MKL_NUM_THREADS", "VECLIB_MAXIMUM_THREADS",
+                     "NUMEXPR_NUM_THREADS")
+
+
+def _run_sharded(config: BenchmarkConfig,
+                 cases: list[tuple[str, int | None, float | None]],
+                 verbose: bool) -> list[BenchmarkResult]:
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    shards = min(config.shards, len(cases))
+    threads = max(1, (os.cpu_count() or 1) // shards)
+    results: list[BenchmarkResult | None] = [None] * len(cases)
+    # Pin each worker's BLAS domain by exporting the thread caps in the
+    # *parent* before the spawn-context workers are forked off: the children
+    # inherit the environment at exec time, so their numpy/BLAS reads the
+    # caps on first import.  (An in-worker initializer would be too late —
+    # resolving the initializer reference already imports this module, and
+    # with it numpy.)  The parent's own, already-initialized BLAS pool is
+    # unaffected; the previous values are restored once every case finished.
+    saved = {var: os.environ.get(var) for var in _BLAS_THREAD_VARS}
+    for var in _BLAS_THREAD_VARS:
+        os.environ[var] = str(threads)
+    try:
+        with ProcessPoolExecutor(max_workers=shards,
+                                 mp_context=mp.get_context("spawn")) as pool:
+            futures = {pool.submit(run_case, config, index, case): index
+                       for index, case in enumerate(cases)}
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
                 if verbose:
-                    print(_format_row(result))
+                    print(_format_row(results[index]))
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+    return list(results)
+
+
+def run_benchmark(config: BenchmarkConfig | None = None,
+                  verbose: bool = False) -> list[BenchmarkResult]:
+    """Run every (family, width, rate) case of ``config`` and return the results.
+
+    With ``config.shards > 1`` the cases are distributed across that many
+    worker processes (one BLAS thread domain each); results always come back
+    in descriptor order regardless of completion order.
+    """
+    config = config or BenchmarkConfig()
+    cases = case_descriptors(config)
+    if config.shards > 1:
+        return _run_sharded(config, cases, verbose)
+    results: list[BenchmarkResult] = []
+    for index, case in enumerate(cases):
+        result = run_case(config, index, case)
+        results.append(result)
+        if verbose:
+            print(_format_row(result))
     return results
 
 
 def _format_row(result: BenchmarkResult) -> str:
     modes = "  ".join(f"{mode}={ms:8.3f}ms"
                       for mode, ms in result.mode_ms.items())
-    return (f"[{result.family:8s}] width={result.width:5d} rate={result.rate:.2f}  "
+    return (f"[{result.family:8s}] width={result.width:5d} rate={result.rate:.2f} "
+            f"backend={result.backend}  "
             f"{modes}  speedup(pooled)={result.speedup_pooled:5.2f}x")
 
 
@@ -457,6 +573,8 @@ def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
             "max_period": config.max_period,
             "families": list(config.families),
             "e2e_dtype": config.e2e_dtype,
+            "backend": config.backend,
+            "shards": config.shards,
             "seed": config.seed,
         },
         "results": [result.to_dict() for result in results],

@@ -27,29 +27,34 @@ allocated per step, and the tile op executes a compiled
 :class:`~repro.dropout.engine.TileExecutionPlan` (one fused GEMM per surviving
 tile-row, compact backward) instead of looping over individual tiles against a
 dense mask.  The numerical results are identical either way.
+
+Backends: the numeric primitives — gathers, GEMMs, scatter-buffer allocation
+and the tile-plan loops — are routed through a pluggable
+:class:`~repro.backends.ExecutionBackend` (``backend=`` on every op).  The
+ops own the autodiff orchestration and the backend owns the array execution
+strategy, so swapping ``numpy`` for an accelerated backend never changes the
+tape structure or the results.  When no backend is passed, the process-wide
+reference :func:`~repro.backends.default_backend` is used;
+:meth:`repro.execution.EngineRuntime.bind` installs its own instance on every
+pattern layer instead.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import ExecutionBackend, default_backend
 from repro.dropout.engine import CompactWorkspace, TileExecutionPlan, compile_tile_plan
 from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
 from repro.tensor import Tensor
-
-
-def _zeros(workspace: CompactWorkspace | None, key: str, shape: tuple[int, ...],
-           dtype) -> np.ndarray:
-    if workspace is None:
-        return np.zeros(shape, dtype=dtype)
-    return workspace.zeros(key, shape, dtype=dtype)
 
 
 def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
                        pattern: RowDropoutPattern,
                        input_pattern: RowDropoutPattern | None = None,
                        scale_factor: float = 1.0,
-                       workspace: CompactWorkspace | None = None) -> Tensor:
+                       workspace: CompactWorkspace | None = None,
+                       backend: ExecutionBackend | None = None) -> Tensor:
     """Affine layer forward that only computes the rows kept by ``pattern``.
 
     Parameters
@@ -77,6 +82,9 @@ def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
         Optional :class:`CompactWorkspace` whose preallocated buffers are used
         for the zero-filled scatter targets (see the buffer-reuse contract in
         :mod:`repro.dropout.engine`).
+    backend:
+        Optional :class:`~repro.backends.ExecutionBackend` executing the
+        gathers/GEMMs/allocations; the reference numpy backend when omitted.
 
     Returns
     -------
@@ -96,18 +104,19 @@ def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
             f"input_pattern covers {input_pattern.num_units} units but the layer "
             f"has {in_features} inputs")
 
+    backend = backend or default_backend()
     kept_rows = pattern.kept_indices
 
-    weight_compact = weight.data[kept_rows]
+    weight_compact = backend.gather_rows(weight.data, kept_rows)
     if input_pattern is not None:
         kept_cols = input_pattern.kept_indices
-        weight_compact = weight_compact[:, kept_cols]
-        x_compact = x.data[:, kept_cols]
+        weight_compact = backend.gather_cols(weight_compact, kept_cols)
+        x_compact = backend.gather_cols(x.data, kept_cols)
     else:
         kept_cols = None
         x_compact = x.data
 
-    out_compact = x_compact @ weight_compact.T
+    out_compact = backend.gemm(x_compact, weight_compact.T)
     if bias is not None:
         out_compact += bias.data[kept_rows]
     if scale_factor != 1.0:
@@ -115,33 +124,39 @@ def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
 
     batch = x.shape[0]
     dtype = out_compact.dtype
-    out_full = _zeros(workspace, "row_out", (batch, out_features), dtype)
-    out_full[:, kept_rows] = out_compact
+    out_full = backend.zeros(workspace, "row_out", (batch, out_features), dtype)
+    backend.scatter_cols(out_full, kept_rows, out_compact)
 
     def backward_x(grad: np.ndarray) -> np.ndarray:
-        grad_compact = grad[:, kept_rows] * scale_factor
+        grad_compact = backend.gather_cols(grad, kept_rows) * scale_factor
         if kept_cols is not None:
-            grad_x = _zeros(workspace, "row_grad_x", x.data.shape, x.data.dtype)
-            grad_x[:, kept_cols] = grad_compact @ weight_compact
+            grad_x = backend.zeros(workspace, "row_grad_x", x.data.shape,
+                                   x.data.dtype)
+            backend.scatter_cols(grad_x, kept_cols,
+                                 backend.gemm(grad_compact, weight_compact))
         else:
-            grad_x = grad_compact @ weight_compact
+            grad_x = backend.gemm(grad_compact, weight_compact)
         return grad_x
 
     def backward_weight(grad: np.ndarray) -> np.ndarray:
-        grad_compact = grad[:, kept_rows] * scale_factor
-        grad_weight = _zeros(workspace, "row_grad_w", weight.data.shape, weight.data.dtype)
+        grad_compact = backend.gather_cols(grad, kept_rows) * scale_factor
+        grad_weight = backend.zeros(workspace, "row_grad_w", weight.data.shape,
+                                    weight.data.dtype)
         if kept_cols is not None:
-            grad_weight[np.ix_(kept_rows, kept_cols)] = grad_compact.T @ x_compact
+            backend.scatter_rows(grad_weight, np.ix_(kept_rows, kept_cols),
+                                 backend.gemm(grad_compact.T, x_compact))
         else:
-            grad_weight[kept_rows] = grad_compact.T @ x_compact
+            backend.scatter_rows(grad_weight, kept_rows,
+                                 backend.gemm(grad_compact.T, x_compact))
         return grad_weight
 
     parents = [(x, backward_x), (weight, backward_weight)]
     if bias is not None:
         def backward_bias(grad: np.ndarray) -> np.ndarray:
-            grad_compact = grad[:, kept_rows] * scale_factor
-            grad_bias = _zeros(workspace, "row_grad_b", bias.data.shape, bias.data.dtype)
-            grad_bias[kept_rows] = grad_compact.sum(axis=0)
+            grad_compact = backend.gather_cols(grad, kept_rows) * scale_factor
+            grad_bias = backend.zeros(workspace, "row_grad_b", bias.data.shape,
+                                      bias.data.dtype)
+            backend.scatter_rows(grad_bias, kept_rows, grad_compact.sum(axis=0))
             return grad_bias
 
         parents.append((bias, backward_bias))
@@ -153,7 +168,8 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
                         pattern: TileDropoutPattern,
                         scale_factor: float = 1.0,
                         workspace: CompactWorkspace | None = None,
-                        plan: TileExecutionPlan | None = None) -> Tensor:
+                        plan: TileExecutionPlan | None = None,
+                        backend: ExecutionBackend | None = None) -> Tensor:
     """Affine layer forward that only multiplies the weight tiles kept by ``pattern``.
 
     Parameters
@@ -175,6 +191,11 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
     plan:
         Optional precompiled :class:`TileExecutionPlan`; compiled (and cached
         process-wide) from ``pattern`` when omitted.
+    backend:
+        Optional :class:`~repro.backends.ExecutionBackend` executing the
+        plan's GEMMs; the reference numpy backend loops one GEMM per
+        surviving tile-row group, the ``fused`` backend batches same-shape
+        groups into stacked GEMM calls.
 
     Returns
     -------
@@ -196,36 +217,27 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
             pattern.rows, pattern.cols, pattern.dp, pattern.bias, pattern.tile):
         raise ValueError("plan was compiled for a different pattern")
 
+    backend = backend or default_backend()
     dtype = np.result_type(x.data, weight.data)
     batch = x.shape[0]
-    out = _zeros(workspace, "tile_out", (batch, out_features), dtype)
-    for group in plan.row_groups:
-        block = weight.data[group.row_start:group.row_stop, group.selector]
-        out[:, group.row_start:group.row_stop] = x.data[:, group.selector] @ block.T
+    out = backend.zeros(workspace, "tile_out", (batch, out_features), dtype)
+    backend.tile_forward(plan, x.data, weight.data, out)
     if scale_factor != 1.0:
         out *= scale_factor
     if bias is not None:
         out += bias.data
 
     def backward_x(grad: np.ndarray) -> np.ndarray:
-        grad_x = _zeros(workspace, "tile_grad_x", x.data.shape, x.data.dtype)
-        for group in plan.row_groups:
-            block = weight.data[group.row_start:group.row_stop, group.selector]
-            grad_compact = grad[:, group.row_start:group.row_stop]
-            if scale_factor != 1.0:
-                grad_compact = grad_compact * scale_factor
-            grad_x[:, group.selector] += grad_compact @ block
+        grad_x = backend.zeros(workspace, "tile_grad_x", x.data.shape, x.data.dtype)
+        backend.tile_backward_input(plan, grad, weight.data, grad_x,
+                                    scale=scale_factor)
         return grad_x
 
     def backward_weight(grad: np.ndarray) -> np.ndarray:
-        grad_weight = _zeros(workspace, "tile_grad_w", weight.data.shape,
-                             weight.data.dtype)
-        for group in plan.row_groups:
-            grad_compact = grad[:, group.row_start:group.row_stop]
-            if scale_factor != 1.0:
-                grad_compact = grad_compact * scale_factor
-            grad_weight[group.row_start:group.row_stop, group.selector] = (
-                grad_compact.T @ x.data[:, group.selector])
+        grad_weight = backend.zeros(workspace, "tile_grad_w", weight.data.shape,
+                                    weight.data.dtype)
+        backend.tile_backward_weight(plan, grad, x.data, grad_weight,
+                                     scale=scale_factor)
         return grad_weight
 
     parents = [(x, backward_x), (weight, backward_weight)]
@@ -237,7 +249,8 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
 
 def input_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
                          input_pattern: RowDropoutPattern,
-                         workspace: CompactWorkspace | None = None) -> Tensor:
+                         workspace: CompactWorkspace | None = None,
+                         backend: ExecutionBackend | None = None) -> Tensor:
     """Affine layer that skips the input columns dropped by ``input_pattern``.
 
     This is the *consumer* side of a row pattern (Fig. 3(a) step 2) on its
@@ -263,22 +276,24 @@ def input_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
         raise ValueError(
             f"input feature dimension {x.shape[1]} does not match weight columns {in_features}")
 
+    backend = backend or default_backend()
     kept_cols = input_pattern.kept_indices
-    x_compact = x.data[:, kept_cols]
-    weight_compact = weight.data[:, kept_cols]
-    out = x_compact @ weight_compact.T
+    x_compact = backend.gather_cols(x.data, kept_cols)
+    weight_compact = backend.gather_cols(weight.data, kept_cols)
+    out = backend.gemm(x_compact, weight_compact.T)
     if bias is not None:
         out = out + bias.data
 
     def backward_x(grad: np.ndarray) -> np.ndarray:
-        grad_x = _zeros(workspace, "input_grad_x", x.data.shape, x.data.dtype)
-        grad_x[:, kept_cols] = grad @ weight_compact
+        grad_x = backend.zeros(workspace, "input_grad_x", x.data.shape,
+                               x.data.dtype)
+        backend.scatter_cols(grad_x, kept_cols, backend.gemm(grad, weight_compact))
         return grad_x
 
     def backward_weight(grad: np.ndarray) -> np.ndarray:
-        grad_weight = _zeros(workspace, "input_grad_w", weight.data.shape,
-                             weight.data.dtype)
-        grad_weight[:, kept_cols] = grad.T @ x_compact
+        grad_weight = backend.zeros(workspace, "input_grad_w", weight.data.shape,
+                                    weight.data.dtype)
+        backend.scatter_cols(grad_weight, kept_cols, backend.gemm(grad.T, x_compact))
         return grad_weight
 
     parents = [(x, backward_x), (weight, backward_weight)]

@@ -29,7 +29,10 @@ both normally set by :meth:`repro.execution.EngineRuntime.bind`.  Under
 (or identity) followed by a 0/1 mask that is rebuilt every step — which is
 the baseline the compact modes are benchmarked against.  ``use_workspace``
 toggles the :class:`~repro.dropout.engine.CompactWorkspace` scatter-buffer
-reuse of the pooled engine.
+reuse of the pooled engine.  The GEMM layers additionally carry a
+``backend`` slot (an :class:`~repro.backends.ExecutionBackend`, installed by
+the runtime from ``ExecutionConfig.backend``) through which their compact
+ops execute; ``None`` falls back to the reference numpy backend.
 """
 
 from __future__ import annotations
@@ -274,6 +277,9 @@ class ApproxRandomDropoutLinear(Module):
         self.workspace = CompactWorkspace()
         self.execution_mode = "compact"
         self.use_workspace = True
+        #: Execution backend of the compact ops (set by EngineRuntime.bind;
+        #: None = the reference numpy backend).
+        self.backend = None
         self._forwards_since_pattern = 0
         if self.drop_rate > 0.0:
             self.resample()
@@ -327,7 +333,8 @@ class ApproxRandomDropoutLinear(Module):
             return F.apply_mask(out, mask[None, :])
         return row_compact_linear(x, self.weight, self.bias, self.pattern,
                                   input_pattern=input_pattern, scale_factor=1.0,
-                                  workspace=self._step_workspace())
+                                  workspace=self._step_workspace(),
+                                  backend=self.backend)
 
     def __repr__(self) -> str:
         return (f"ApproxRandomDropoutLinear(in_features={self.in_features}, "
@@ -380,6 +387,9 @@ class ApproxDropConnectLinear(Module):
         self.workspace = CompactWorkspace()
         self.execution_mode = "compact"
         self.use_workspace = True
+        #: Execution backend of the compact ops (set by EngineRuntime.bind;
+        #: None = the reference numpy backend).
+        self.backend = None
         self._forwards_since_pattern = 0
         if self.drop_rate > 0.0:
             self.resample()
@@ -434,7 +444,8 @@ class ApproxDropConnectLinear(Module):
             return F.linear(x, F.apply_mask(self.weight, mask), self.bias)
         return tile_compact_linear(x, self.weight, self.bias, self.pattern,
                                    scale_factor=1.0,
-                                   workspace=self._step_workspace())
+                                   workspace=self._step_workspace(),
+                                   backend=self.backend)
 
     def __repr__(self) -> str:
         return (f"ApproxDropConnectLinear(in_features={self.in_features}, "

@@ -44,10 +44,14 @@ Dtype / backend
 ``dtype`` selects the floating dtype of the hot path ("float64" or
 "float32"); binding a runtime casts the model parameters in place and the
 trainers cast their input batches, and the mask/compact machinery keeps the
-chosen dtype end to end.  ``backend`` is the seam for accelerated execution
-backends behind the same :class:`~repro.dropout.engine.TileExecutionPlan` /
-:class:`~repro.dropout.engine.CompactWorkspace` objects; only the reference
-``"numpy"`` backend ships today, unknown names fail fast.
+chosen dtype end to end.  ``backend`` selects the
+:class:`~repro.backends.ExecutionBackend` that executes the compact GEMMs
+behind the same :class:`~repro.dropout.engine.TileExecutionPlan` /
+:class:`~repro.dropout.engine.CompactWorkspace` objects: ``"numpy"`` is the
+reference per-group implementation, ``"fused"`` batches same-shape tile
+GEMMs into stacked 3-D GEMM calls, and further backends can be plugged in
+through :func:`repro.backends.register_backend`.  Validation consults the
+registry, so unknown names fail fast with the list of available backends.
 """
 
 from __future__ import annotations
@@ -57,6 +61,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.backends import ExecutionBackend, available_backends, create_backend
 from repro.dropout.engine import CompactWorkspace, tile_plan_cache_info
 from repro.dropout.patterns import pattern_cache_info
 from repro.dropout.sampler import PatternSchedule, is_pattern_site
@@ -69,10 +74,6 @@ EXECUTION_DTYPES: dict[str, np.dtype] = {
     "float64": np.dtype(np.float64),
     "float32": np.dtype(np.float32),
 }
-
-#: Registered execution backends.  "numpy" is the reference implementation;
-#: accelerated backends plug in behind the same plan/workspace objects.
-EXECUTION_BACKENDS: tuple[str, ...] = ("numpy",)
 
 
 @dataclass(frozen=True)
@@ -87,7 +88,9 @@ class ExecutionConfig:
     dtype:
         Floating dtype of the hot path: ``"float64"`` or ``"float32"``.
     backend:
-        Execution backend selector; only ``"numpy"`` is available.
+        Execution backend selector, validated against the
+        :mod:`repro.backends` registry (``"numpy"`` and ``"fused"`` ship;
+        see :func:`repro.backends.available_backends`).
     seed:
         Pool-wide pattern seed.  A single integer deterministically fixes the
         pattern streams of *every* dropout site; ``None`` leaves each layer's
@@ -106,6 +109,15 @@ class ExecutionConfig:
     workspace_slots: int = 2
 
     def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Check every field, consulting the backend registry for ``backend``.
+
+        Called automatically at construction; exposed so long-lived configs
+        can be re-checked after the registry changed (e.g. a plugin backend
+        was unregistered).
+        """
         if self.mode not in EXECUTION_MODES:
             raise ValueError(
                 f"unknown execution mode {self.mode!r}; available: {EXECUTION_MODES}")
@@ -113,10 +125,10 @@ class ExecutionConfig:
             raise ValueError(
                 f"unknown execution dtype {self.dtype!r}; "
                 f"available: {tuple(EXECUTION_DTYPES)}")
-        if self.backend not in EXECUTION_BACKENDS:
+        if self.backend not in available_backends():
             raise ValueError(
                 f"unknown execution backend {self.backend!r}; "
-                f"available: {EXECUTION_BACKENDS}")
+                f"available: {available_backends()}")
         if self.pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if self.workspace_slots < 1:
@@ -155,18 +167,26 @@ class EngineRuntime:
     :class:`~repro.dropout.sampler.PatternSchedule` the trainer should drive.
     :meth:`stats` aggregates the engine-side counters — tile-plan cache
     hits/misses (as deltas since the runtime was created), pattern-cache
-    deltas, pool refill/consumption counts and workspace buffer totals —
-    which the experiment drivers attach to their records.
+    deltas, pool refill/consumption counts, workspace buffer totals and the
+    backend's per-operation call counts (``backend_calls``) — which the
+    experiment drivers attach to their records.
     """
 
     def __init__(self, config: ExecutionConfig | None = None):
         self.config = config or ExecutionConfig()
+        #: The runtime's private backend instance — one per runtime, so the
+        #: per-backend call counters of concurrent runtimes never mix.
+        self.backend: ExecutionBackend = create_backend(self.config.backend)
         self._plan_baseline = tile_plan_cache_info()
         self._pattern_baseline = pattern_cache_info()
         #: The most recent bind only; earlier runs' counters are folded into
         #: ``_archived`` at the next bind so a driver sharing one runtime
-        #: across many training runs does not keep every model alive.
+        #: across many training runs does not keep every model alive.  Each
+        #: entry also snapshots the backend call counters at bind time, so a
+        #: per-model :meth:`stats` can report the *run's* calls rather than
+        #: the runtime-cumulative totals.
         self._bound: list[tuple[Any, PatternSchedule]] = []
+        self._bind_call_baselines: list[tuple[Any, dict[str, int]]] = []
         self._archived = self._zero_totals()
         self.runs = 0
 
@@ -184,6 +204,9 @@ class EngineRuntime:
         * sets ``execution_mode`` / ``use_workspace`` on every module that
           exposes them (the pattern layers, and models with engine-aware
           fast paths such as the LSTM projection compaction);
+        * installs the runtime's :class:`~repro.backends.ExecutionBackend`
+          instance on every module exposing a ``backend`` attribute, so all
+          compact GEMMs of the run execute (and are counted) through it;
         * reseeds every pattern site's sampler from the pool-wide seed;
         * builds the pooled or scalar :class:`PatternSchedule` for the mode.
         """
@@ -201,6 +224,8 @@ class EngineRuntime:
                 module.execution_mode = layer_mode
             if hasattr(module, "use_workspace"):
                 module.use_workspace = use_workspace
+            if hasattr(module, "backend"):
+                module.backend = self.backend
             workspace = getattr(module, "workspace", None)
             if (isinstance(workspace, CompactWorkspace)
                     and workspace.slots != config.workspace_slots):
@@ -228,6 +253,7 @@ class EngineRuntime:
         else:
             schedule = PatternSchedule.scalar_for_model(model)
         self._bound.append((model, schedule))
+        self._bind_call_baselines.append((model, dict(self.backend.calls)))
         return schedule
 
     # ------------------------------------------------------------------
@@ -273,14 +299,17 @@ class EngineRuntime:
         """
         self._fold(self._archived, self._bound)
         self._bound = []
+        self._bind_call_baselines = []
 
     def stats(self, model=None) -> dict[str, Any]:
         """Engine counters: runtime-wide, or restricted to one bound model.
 
-        Without ``model`` the pool/workspace/step counters aggregate over
-        every run of this runtime (the table-level record a driver stamps on
-        its :class:`ExperimentTable`).  With ``model`` they cover only that
-        model's schedule(s) and workspaces — the per-run record a trainer
+        Without ``model`` the pool/workspace/step counters (and the
+        ``backend_calls`` totals) aggregate over every run of this runtime
+        (the table-level record a driver stamps on its
+        :class:`ExperimentTable`).  With ``model`` they cover only that
+        model's schedule(s) and workspaces, and ``backend_calls`` is the
+        delta since that model's bind — the per-run record a trainer
         attaches to its :class:`TrainingResult`; read it before the runtime's
         next ``bind``, which archives earlier runs and releases their models.
         The tile-plan / pattern cache counters are process-global caches
@@ -289,6 +318,7 @@ class EngineRuntime:
         config = self.config
         plan = tile_plan_cache_info()
         pattern = pattern_cache_info()
+        backend_calls = dict(self.backend.calls)
         if model is None:
             totals = {"steps": self._archived["steps"],
                       "pools": dict(self._archived["pools"]),
@@ -297,6 +327,14 @@ class EngineRuntime:
         else:
             totals = self._zero_totals()
             self._fold(totals, [(m, s) for m, s in self._bound if m is model])
+            # Per-run record: report the backend calls since this model's
+            # bind, not the runtime-cumulative totals (runs are sequential,
+            # so the delta is exactly this run's work).
+            baseline = next((calls for m, calls in self._bind_call_baselines
+                             if m is model), {})
+            backend_calls = {op: count - baseline.get(op, 0)
+                             for op, count in backend_calls.items()
+                             if count - baseline.get(op, 0)}
         steps = totals["steps"]
         pools = totals["pools"]
         workspace = totals["workspace"]
@@ -304,6 +342,7 @@ class EngineRuntime:
             "mode": config.mode,
             "dtype": config.dtype,
             "backend": config.backend,
+            "backend_calls": backend_calls,
             "seed": config.seed,
             "runs": self.runs,
             "steps": steps,

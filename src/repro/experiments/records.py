@@ -16,8 +16,11 @@ class ExperimentRow:
     ``engine`` optionally carries the execution-engine counters of the
     training run that produced this row — pool/workspace/step counts are
     restricted to that run's model; the tile-plan/pattern cache entries are
-    process-global deltas for the driver's runtime (see
-    :meth:`repro.execution.EngineRuntime.stats`).
+    process-global deltas for the driver's runtime, and ``backend`` /
+    ``backend_calls`` identify the execution backend the run selected and its
+    per-operation call counts (see
+    :meth:`repro.execution.EngineRuntime.stats` and
+    ``docs/architecture.md``).
     """
 
     label: str
@@ -111,7 +114,12 @@ def format_engine_stats(engine: dict[str, Any]) -> str:
     if mode is not None:
         seed = engine.get("seed")
         parts.append(f"mode={mode} dtype={engine.get('dtype')} "
+                     f"backend={engine.get('backend', 'numpy')} "
                      f"seed={'-' if seed is None else seed}")
+    backend_calls = engine.get("backend_calls")
+    if backend_calls:
+        total = sum(backend_calls.values())
+        parts.append(f"backend calls={total}")
     plan = engine.get("tile_plan_cache")
     if plan:
         parts.append(f"tile-plan cache hits={plan.get('hits', 0)} "

@@ -105,9 +105,11 @@ class LSTMLanguageModel(Module):
         # GEMM).  "masked" keeps the dense projection of the baseline.
         self.execution_mode = "masked"
         self.use_workspace = False
-        # Named `workspace` so EngineRuntime.bind configures its slot depth
-        # and stats() counts its buffers like any pattern layer's workspace.
+        # Named `workspace`/`backend` so EngineRuntime.bind configures the
+        # slot depth and execution backend like any pattern layer's, and
+        # stats() counts the workspace buffers.
         self.workspace = CompactWorkspace()
+        self.backend = None
         self._projection_forwards = 0
         self._projection_pattern = None
 
@@ -161,7 +163,8 @@ class LSTMLanguageModel(Module):
                         and self._projection_forwards <= self.workspace.slots)
             logits = input_compact_linear(
                 flat, self.projection.weight, self.projection.bias, pattern,
-                workspace=self.workspace if use_ring else None)
+                workspace=self.workspace if use_ring else None,
+                backend=self.backend)
         else:
             logits = self.projection(flat)
         return logits, new_state

@@ -72,6 +72,7 @@ class LanguageModelTrainer:
         # state buffers match the cast parameter dtype.
         self.runtime = runtime or EngineRuntime(ExecutionConfig(
             seed=self.config.seed, pool_size=self.config.pattern_pool_size))
+        self.backend = self.runtime.backend
         self.pattern_schedule = self.runtime.bind(model)
         self.optimizer = SGD(model.parameters(), lr=self.config.learning_rate,
                              grad_clip=self.config.grad_clip)

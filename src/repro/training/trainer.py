@@ -51,11 +51,14 @@ class ClassifierTrainer:
     and integrates the :mod:`repro.gpu` timing model so each run knows both
     how well it learned and how long the paper's GPU would have taken.
 
-    Execution (engine mode, dtype, pool-wide seed) is governed by an
+    Execution (engine mode, dtype, backend, pool-wide seed) is governed by an
     :class:`~repro.execution.EngineRuntime`; by default the trainer builds a
     pooled runtime seeded from its own training seed, so the full vectorized
     pattern-pool engine drives every run.  Pass an explicit ``runtime`` to
-    select a different mode (``masked``/``compact``) or a float32 hot path.
+    select a different mode (``masked``/``compact``), a float32 hot path or
+    an accelerated execution backend (``ExecutionConfig(backend="fused")``);
+    the runtime's backend instance is exposed as ``trainer.backend`` and its
+    per-op call counts land in the run's ``engine_stats``.
     """
 
     def __init__(self, model: MLPClassifier, dataset: SyntheticMNIST,
@@ -74,6 +77,7 @@ class ClassifierTrainer:
         # optimizer so momentum buffers match the cast parameter dtype.
         self.runtime = runtime or EngineRuntime(ExecutionConfig(
             seed=self.config.seed, pool_size=self.config.pattern_pool_size))
+        self.backend = self.runtime.backend
         self.pattern_schedule = self.runtime.bind(model)
         self.optimizer = SGD(model.parameters(), lr=self.config.learning_rate,
                              momentum=self.config.momentum)

@@ -57,6 +57,57 @@ class TestRunBenchmark:
         assert result.width == 48
 
 
+class TestBackendSelection:
+    def test_unknown_backend_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            BenchmarkConfig(backend="cuda")
+
+    def test_fused_backend_runs_all_families(self):
+        config = tiny_config(backend="fused")
+        results = run_benchmark(config)
+        assert [r.family for r in results] == ["row", "tile"]
+        for result in results:
+            assert result.backend == "fused"
+            assert set(result.mode_ms) == {"masked", "compact", "pooled"}
+            assert result.to_dict()["backend"] == "fused"
+
+    def test_cli_backend_flag(self, tmp_path):
+        output = str(tmp_path / "bench.json")
+        assert bench_main(["--quick", "--families", "row",
+                           "--backend", "fused", "--output", output]) == 0
+        with open(output) as handle:
+            report = json.load(handle)
+        assert report["config"]["backend"] == "fused"
+        assert all(entry["backend"] == "fused" for entry in report["results"])
+
+
+class TestSharding:
+    def test_shards_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(shards=0)
+
+    def test_case_descriptors_cover_grid_and_e2e(self):
+        from repro.bench.harness import case_descriptors
+
+        config = tiny_config(widths=(32, 48), rates=(0.5,),
+                             families=("row", "tile", "e2e"))
+        cases = case_descriptors(config)
+        assert ("row", 32, 0.5) in cases and ("tile", 48, 0.5) in cases
+        assert ("e2e_mlp", None, None) in cases
+        assert ("e2e_lstm", None, None) in cases
+        assert len(cases) == 6
+
+    def test_sharded_run_matches_case_order(self):
+        # Two worker processes (one BLAS domain each); results must come
+        # back in descriptor order regardless of completion order.
+        config = tiny_config(shards=2)
+        results = run_benchmark(config)
+        assert [r.family for r in results] == ["row", "tile"]
+        for result in results:
+            assert set(result.mode_ms) == {"masked", "compact", "pooled"}
+            assert all(ms > 0 for ms in result.mode_ms.values())
+
+
 class TestReport:
     def test_report_written_and_parseable(self, tmp_path):
         config = tiny_config(output=str(tmp_path / "BENCH_compact_engine.json"))
