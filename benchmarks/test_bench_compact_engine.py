@@ -18,7 +18,8 @@ from repro.bench import BenchmarkConfig, run_benchmark, write_report
 @pytest.fixture(scope="module")
 def acceptance_results(tmp_path_factory):
     config = BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=128, steps=6,
-                             repeats=2, warmup=1)
+                             repeats=2, warmup=1,
+                             families=("row", "tile", "lstm_rec", "e2e"))
     results = run_benchmark(config, verbose=True)
     output = tmp_path_factory.mktemp("bench") / "BENCH_compact_engine.json"
     write_report(results, config, path=str(output))
@@ -38,6 +39,17 @@ def test_pooled_tile_engine_beats_masked_baseline_at_2048_rate07(acceptance_resu
     (tile,) = [r for r in results if r.family == "tile"]
     assert tile.speedup_pooled > 1.0, (
         f"pooled tile engine not faster: {tile.mode_ms}")
+
+
+def test_pooled_recurrent_projection_beats_masked_baseline(acceptance_results):
+    """The gate-aligned recurrent DropConnect family (PR 4): the compact
+    recurrent projection must beat the dense-GEMM-plus-weight-mask baseline."""
+    results, _ = acceptance_results
+    (rec,) = [r for r in results if r.family == "lstm_rec"]
+    assert rec.width == 2048 and rec.rate == 0.7
+    assert rec.recurrent == "tiled"
+    assert rec.speedup_pooled > 1.0, (
+        f"pooled recurrent projection not faster: {rec.mode_ms}")
 
 
 def test_uncached_compact_also_beats_masked_baseline(acceptance_results):

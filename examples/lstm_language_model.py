@@ -10,7 +10,7 @@ projection: under the compact modes the projection GEMM skips the columns
 the output dropout's row pattern zeroed.
 
 Run with:  python examples/lstm_language_model.py [--rate 0.5] [--epochs 2]
-           [--mode pooled] [--backend fused]
+           [--mode pooled] [--backend fused] [--recurrent tiled]
 """
 
 from __future__ import annotations
@@ -19,7 +19,12 @@ import argparse
 
 from repro.backends import available_backends
 from repro.data import make_synthetic_corpus
-from repro.execution import EXECUTION_MODES, EngineRuntime, ExecutionConfig
+from repro.execution import (
+    EXECUTION_MODES,
+    RECURRENT_MODES,
+    EngineRuntime,
+    ExecutionConfig,
+)
 from repro.experiments.common import lstm_speedup
 from repro.models import LSTMConfig, LSTMLanguageModel
 from repro.training import LanguageModelTrainer, LanguageModelTrainingConfig
@@ -53,9 +58,14 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--backend", default="numpy",
                         choices=list(available_backends()),
                         help="execution backend of the compact engine")
+    parser.add_argument("--recurrent", default="dense",
+                        choices=list(RECURRENT_MODES),
+                        help="run the recurrent weight_h projection as a "
+                             "gate-aligned DropConnect pattern site")
     args = parser.parse_args(argv)
 
-    execution = ExecutionConfig(mode=args.mode, backend=args.backend, seed=0)
+    execution = ExecutionConfig(mode=args.mode, backend=args.backend,
+                                recurrent=args.recurrent, seed=0)
     runtime = EngineRuntime(execution)
     corpus = make_synthetic_corpus(vocab_size=args.vocab,
                                    num_train_tokens=args.train_tokens,

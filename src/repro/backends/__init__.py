@@ -16,6 +16,18 @@ compute — gather the surviving rows/tiles, multiply, scatter back — and an
     ``fused`` with every class GEMM also dispatched through the
     :mod:`repro.gpu` roofline model, accumulating predicted
     accelerator time in its ``stats()["predicted_ms"]``.
+``"stacked"``
+    :class:`StackedBackend`: fused classes of equal kept-count (same shape,
+    different column sets) are stacked along a new axis and executed as one
+    batched 3-D GEMM — one interpreter round-trip, gather and ``matmul`` for
+    a whole family of tile-row classes.  The stacked index layouts are
+    cached per plan identity, so the pooled pattern stream's consecutive
+    steps replay them for free.  The gate-aligned recurrent DropConnect
+    plans, whose per-gate replication makes every family ``num_gates``
+    times deeper, benefit the most — through the plan-driven ops (the tile
+    layers, ``recurrent_compact_linear``, the ``lstm_rec`` bench family);
+    the LSTM unroll's per-window context path pre-gathers its blocks and
+    bypasses the plan entry points entirely (see ``backends/stacked.py``).
 
 Selection is by name through :class:`repro.execution.ExecutionConfig`
 (``backend="fused"``), which validates against this registry and whose
@@ -42,6 +54,7 @@ from repro.backends.registry import (
     register_backend,
     unregister_backend,
 )
+from repro.backends.stacked import StackedBackend
 
 def _fused_predict_factory() -> FusedBackend:
     """``fused`` preconfigured to model each class GEMM on the paper's GPU.
@@ -57,6 +70,7 @@ def _fused_predict_factory() -> FusedBackend:
 register_backend("numpy", NumpyBackend)
 register_backend("fused", FusedBackend)
 register_backend("fused-predict", _fused_predict_factory)
+register_backend("stacked", StackedBackend)
 
 #: Shared fallback instance used by compact ops called without a runtime
 #: (ad-hoc layer use, unit tests); runtimes always install their own instance.
@@ -72,6 +86,7 @@ __all__ = [
     "ExecutionBackend",
     "NumpyBackend",
     "FusedBackend",
+    "StackedBackend",
     "available_backends",
     "create_backend",
     "default_backend",

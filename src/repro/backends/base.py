@@ -90,6 +90,12 @@ class ExecutionBackend(abc.ABC):
         self.count("gather")
         return array[:, indices]
 
+    def gather_block(self, array: np.ndarray, row_indices,
+                     col_indices) -> np.ndarray:
+        """The 2-D block ``array[ix_(rows, cols)]`` (compact tile-class gather)."""
+        self.count("gather")
+        return array[np.ix_(np.asarray(row_indices), np.asarray(col_indices))]
+
     def scatter_rows(self, out: np.ndarray, indices, values: np.ndarray) -> None:
         """``out[indices] = values`` (compact scatter into a zeroed buffer)."""
         self.count("scatter")

@@ -94,13 +94,13 @@ def _contiguous_slice(indices: np.ndarray) -> slice | None:
 
 
 def _fuse_plan(plan) -> _FusedPlanLayout:
-    by_cols: dict[bytes, list] = {}
-    for group in plan.row_groups:
-        key = np.asarray(group.col_indices).tobytes()
-        by_cols.setdefault(key, []).append(group)
+    # Built on the engine's canonical identical-column-set partition, so the
+    # fused classes and the recurrent window context's classes always agree.
+    from repro.dropout.engine import plan_column_groups
+
     classes: list[_FusedClass] = []
     leftovers: list = []
-    for groups in by_cols.values():
+    for groups in plan_column_groups(plan):
         if len(groups) < 2:
             # A lone class member gains nothing from re-gathering; the
             # reference loop also keeps the view fast path of slice columns.
@@ -131,7 +131,7 @@ class FusedBackend(NumpyBackend):
 
     def __init__(self, predict_device=None):
         super().__init__()
-        self._layouts: dict[tuple[int, int, int, int, int], _FusedPlanLayout] = {}
+        self._layouts: dict[tuple, _FusedPlanLayout] = {}
         self.predict_device = predict_device
         self.predicted_ms = 0.0
         self._cost_model = None
@@ -140,8 +140,8 @@ class FusedBackend(NumpyBackend):
     # fused layout cache
     # ------------------------------------------------------------------
     def layout_for(self, plan) -> _FusedPlanLayout:
-        """The fused layout of ``plan`` (computed once per pattern identity)."""
-        key = (plan.rows, plan.cols, plan.dp, plan.bias, plan.tile)
+        """The fused layout of ``plan`` (computed once per plan identity)."""
+        key = plan.identity
         layout = self._layouts.get(key)
         if layout is None:
             if len(self._layouts) >= _FUSED_CACHE_CAP:
@@ -157,12 +157,7 @@ class FusedBackend(NumpyBackend):
     def tile_forward(self, plan, x, weight, out) -> None:
         layout = self.layout_for(plan)
         self.count("tile_forward")
-        for cls in layout.classes:
-            self.count("fused_gemm")
-            xc = x[:, cls.col_selector]                      # one gather per class
-            wc = weight[cls.weight_selector()]               # (R_total, C)
-            out[:, cls.row_selector] = xc @ wc.T
-            self._predict(cls, batch=x.shape[0])
+        self._classes_forward(layout.classes, x, weight, out)
         if layout.leftovers:
             self.count("tile_group_gemm", len(layout.leftovers))
             self._groups_forward(layout.leftovers, x, weight, out)
@@ -171,15 +166,7 @@ class FusedBackend(NumpyBackend):
                             scale: float = 1.0) -> None:
         layout = self.layout_for(plan)
         self.count("tile_backward_input")
-        for cls in layout.classes:
-            self.count("fused_gemm")
-            gc = grad[:, cls.row_selector]
-            if scale != 1.0:
-                gc = gc * scale
-            wc = weight[cls.weight_selector()]
-            # += not =: tiles from different classes may share columns.
-            grad_x[:, cls.col_selector] += gc @ wc
-            self._predict(cls, batch=grad.shape[0])
+        self._classes_backward_input(layout.classes, grad, weight, grad_x, scale)
         if layout.leftovers:
             self.count("tile_group_gemm", len(layout.leftovers))
             self._groups_backward_input(layout.leftovers, grad, weight, grad_x,
@@ -189,7 +176,38 @@ class FusedBackend(NumpyBackend):
                              scale: float = 1.0) -> None:
         layout = self.layout_for(plan)
         self.count("tile_backward_weight")
-        for cls in layout.classes:
+        self._classes_backward_weight(layout.classes, grad, x, grad_weight, scale)
+        if layout.leftovers:
+            self.count("tile_group_gemm", len(layout.leftovers))
+            self._groups_backward_weight(layout.leftovers, grad, x, grad_weight,
+                                         scale)
+
+    # ------------------------------------------------------------------
+    # per-class loop bodies (shared with the stacked backend's singletons)
+    # ------------------------------------------------------------------
+    def _classes_forward(self, classes, x, weight, out) -> None:
+        for cls in classes:
+            self.count("fused_gemm")
+            xc = x[:, cls.col_selector]                      # one gather per class
+            wc = weight[cls.weight_selector()]               # (R_total, C)
+            out[:, cls.row_selector] = xc @ wc.T
+            self._predict(cls, batch=x.shape[0])
+
+    def _classes_backward_input(self, classes, grad, weight, grad_x,
+                                scale) -> None:
+        for cls in classes:
+            self.count("fused_gemm")
+            gc = grad[:, cls.row_selector]
+            if scale != 1.0:
+                gc = gc * scale
+            wc = weight[cls.weight_selector()]
+            # += not =: tiles from different classes may share columns.
+            grad_x[:, cls.col_selector] += gc @ wc
+            self._predict(cls, batch=grad.shape[0])
+
+    def _classes_backward_weight(self, classes, grad, x, grad_weight,
+                                 scale) -> None:
+        for cls in classes:
             self.count("fused_gemm")
             gc = grad[:, cls.row_selector]
             if scale != 1.0:
@@ -198,10 +216,6 @@ class FusedBackend(NumpyBackend):
             # weight blocks are disjoint: plain assignment scatters them all.
             grad_weight[cls.weight_selector()] = gc.T @ x[:, cls.col_selector]
             self._predict(cls, batch=grad.shape[0])
-        if layout.leftovers:
-            self.count("tile_group_gemm", len(layout.leftovers))
-            self._groups_backward_weight(layout.leftovers, grad, x, grad_weight,
-                                         scale)
 
     # ------------------------------------------------------------------
     # optional cost-model dispatch

@@ -1,0 +1,201 @@
+"""Stacked execution backend: equal-shape tile GEMMs batched into 3-D matmuls.
+
+The :class:`~repro.backends.fused.FusedBackend` concatenates the tile-row
+groups of a :class:`~repro.dropout.engine.TileExecutionPlan` that share an
+*identical* column set into one GEMM per class.  That still leaves one BLAS
+call (and one gather/scatter round-trip) per distinct column set — up to
+``dp`` of them per pattern, and the pooled pattern stream replays the same
+handful of plans for thousands of consecutive steps.
+
+This backend goes one step further, the ROADMAP's "fuse the row family
+across steps" idea generalised to any plan-driven op: fused classes of
+**equal kept-count** (same number of rows and columns, different column
+sets) are stacked along a new leading axis and executed as a *single batched
+GEMM* (``np.matmul`` on 3-D operands)::
+
+    xs  = x[:, cols2d]                    # (batch, F, C) — one gather for F classes
+    ws  = weight[rows2d[:,:,None], cols2d[:,None,:]]   # (F, R, C)
+    out[:, rows2d] = matmul(xs.transpose(1,0,2), ws.transpose(0,2,1))  # (F, batch, R)
+
+which replaces ``F`` interpreter round-trips, gathers and skinny GEMMs with
+one of each.  The structure this exploits is pervasive:
+
+* within one ``(dp, bias)`` tile pattern the surviving tile-rows keep either
+  ``floor(grid_cols/dp)`` or ``ceil(grid_cols/dp)`` tiles — at most two
+  distinct kept-counts, so nearly every class lands in a stackable family;
+* the gate-aligned recurrent patterns
+  (:class:`~repro.dropout.patterns.RecurrentTilePattern`) replicate one
+  per-gate plan across the stacked gate blocks, multiplying the family sizes
+  by ``num_gates``;
+* the pooled pattern stream draws from a few dozen interned patterns, so the
+  stacked index layouts (cached per plan identity, like the fused layouts)
+  are computed once and replayed across consecutive training steps.
+
+Scope: the batching applies to *plan-driven* execution — the tile layers
+(``tile_compact_linear``) and the recurrent plan op
+(``recurrent_compact_linear``, e.g. the ``lstm_rec`` bench family or
+standalone cell calls).  The LSTM *unroll* instead hoists a per-window
+context (:func:`~repro.dropout.compact_ops.recurrent_compact_context`) whose
+per-class GEMMs run against pre-gathered blocks and deliberately bypass the
+plan entry points — at LSTM sizes the gather hoist dominates anything the
+batched tier could add (folding the two is a ROADMAP item).
+
+Classes without an equal-shape partner fall back to the fused per-class
+path, and lone tile-row groups to the reference loop — the three tiers share
+the exact arithmetic, so results match the reference backend to summation
+order (property-tested in ``tests/backends/test_backends.py``).
+
+The only subtle point is the input-gradient scatter: two stacked classes may
+share *some* columns (their column sets are distinct but can overlap), and a
+fancy-indexed ``+=`` buffers duplicate indices.  The batched GEMM therefore
+computes every class's contribution at once, but the per-class ``+=``
+scatters run as separate statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.fused import FusedBackend, _FusedClass, _FusedPlanLayout
+
+#: Safety cap on cached stacked layouts (mirrors the fused layout cache cap).
+_STACKED_CACHE_CAP = 4096
+
+
+@dataclass(frozen=True)
+class _StackedFamily:
+    """All fused classes of one plan sharing the same (rows, cols) shape."""
+
+    members: tuple[_FusedClass, ...]
+    rows2d: np.ndarray  # (F, R) row indices, one row of indices per member
+    cols2d: np.ndarray  # (F, C) column indices, one row of indices per member
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class _StackedLayout:
+    """Three-tier execution layout of one plan: batched / fused / reference."""
+
+    families: tuple[_StackedFamily, ...]
+    singles: tuple[_FusedClass, ...]  # classes without an equal-shape partner
+    leftovers: tuple                  # TileRowGroup objects (reference loop)
+
+
+def _stack_layout(fused: _FusedPlanLayout) -> _StackedLayout:
+    by_shape: dict[tuple[int, int], list[_FusedClass]] = {}
+    for cls in fused.classes:
+        by_shape.setdefault((len(cls.rows), len(cls.cols)), []).append(cls)
+    families: list[_StackedFamily] = []
+    singles: list[_FusedClass] = []
+    for classes in by_shape.values():
+        if len(classes) < 2:
+            # A lone shape gains nothing from batching; the fused per-class
+            # path keeps its zero-copy slice selectors.
+            singles.extend(classes)
+            continue
+        rows2d = np.stack([cls.rows for cls in classes])
+        cols2d = np.stack([cls.cols for cls in classes])
+        families.append(_StackedFamily(members=tuple(classes),
+                                       rows2d=rows2d, cols2d=cols2d))
+    return _StackedLayout(families=tuple(families), singles=tuple(singles),
+                          leftovers=fused.leftovers)
+
+
+class StackedBackend(FusedBackend):
+    """Batched-GEMM execution of equal-shape fused classes.
+
+    Inherits the fused layout machinery (and its optional roofline
+    prediction for the singleton classes); adds a second cached layout level
+    that partitions the fused classes into equal-shape stacked families.
+    """
+
+    name = "stacked"
+
+    def __init__(self, predict_device=None):
+        super().__init__(predict_device=predict_device)
+        self._stacked: dict[tuple, _StackedLayout] = {}
+
+    # ------------------------------------------------------------------
+    # stacked layout cache
+    # ------------------------------------------------------------------
+    def stacked_layout(self, plan) -> _StackedLayout:
+        """The stacked layout of ``plan`` (computed once per plan identity)."""
+        key = plan.identity
+        layout = self._stacked.get(key)
+        if layout is None:
+            if len(self._stacked) >= _STACKED_CACHE_CAP:
+                self._stacked.clear()
+            layout = _stack_layout(self.layout_for(plan))
+            self._stacked[key] = layout
+            self.count("plan_stack")
+        return layout
+
+    # ------------------------------------------------------------------
+    # tile-plan execution
+    # ------------------------------------------------------------------
+    def tile_forward(self, plan, x, weight, out) -> None:
+        layout = self.stacked_layout(plan)
+        self.count("tile_forward")
+        for family in layout.families:
+            self.count("stacked_gemm")
+            xs = x[:, family.cols2d]                               # (batch, F, C)
+            ws = weight[family.rows2d[:, :, None],
+                        family.cols2d[:, None, :]]                  # (F, R, C)
+            result = np.matmul(xs.transpose(1, 0, 2),
+                               ws.transpose(0, 2, 1))               # (F, batch, R)
+            # Row sets are disjoint across classes (each tile-row belongs to
+            # exactly one), so the fancy-indexed assignment is exact.
+            out[:, family.rows2d] = result.transpose(1, 0, 2)
+        self._classes_forward(layout.singles, x, weight, out)
+        if layout.leftovers:
+            self.count("tile_group_gemm", len(layout.leftovers))
+            self._groups_forward(layout.leftovers, x, weight, out)
+
+    def tile_backward_input(self, plan, grad, weight, grad_x,
+                            scale: float = 1.0) -> None:
+        layout = self.stacked_layout(plan)
+        self.count("tile_backward_input")
+        for family in layout.families:
+            self.count("stacked_gemm")
+            gc = grad[:, family.rows2d].transpose(1, 0, 2)          # (F, batch, R)
+            if scale != 1.0:
+                gc = gc * scale
+            ws = weight[family.rows2d[:, :, None],
+                        family.cols2d[:, None, :]]                  # (F, R, C)
+            contrib = np.matmul(gc, ws)                             # (F, batch, C)
+            # Different classes may share *some* columns, and a fancy-indexed
+            # += buffers duplicates — scatter one class at a time instead
+            # (the GEMM above already ran batched).
+            for index, cls in enumerate(family.members):
+                grad_x[:, cls.col_selector] += contrib[index]
+        self._classes_backward_input(layout.singles, grad, weight, grad_x, scale)
+        if layout.leftovers:
+            self.count("tile_group_gemm", len(layout.leftovers))
+            self._groups_backward_input(layout.leftovers, grad, weight, grad_x,
+                                        scale)
+
+    def tile_backward_weight(self, plan, grad, x, grad_weight,
+                             scale: float = 1.0) -> None:
+        layout = self.stacked_layout(plan)
+        self.count("tile_backward_weight")
+        for family in layout.families:
+            self.count("stacked_gemm")
+            gc = grad[:, family.rows2d].transpose(1, 0, 2)          # (F, batch, R)
+            if scale != 1.0:
+                gc = gc * scale
+            xs = x[:, family.cols2d].transpose(1, 0, 2)             # (F, batch, C)
+            gw = np.matmul(gc.transpose(0, 2, 1), xs)               # (F, R, C)
+            # The classes' weight blocks are disjoint (disjoint row sets), so
+            # the batched fancy-indexed assignment scatters them all exactly.
+            grad_weight[family.rows2d[:, :, None],
+                        family.cols2d[:, None, :]] = gw
+        self._classes_backward_weight(layout.singles, grad, x, grad_weight, scale)
+        if layout.leftovers:
+            self.count("tile_group_gemm", len(layout.leftovers))
+            self._groups_backward_weight(layout.leftovers, grad, x, grad_weight,
+                                         scale)

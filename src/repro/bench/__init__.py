@@ -11,9 +11,13 @@ to ``BENCH_compact_engine.json``:
 * ``pooled`` — the vectorized pattern-pool engine: batched pattern draws,
   interned patterns/plans and preallocated scatter buffers.
 
-The ``e2e`` family times *whole trainer steps* (MLP classifier and LSTM
+The ``lstm_rec`` family times one recurrent projection (gate-aligned
+structured DropConnect on an LSTM ``weight_h``) under the same protocol, and
+the ``e2e`` family times *whole trainer steps* (MLP classifier and LSTM
 language model) built through :class:`repro.execution.ExecutionConfig`, with
-``masked`` being the conventional-dropout baseline model.
+``masked`` being the conventional-dropout baseline model and
+``--recurrent tiled`` routing the LSTM's recurrent GEMMs through the pattern
+machinery.
 
 See :mod:`repro.bench.harness` for the configuration knobs and
 :mod:`repro.bench.delta` for the CI regression gate

@@ -11,6 +11,7 @@ import argparse
 
 from repro.backends import available_backends
 from repro.bench.harness import BenchmarkConfig, run_benchmark, write_report
+from repro.execution import RECURRENT_MODES
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -29,15 +30,23 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument("--warmup", type=int, default=2,
                         help="untimed warm-up steps per repeat")
     parser.add_argument("--tile", type=int, default=32, help="TDP tile edge")
-    parser.add_argument("--families", nargs="+", default=["row", "tile", "e2e"],
-                        choices=["row", "tile", "e2e"],
-                        help="benchmark families to time (e2e = whole trainer steps)")
+    parser.add_argument("--families", nargs="+",
+                        default=["row", "tile", "e2e"],
+                        choices=list(BenchmarkConfig.FAMILIES),
+                        help="benchmark families to time (lstm_rec = one "
+                             "recurrent projection, e2e = whole trainer steps)")
     parser.add_argument("--e2e-dtype", default="float64",
                         choices=["float64", "float32"],
                         help="floating dtype of the e2e trainer-step cases")
     parser.add_argument("--backend", default="numpy",
-                        choices=list(available_backends()),
-                        help="execution backend of the compact/pooled modes")
+                        help="execution backend of the compact/pooled modes "
+                             "(see --list-backends)")
+    parser.add_argument("--recurrent", default="tiled",
+                        choices=list(RECURRENT_MODES),
+                        help="recurrent-projection execution of the e2e LSTM "
+                             "case (tiled = gate-aligned DropConnect site)")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="print the registered execution backends and exit")
     parser.add_argument("--shards", type=int, default=1,
                         help="worker processes to shard the cases across "
                              "(one BLAS thread domain each)")
@@ -45,15 +54,28 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="path of the JSON report")
     parser.add_argument("--quick", action="store_true",
                         help="small fast configuration (smoke testing)")
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    # Fail fast in the CLI on unknown backends: validated here (not via
+    # argparse choices frozen at import) so plugin backends registered before
+    # parse_args are selectable, and the error names every registered one.
+    if not args.list_backends and args.backend not in available_backends():
+        parser.error(
+            f"unknown execution backend {args.backend!r}; registered backends: "
+            f"{', '.join(available_backends())} (see --list-backends)")
+    return args
 
 
 def main(argv: list[str] | None = None) -> int:
     args = parse_args(argv)
+    if args.list_backends:
+        for name in available_backends():
+            print(name)
+        return 0
     if args.quick:
         config = BenchmarkConfig(widths=(256,), rates=(0.5,), batch=32, steps=3,
                                  repeats=1, warmup=1, families=tuple(args.families),
                                  e2e_dtype=args.e2e_dtype, backend=args.backend,
+                                 recurrent=args.recurrent,
                                  shards=args.shards, output=args.output)
     else:
         config = BenchmarkConfig(widths=tuple(args.widths), rates=tuple(args.rates),
@@ -61,6 +83,7 @@ def main(argv: list[str] | None = None) -> int:
                                  repeats=args.repeats, warmup=args.warmup,
                                  tile=args.tile, families=tuple(args.families),
                                  e2e_dtype=args.e2e_dtype, backend=args.backend,
+                                 recurrent=args.recurrent,
                                  shards=args.shards, output=args.output)
     print("repro.bench — compact pattern-execution engine vs mask-based dropout")
     print(f"batch={config.batch} steps={config.steps} repeats={config.repeats} "

@@ -23,7 +23,8 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.bench.harness import BenchmarkConfig, run_benchmark
+from repro.backends import available_backends
+from repro.bench.harness import BenchmarkConfig, run_benchmark, write_report
 
 #: The acceptance cases gated by the delta check: (family, width, rate).
 ACCEPTANCE_CASES: tuple[tuple[str, int, float], ...] = (
@@ -36,18 +37,39 @@ DEFAULT_THRESHOLD = 0.3
 
 
 def load_report(path: str) -> dict:
-    """Load a ``BENCH_compact_engine.json`` report."""
+    """Load a ``BENCH_compact_engine.json`` report (clear error on bad shape)."""
     with open(path) as handle:
-        return json.load(handle)
+        report = json.load(handle)
+    if not isinstance(report, dict) or "results" not in report:
+        raise ValueError(
+            f"{path} is not a benchmark report: expected a JSON object with a "
+            f"'results' list (was it written by `python -m repro.bench`?)")
+    return report
 
 
-def _case_entries(entries: list[dict]) -> dict[tuple[str, int, float], dict]:
-    return {(e["family"], int(e["width"]), float(e["rate"])): e for e in entries}
+def _case_entries(entries: list[dict],
+                  source: str) -> dict[tuple[str, int, float], dict]:
+    """Index result entries by (family, width, rate), failing clearly on
+    malformed entries instead of surfacing a raw ``KeyError``."""
+    indexed: dict[tuple[str, int, float], dict] = {}
+    for position, entry in enumerate(entries):
+        missing = [key for key in ("family", "width", "rate", "speedup_pooled")
+                   if key not in entry]
+        if missing:
+            raise ValueError(
+                f"{source} report entry #{position} is missing required "
+                f"fields {missing}; each result needs family/width/rate/"
+                f"speedup_pooled (regenerate the report with "
+                f"`python -m repro.bench`)")
+        indexed[(entry["family"], int(entry["width"]),
+                 float(entry["rate"]))] = entry
+    return indexed
 
 
 def compare_reports(fresh: list[dict], baseline: list[dict],
                     threshold: float = DEFAULT_THRESHOLD,
                     cases: tuple[tuple[str, int, float], ...] = ACCEPTANCE_CASES,
+                    require_backend: str | None = None,
                     ) -> list[str]:
     """Failure messages for every gated case that regressed (empty = pass).
 
@@ -55,11 +77,20 @@ def compare_reports(fresh: list[dict], baseline: list[dict],
     entries of a report).  A case fails when its fresh ``speedup_pooled``
     drops below ``(1 - threshold)`` times the committed value; a gated case
     missing from either side also fails, so the gate cannot rot silently.
+    Malformed entries raise a :class:`ValueError` naming the offending report
+    and fields instead of a raw ``KeyError``.
+
+    ``require_backend`` asserts which backend the *fresh* entries were
+    measured with — used when gating a pre-computed ``--fresh`` report, where
+    a report produced with a different ``--backend`` would otherwise be
+    compared silently.  (The *baseline* side is deliberately not constrained:
+    gating an accelerated backend against the committed numpy baseline is the
+    intended use.)
     """
     if not 0.0 < threshold < 1.0:
         raise ValueError(f"threshold must be in (0, 1), got {threshold}")
-    fresh_by_case = _case_entries(fresh)
-    baseline_by_case = _case_entries(baseline)
+    fresh_by_case = _case_entries(fresh, "fresh")
+    baseline_by_case = _case_entries(baseline, "baseline")
     failures: list[str] = []
     for case in cases:
         family, width, rate = case
@@ -72,6 +103,25 @@ def compare_reports(fresh: list[dict], baseline: list[dict],
         if fresh_entry is None:
             failures.append(f"{label}: missing from the fresh run")
             continue
+        if require_backend is not None:
+            fresh_backend = fresh_entry.get("backend")
+            if fresh_backend is None:
+                # An entry with no backend field is ambiguous — failing loudly
+                # beats gating the wrong backend's measurements silently.
+                failures.append(
+                    f"{label}: the fresh report entry does not record which "
+                    f"backend it measured; the gate expects a "
+                    f"{require_backend!r} measurement (regenerate the report "
+                    f"with `python -m repro.bench --backend "
+                    f"{require_backend}`)")
+                continue
+            if fresh_backend != require_backend:
+                failures.append(
+                    f"{label}: backend mismatch — the gate expected a fresh "
+                    f"{require_backend!r} measurement but the report entry ran "
+                    f"{fresh_backend!r} (re-run the fresh report with "
+                    f"--backend {require_backend})")
+                continue
         committed = float(baseline_entry["speedup_pooled"])
         measured = float(fresh_entry["speedup_pooled"])
         floor = (1.0 - threshold) * committed
@@ -118,19 +168,37 @@ def main(argv: list[str] | None = None) -> int:
                         help="execution backend of the fresh measurement "
                              "(gate an accelerated backend against the "
                              "committed numpy baseline)")
+    parser.add_argument("--write-fresh", default=None, metavar="PATH",
+                        help="also write the freshly measured acceptance "
+                             "report to PATH (for CI artifacts); requires a "
+                             "measured run, i.e. incompatible with --fresh")
     args = parser.parse_args(argv)
+    if args.backend not in available_backends():
+        parser.error(
+            f"unknown execution backend {args.backend!r}; registered backends: "
+            f"{', '.join(available_backends())}")
+    if args.write_fresh is not None and args.fresh is not None:
+        parser.error("--write-fresh requires a measured run; it cannot be "
+                     "combined with a pre-computed --fresh report")
 
     baseline = load_report(args.baseline)
     if args.fresh is not None:
+        # A pre-computed fresh report must actually have been measured with
+        # the backend being gated — compare_reports checks per gated entry.
         fresh_entries = load_report(args.fresh)["results"]
     else:
         print("repro.bench.delta — quick re-measurement of the acceptance case "
               f"(backend={args.backend})")
-        results = run_benchmark(quick_acceptance_config(args.backend), verbose=True)
+        config = quick_acceptance_config(args.backend)
+        results = run_benchmark(config, verbose=True)
         fresh_entries = [result.to_dict() for result in results]
+        if args.write_fresh is not None:
+            path = write_report(results, config, path=args.write_fresh)
+            print(f"fresh acceptance report written to {path}")
 
     failures = compare_reports(fresh_entries, baseline["results"],
-                               threshold=args.threshold)
+                               threshold=args.threshold,
+                               require_backend=args.backend)
     if failures:
         print("\nBENCHMARK REGRESSION:")
         for failure in failures:

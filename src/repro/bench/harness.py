@@ -20,6 +20,11 @@ measures wall-clock time per step.  Three modes are timed per case:
 All three modes replay the *same* pre-drawn ``(dp, bias)`` sequence, so the
 comparison is not confounded by one mode drawing cheaper patterns.
 
+The ``lstm_rec`` family times one *recurrent* projection (``h @ weight_h.T``
+with ``weight_h`` the 4-gate LSTM stack) under gate-aligned structured
+DropConnect — the recurrent pattern site added by the recurrent-path PR —
+with the same three-mode protocol as ``row``/``tile``.
+
 The ``e2e`` family widens the measurement from one layer to *whole trainer
 steps*: it times ``ClassifierTrainer.train_step`` (MLP) and
 ``LanguageModelTrainer.train_step`` (LSTM) with the model and trainer built
@@ -27,7 +32,9 @@ through the same :class:`~repro.execution.ExecutionConfig` the experiment
 drivers use.  There, ``masked`` is the conventional-dropout baseline (the
 ``original`` strategy: dense GEMMs + i.i.d. Bernoulli masks), while
 ``compact`` and ``pooled`` run the pattern strategy under
-``ExecutionConfig(mode="compact")`` / ``ExecutionConfig(mode="pooled")``.
+``ExecutionConfig(mode="compact")`` / ``ExecutionConfig(mode="pooled")``;
+``BenchmarkConfig.recurrent`` (default ``"tiled"``) additionally routes the
+LSTM case's recurrent projections through the pattern machinery.
 
 Backends: ``BenchmarkConfig.backend`` selects the
 :class:`~repro.backends.ExecutionBackend` the compact/pooled modes execute
@@ -93,9 +100,16 @@ class BenchmarkConfig:
     e2e_dtype: str = "float64"
     #: Execution backend of the compact/pooled modes (registry name).
     backend: str = "numpy"
+    #: Recurrent-projection execution of the e2e LSTM case's compact/pooled
+    #: modes ("dense" keeps the pre-PR behaviour, "tiled" runs the recurrent
+    #: DropConnect site).  The ``lstm_rec`` family always times the tiled op.
+    recurrent: str = "tiled"
     #: Worker processes the cases are sharded across (1 = run in-process).
     shards: int = 1
     output: str = "BENCH_compact_engine.json"
+
+    #: Valid benchmark family names (``lstm_rec`` = one recurrent projection).
+    FAMILIES = ("row", "tile", "lstm_rec", "e2e")
 
     def __post_init__(self):
         if self.batch <= 0 or self.steps <= 0 or self.repeats <= 0:
@@ -108,8 +122,14 @@ class BenchmarkConfig:
             raise ValueError(
                 f"unknown execution backend {self.backend!r}; "
                 f"available: {available_backends()}")
+        from repro.execution import RECURRENT_MODES
+
+        if self.recurrent not in RECURRENT_MODES:
+            raise ValueError(
+                f"unknown recurrent execution {self.recurrent!r}; "
+                f"available: {RECURRENT_MODES}")
         for family in self.families:
-            if family not in ("row", "tile", "e2e"):
+            if family not in self.FAMILIES:
                 raise ValueError(f"unknown benchmark family {family!r}")
 
 
@@ -126,6 +146,8 @@ class BenchmarkResult:
     repeats: int
     #: Execution backend the compact/pooled modes ran through.
     backend: str = "numpy"
+    #: Recurrent-projection execution of the case (None = not applicable).
+    recurrent: str | None = None
     mode_ms: dict[str, float] = field(default_factory=dict)
     #: Mean fraction of the dense GEMM the compact modes execute over the
     #: case's shared pattern sequence (kept rows / kept tile area).
@@ -151,6 +173,7 @@ class BenchmarkResult:
             "steps": self.steps,
             "repeats": self.repeats,
             "backend": self.backend,
+            "recurrent": self.recurrent,
             "mode_ms": {mode: round(ms, 4) for mode, ms in self.mode_ms.items()},
             "keep_fraction": (round(self.keep_fraction, 4)
                               if self.keep_fraction is not None else None),
@@ -329,6 +352,86 @@ def _bench_tile_case(config: BenchmarkConfig, width: int, rate: float,
     return result
 
 
+def _bench_lstm_rec_case(config: BenchmarkConfig, width: int, rate: float,
+                         rng: np.random.Generator) -> BenchmarkResult:
+    """One recurrent projection ``h @ weight_h.T`` under gate-aligned DropConnect.
+
+    ``width`` is the hidden size; the weight has ``4 * width`` rows (the LSTM
+    gate stack).  ``masked`` rebuilds the gate-replicated weight mask every
+    step and runs the dense GEMM; ``compact`` executes fresh (uninterned)
+    recurrent patterns through the plan op; ``pooled`` replays interned
+    patterns with precompiled plans and workspace buffer reuse.  (The
+    per-window weight-gather hoist the LSTM unroll adds on top only pays off
+    when one pattern serves many timesteps — the ``e2e`` family measures
+    that.)
+    """
+    from repro.dropout.compact_ops import recurrent_compact_linear
+    from repro.dropout.engine import compile_recurrent_plan
+    from repro.dropout.patterns import (
+        RecurrentTilePattern,
+        recurrent_tile_mask,
+        recurrent_tile_pattern,
+    )
+
+    num_gates = 4
+    # The recurrent projection is inherently square: h has `width` (hidden)
+    # features regardless of any rectangular-layer override.
+    in_features = width
+    h = Tensor(rng.normal(size=(config.batch, width)), requires_grad=True)
+    weight = Tensor(rng.normal(size=(num_gates * width, width)) * 0.01,
+                    requires_grad=True)
+    reference = TileDropoutPattern(rows=width, cols=width, dp=1, bias=0,
+                                   tile=config.tile)
+    sampler = PatternSampler(rate, min(config.max_period, reference.num_tiles),
+                             rng=np.random.default_rng(config.seed))
+    sampler.result
+    sequence = _shared_pattern_sequence(sampler, reference.num_tiles,
+                                        config.steps + config.warmup)
+    masked_seq, compact_seq = _Cycle(sequence), _Cycle(sequence)
+    backend = create_backend(config.backend)
+
+    def masked_step():
+        _zero_grads(h, weight)
+        dp, bias_phase = masked_seq.next()
+        mask = recurrent_tile_mask(width, num_gates, dp, bias_phase, config.tile)
+        out = h.matmul(F.apply_mask(weight, mask).transpose())
+        out.sum().backward()
+
+    def compact_step():
+        _zero_grads(h, weight)
+        dp, bias_phase = compact_seq.next()
+        pattern = RecurrentTilePattern(width, num_gates, dp, bias_phase,
+                                       config.tile)  # fresh object, no interning
+        out = recurrent_compact_linear(h, weight, pattern, backend=backend)
+        out.sum().backward()
+
+    pooled_seq = _Cycle([recurrent_tile_pattern(width, num_gates, dp, b,
+                                                config.tile)
+                         for dp, b in sequence])
+    workspace = CompactWorkspace()
+
+    def pooled_step():
+        _zero_grads(h, weight)
+        pattern = pooled_seq.next()  # interned pattern from the pre-drawn pool
+        out = recurrent_compact_linear(h, weight, pattern, workspace=workspace,
+                                       plan=compile_recurrent_plan(pattern),
+                                       backend=backend)
+        out.sum().backward()
+
+    result = BenchmarkResult(family="lstm_rec", width=width,
+                             in_features=in_features, batch=config.batch,
+                             rate=rate, steps=config.steps,
+                             repeats=config.repeats, backend=config.backend,
+                             recurrent="tiled",
+                             keep_fraction=float(np.mean(
+                                 [compile_recurrent_plan(p).compact_flops_fraction
+                                  for p in pooled_seq.items])))
+    result.mode_ms = _timed_modes(
+        {"masked": masked_step, "compact": compact_step, "pooled": pooled_step},
+        config.steps, config.warmup, config.repeats)
+    return result
+
+
 # ----------------------------------------------------------------------
 # end-to-end trainer-step cases
 # ----------------------------------------------------------------------
@@ -348,8 +451,13 @@ _E2E_STRATEGY = {"masked": "original", "compact": "row", "pooled": "row"}
 def _e2e_runtime(mode: str, config: BenchmarkConfig):
     from repro.execution import EngineRuntime, ExecutionConfig
 
+    # The masked baseline trains the `original` strategy, which has no
+    # recurrent pattern sites — the recurrent toggle only affects the
+    # compact/pooled pattern runs.
+    recurrent = "dense" if mode == "masked" else config.recurrent
     return EngineRuntime(ExecutionConfig(mode=mode, dtype=config.e2e_dtype,
                                          backend=config.backend,
+                                         recurrent=recurrent,
                                          seed=config.seed))
 
 
@@ -430,7 +538,8 @@ def _bench_e2e_lstm_case(config: BenchmarkConfig,
 
     result = BenchmarkResult(family="e2e_lstm", width=hidden, in_features=vocab,
                              batch=batch, rate=rate, steps=config.steps,
-                             repeats=config.repeats, backend=config.backend)
+                             repeats=config.repeats, backend=config.backend,
+                             recurrent=config.recurrent)
     result.mode_ms = _timed_modes(step_fns, config.steps, config.warmup,
                                   config.repeats)
     return result
@@ -473,7 +582,8 @@ def run_case(config: BenchmarkConfig, index: int,
         return _bench_e2e_mlp_case(config, rng)
     if kind == "e2e_lstm":
         return _bench_e2e_lstm_case(config, rng)
-    bench = _bench_row_case if kind == "row" else _bench_tile_case
+    bench = {"row": _bench_row_case, "tile": _bench_tile_case,
+             "lstm_rec": _bench_lstm_rec_case}[kind]
     return bench(config, width, rate, rng)
 
 
@@ -574,6 +684,7 @@ def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
             "families": list(config.families),
             "e2e_dtype": config.e2e_dtype,
             "backend": config.backend,
+            "recurrent": config.recurrent,
             "shards": config.shards,
             "seed": config.seed,
         },

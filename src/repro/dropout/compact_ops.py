@@ -16,9 +16,13 @@ Two operations are provided:
   zero, so their columns can be skipped too).
 * :func:`tile_compact_linear` — Tile-based Dropout Pattern (TDP) applied to
   the weight matrix of an affine layer (structured DropConnect).
+* :func:`recurrent_compact_linear` — gate-aligned TDP (structured
+  DropConnect) applied to the hidden-to-hidden projection of a recurrent
+  cell; the same compiled-plan execution as the tile op, with the per-gate
+  plan replicated across the stacked gate blocks.
 
-Both return ordinary :class:`~repro.tensor.Tensor` objects wired into the
-autodiff tape.
+All of them return ordinary :class:`~repro.tensor.Tensor` objects wired into
+the autodiff tape.
 
 Fast path: both ops accept an optional :class:`~repro.dropout.engine.CompactWorkspace`.
 When given, the zero-filled scatter buffers (full-size output, input/weight/bias
@@ -43,9 +47,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from dataclasses import dataclass
+
 from repro.backends import ExecutionBackend, default_backend
-from repro.dropout.engine import CompactWorkspace, TileExecutionPlan, compile_tile_plan
-from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.dropout.engine import (
+    CompactWorkspace,
+    TileExecutionPlan,
+    compile_recurrent_plan,
+    compile_tile_plan,
+    plan_column_classes,
+)
+from repro.dropout.patterns import (
+    RecurrentTilePattern,
+    RowDropoutPattern,
+    TileDropoutPattern,
+)
 from repro.tensor import Tensor
 
 
@@ -213,14 +229,31 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
             f"input feature dimension {x.shape[1]} does not match weight columns {in_features}")
     if plan is None:
         plan = compile_tile_plan(pattern)
-    elif (plan.rows, plan.cols, plan.dp, plan.bias, plan.tile) != (
+    elif plan.kind != "tile" or (
+            plan.rows, plan.cols, plan.dp, plan.bias, plan.tile) != (
             pattern.rows, pattern.cols, pattern.dp, pattern.bias, pattern.tile):
         raise ValueError("plan was compiled for a different pattern")
+    return _plan_compact_linear(x, weight, bias, plan, scale_factor,
+                                workspace, backend, op="tile_compact_linear",
+                                key_prefix="tile")
 
+
+def _plan_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
+                         plan: TileExecutionPlan, scale_factor: float,
+                         workspace: CompactWorkspace | None,
+                         backend: ExecutionBackend | None,
+                         op: str, key_prefix: str) -> Tensor:
+    """Shared autodiff body of the plan-driven affine ops.
+
+    Both :func:`tile_compact_linear` and :func:`recurrent_compact_linear`
+    execute a compiled :class:`TileExecutionPlan` — they differ only in how
+    the plan is built (generic tile grid vs gate-aligned replication) and in
+    their validation, so the forward/backward orchestration lives here once.
+    """
     backend = backend or default_backend()
     dtype = np.result_type(x.data, weight.data)
     batch = x.shape[0]
-    out = backend.zeros(workspace, "tile_out", (batch, out_features), dtype)
+    out = backend.zeros(workspace, f"{key_prefix}_out", (batch, plan.rows), dtype)
     backend.tile_forward(plan, x.data, weight.data, out)
     if scale_factor != 1.0:
         out *= scale_factor
@@ -228,14 +261,15 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
         out += bias.data
 
     def backward_x(grad: np.ndarray) -> np.ndarray:
-        grad_x = backend.zeros(workspace, "tile_grad_x", x.data.shape, x.data.dtype)
+        grad_x = backend.zeros(workspace, f"{key_prefix}_grad_x", x.data.shape,
+                               x.data.dtype)
         backend.tile_backward_input(plan, grad, weight.data, grad_x,
                                     scale=scale_factor)
         return grad_x
 
     def backward_weight(grad: np.ndarray) -> np.ndarray:
-        grad_weight = backend.zeros(workspace, "tile_grad_w", weight.data.shape,
-                                    weight.data.dtype)
+        grad_weight = backend.zeros(workspace, f"{key_prefix}_grad_w",
+                                    weight.data.shape, weight.data.dtype)
         backend.tile_backward_weight(plan, grad, x.data, grad_weight,
                                      scale=scale_factor)
         return grad_weight
@@ -244,7 +278,184 @@ def tile_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
     if bias is not None:
         parents.append((bias, lambda grad: grad.sum(axis=0)))
 
-    return Tensor.from_op(out, parents, "tile_compact_linear")
+    return Tensor.from_op(out, parents, op)
+
+
+def recurrent_compact_linear(h: Tensor, weight: Tensor,
+                             pattern: RecurrentTilePattern,
+                             bias: Tensor | None = None,
+                             scale_factor: float = 1.0,
+                             workspace: CompactWorkspace | None = None,
+                             plan: TileExecutionPlan | None = None,
+                             backend: ExecutionBackend | None = None) -> Tensor:
+    """Recurrent projection ``h @ weight.T`` touching only the tiles kept by a
+    gate-aligned :class:`~repro.dropout.patterns.RecurrentTilePattern`.
+
+    This is the structured-DropConnect step of the recurrent path: ``weight``
+    is the ``(num_gates * hidden, hidden)`` hidden-to-hidden matrix of an
+    LSTM cell and the same TDP pattern is applied to every gate block.
+    Dropped tiles contribute exactly zero output and receive exactly zero
+    gradient — identical semantics to masking the weight, at ``≈ 1/dp`` of
+    the arithmetic.
+
+    Parameters mirror :func:`tile_compact_linear`; ``plan`` defaults to the
+    interned :func:`~repro.dropout.engine.compile_recurrent_plan` of the
+    pattern.  The op is safe to call many times inside one autodiff graph
+    (a BPTT unroll) — but then ``workspace`` must be ``None`` or sized to the
+    unroll length (see the buffer-reuse contract in
+    :mod:`repro.dropout.engine`).
+    """
+    if h.ndim != 2:
+        raise ValueError(
+            f"recurrent_compact_linear expects 2-D input, got shape {h.shape}")
+    if (pattern.rows, pattern.cols) != tuple(weight.shape):
+        raise ValueError(
+            f"pattern shape ({pattern.rows}, {pattern.cols}) does not match "
+            f"weight shape {weight.shape}")
+    if h.shape[1] != pattern.cols:
+        raise ValueError(
+            f"input feature dimension {h.shape[1]} does not match weight "
+            f"columns {pattern.cols}")
+    if plan is None:
+        plan = compile_recurrent_plan(pattern)
+    elif plan.kind != "recurrent" or (
+            plan.rows, plan.cols, plan.dp, plan.bias, plan.tile) != (
+            pattern.rows, pattern.cols, pattern.dp, pattern.bias, pattern.tile):
+        raise ValueError("plan was compiled for a different pattern")
+    return _plan_compact_linear(h, weight, bias, plan, scale_factor,
+                                workspace, backend,
+                                op="recurrent_compact_linear",
+                                key_prefix="rec")
+
+
+@dataclass(frozen=True)
+class RecurrentWindowContext:
+    """Per-BPTT-window execution context of one recurrent DropConnect site.
+
+    A recurrent projection runs once per *timestep*, but its pattern is fixed
+    for the whole window (the schedule steps once per parameter update), so
+    the expensive parts of the compact execution can be hoisted out of the
+    unroll:
+
+    * the surviving weight tiles are gathered **once per window** into a
+      single flat *differentiable* tensor (``compact``) — per-class views of
+      it (``blocks``) feed every timestep's GEMMs without any further
+      gather;
+    * symmetrically, the per-timestep weight gradients stay *compact*
+      (``d out / d compact`` is a flat vector of only the surviving
+      weights), so the autodiff tape accumulates small arrays across the
+      unroll and the single gather op scatters into the full-size weight
+      gradient once per window instead of once per timestep.
+    """
+
+    pattern: RecurrentTilePattern
+    plan: TileExecutionPlan
+    weight: Tensor
+    classes: tuple   # (row_indices, col_indices) pairs, disjoint row sets
+    compact: Tensor  # flat differentiable gather of the surviving weights
+    blocks: tuple    # per-class 2-D numpy views into ``compact.data``
+
+
+def recurrent_compact_context(weight: Tensor, pattern: RecurrentTilePattern,
+                              plan: TileExecutionPlan | None = None,
+                              backend: ExecutionBackend | None = None,
+                              ) -> RecurrentWindowContext:
+    """Build the per-window context for :func:`recurrent_context_linear`.
+
+    Call once per BPTT window (after the schedule installed the window's
+    pattern); pass the result to every timestep.  The weight-tile gather (and
+    the full-size weight-gradient scatter on the way back) then amortise over
+    the whole unroll instead of being paid per timestep.
+    """
+    if (pattern.rows, pattern.cols) != tuple(weight.shape):
+        raise ValueError(
+            f"pattern shape ({pattern.rows}, {pattern.cols}) does not match "
+            f"weight shape {weight.shape}")
+    if plan is None:
+        plan = compile_recurrent_plan(pattern)
+    backend = backend or default_backend()
+    classes = plan_column_classes(plan)
+    gathered = [backend.gather_block(weight.data, rows, cols)
+                for rows, cols in classes]
+    flat = (np.concatenate([block.ravel() for block in gathered])
+            if gathered else np.zeros(0, dtype=weight.data.dtype))
+
+    def backward(grad: np.ndarray) -> np.ndarray:
+        # Once per window: scatter the tape-accumulated compact gradient back
+        # into the full weight.  Class blocks are disjoint (disjoint row
+        # sets), so plain assignment is exact; dropped tiles stay zero.
+        full = backend.zeros(None, "rec_gather_grad", weight.data.shape,
+                             weight.data.dtype)
+        offset = 0
+        for (rows, cols), block in zip(classes, gathered):
+            backend.scatter_rows(
+                full, np.ix_(rows, cols),
+                grad[offset:offset + block.size].reshape(block.shape))
+            offset += block.size
+        return full
+
+    compact = Tensor.from_op(flat, [(weight, backward)],
+                             "recurrent_block_gather")
+    blocks, offset = [], 0
+    for block in gathered:
+        blocks.append(compact.data[offset:offset + block.size].reshape(block.shape))
+        offset += block.size
+    return RecurrentWindowContext(pattern=pattern, plan=plan, weight=weight,
+                                  classes=classes, compact=compact,
+                                  blocks=tuple(blocks))
+
+
+def recurrent_context_linear(h: Tensor, context: RecurrentWindowContext,
+                             scale_factor: float = 1.0,
+                             backend: ExecutionBackend | None = None) -> Tensor:
+    """One timestep of the recurrent projection against a pre-gathered context.
+
+    Numerically identical to :func:`recurrent_compact_linear` with the
+    context's pattern; gradients flow through the context's flat compact
+    gather, so the gradient of every dropped weight is exactly zero while the
+    per-timestep gradient arrays stay compact.
+    """
+    if h.ndim != 2:
+        raise ValueError(
+            f"recurrent_context_linear expects 2-D input, got shape {h.shape}")
+    plan = context.plan
+    if h.shape[1] != plan.cols:
+        raise ValueError(
+            f"input feature dimension {h.shape[1]} does not match weight "
+            f"columns {plan.cols}")
+    backend = backend or default_backend()
+    dtype = np.result_type(h.data, context.compact.data)
+    out = backend.zeros(None, "rec_ctx_out", (h.shape[0], plan.rows), dtype)
+    for (rows, cols), block in zip(context.classes, context.blocks):
+        compact = backend.gemm(backend.gather_cols(h.data, cols), block.T)
+        backend.scatter_cols(out, rows, compact)
+    if scale_factor != 1.0:
+        out *= scale_factor
+
+    def backward_h(grad: np.ndarray) -> np.ndarray:
+        grad_h = backend.zeros(None, "rec_ctx_grad_h", h.data.shape, h.data.dtype)
+        for (rows, cols), block in zip(context.classes, context.blocks):
+            grad_compact = backend.gather_cols(grad, rows)
+            if scale_factor != 1.0:
+                grad_compact = grad_compact * scale_factor
+            # += not =: different column classes may share some columns.
+            grad_h[:, cols] += backend.gemm(grad_compact, block)
+        return grad_h
+
+    def backward_compact(grad: np.ndarray) -> np.ndarray:
+        pieces = []
+        for rows, cols in context.classes:
+            grad_compact = backend.gather_cols(grad, rows)
+            if scale_factor != 1.0:
+                grad_compact = grad_compact * scale_factor
+            pieces.append(backend.gemm(grad_compact.T,
+                                       backend.gather_cols(h.data, cols)).ravel())
+        return (np.concatenate(pieces) if pieces
+                else np.zeros(0, dtype=context.compact.data.dtype))
+
+    return Tensor.from_op(out, [(h, backward_h),
+                                (context.compact, backward_compact)],
+                          "recurrent_context_linear")
 
 
 def input_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,

@@ -80,6 +80,17 @@ class TileExecutionPlan:
     bias: int
     tile: int
     row_groups: tuple[TileRowGroup, ...]
+    #: Plan family: ``"tile"`` (a generic TDP pattern) or ``"recurrent"`` (a
+    #: gate-aligned :class:`~repro.dropout.patterns.RecurrentTilePattern`
+    #: replicated per gate block).  Part of the plan identity — backends key
+    #: their layout caches on it so two structurally different plans with the
+    #: same ``(rows, cols, dp, bias, tile)`` never share a cached layout.
+    kind: str = "tile"
+
+    @property
+    def identity(self) -> tuple:
+        """Hashable cache key uniquely identifying this plan's structure."""
+        return (self.kind, self.rows, self.cols, self.dp, self.bias, self.tile)
 
     @property
     def compact_flops_fraction(self) -> float:
@@ -145,6 +156,107 @@ def compile_tile_plan(pattern: TileDropoutPattern) -> TileExecutionPlan:
 def tile_plan_cache_info():
     """Cache statistics of the tile-plan compiler (for diagnostics)."""
     return _compile_tile_plan.cache_info()
+
+
+# ----------------------------------------------------------------------
+# recurrent (gate-aligned) plan compilation
+# ----------------------------------------------------------------------
+
+def _offset_group(group: TileRowGroup, offset: int) -> TileRowGroup:
+    return TileRowGroup(row_start=group.row_start + offset,
+                        row_stop=group.row_stop + offset,
+                        col_indices=group.col_indices,
+                        col_slice=group.col_slice)
+
+
+@lru_cache(maxsize=65536)
+def _compile_recurrent_plan(hidden_size: int, num_gates: int, dp: int,
+                            bias: int, tile: int) -> TileExecutionPlan:
+    gate_plan = _compile_tile_plan(hidden_size, hidden_size, dp, bias, tile)
+    groups: list[TileRowGroup] = []
+    for gate in range(num_gates):
+        offset = gate * hidden_size
+        groups.extend(_offset_group(group, offset)
+                      for group in gate_plan.row_groups)
+    return TileExecutionPlan(rows=num_gates * hidden_size, cols=hidden_size,
+                             dp=dp, bias=bias, tile=tile,
+                             row_groups=tuple(groups), kind="recurrent")
+
+
+def compile_recurrent_plan(pattern) -> TileExecutionPlan:
+    """Interned execution plan for a gate-aligned
+    :class:`~repro.dropout.patterns.RecurrentTilePattern`.
+
+    The per-gate TDP plan is compiled once and replicated with a row offset
+    per gate block, so every gate's tile-row groups share identical column
+    sets — the structure the ``fused``/``stacked`` backends exploit.
+    """
+    return _compile_recurrent_plan(pattern.hidden_size, pattern.num_gates,
+                                   pattern.dp, pattern.bias, pattern.tile)
+
+
+def recurrent_plan_cache_info():
+    """Cache statistics of the recurrent-plan compiler (for diagnostics)."""
+    return _compile_recurrent_plan.cache_info()
+
+
+# ----------------------------------------------------------------------
+# column-class decomposition (shared by window-context ops and backends)
+# ----------------------------------------------------------------------
+
+_COLUMN_GROUP_CACHE: dict[tuple, tuple] = {}
+_COLUMN_GROUP_CACHE_CAP = 65536
+
+
+def plan_column_groups(plan: TileExecutionPlan,
+                       ) -> tuple[tuple[TileRowGroup, ...], ...]:
+    """Partition a plan's tile-row groups by identical column set.
+
+    This is the **single definition** of the column-class structure both the
+    fused/stacked backends (concatenated/batched class GEMMs) and the
+    per-window recurrent context (one weight gather per class) build on —
+    one partition per distinct column set, in first-appearance order, with
+    the member groups' (disjoint) row ranges preserved.  Cached per plan
+    identity (plans are interned, so the cache stays small).
+    """
+    key = plan.identity
+    partitions = _COLUMN_GROUP_CACHE.get(key)
+    if partitions is None:
+        if len(_COLUMN_GROUP_CACHE) >= _COLUMN_GROUP_CACHE_CAP:
+            _COLUMN_GROUP_CACHE.clear()
+        by_cols: dict[bytes, list[TileRowGroup]] = {}
+        for group in plan.row_groups:
+            by_cols.setdefault(np.asarray(group.col_indices).tobytes(),
+                               []).append(group)
+        partitions = _COLUMN_GROUP_CACHE[key] = tuple(
+            tuple(groups) for groups in by_cols.values())
+    return partitions
+
+
+_COLUMN_CLASS_CACHE: dict[tuple, tuple] = {}
+
+
+def plan_column_classes(plan: TileExecutionPlan) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Group a plan's tile-row groups by identical column set.
+
+    Returns ``(row_indices, col_indices)`` pairs — one per distinct column
+    set, with the member groups' row ranges concatenated (they are disjoint
+    by construction).  Derived from :func:`plan_column_groups`, so the
+    recurrent window context and the fused backend always agree on the
+    class structure; cached per plan identity like the partition itself.
+    """
+    key = plan.identity
+    classes = _COLUMN_CLASS_CACHE.get(key)
+    if classes is None:
+        if len(_COLUMN_CLASS_CACHE) >= _COLUMN_GROUP_CACHE_CAP:
+            _COLUMN_CLASS_CACHE.clear()
+        built = []
+        for groups in plan_column_groups(plan):
+            rows = _freeze(np.concatenate([np.arange(g.row_start, g.row_stop)
+                                           for g in groups]))
+            built.append((rows, groups[0].col_indices))
+        classes = _COLUMN_CLASS_CACHE[key] = tuple(built)
+    return classes
 
 
 class CompactWorkspace:

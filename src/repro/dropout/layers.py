@@ -15,6 +15,10 @@ Three modules are provided:
 * :class:`ApproxDropConnectLinear` — a fully-connected layer whose weight
   matrix is dropped tile-by-tile (TDP, Section III-B), computing only the
   surviving 32x32 tiles.
+* :class:`ApproxRecurrentDropConnect` — the weight-less *recurrent* pattern
+  site: gate-aligned TDP over an LSTM cell's hidden-to-hidden projection,
+  gated behind ``ExecutionConfig.recurrent`` (inert/dense until a runtime
+  with ``recurrent="tiled"`` enables it).
 
 All three share the same lifecycle: :meth:`resample` is called once per
 training iteration (usually through :class:`repro.dropout.sampler.PatternSchedule`
@@ -39,11 +43,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dropout.compact_ops import row_compact_linear, tile_compact_linear
+from repro.dropout.compact_ops import (
+    recurrent_compact_context,
+    recurrent_compact_linear,
+    recurrent_context_linear,
+    row_compact_linear,
+    tile_compact_linear,
+)
 from repro.dropout.engine import CompactWorkspace
 from repro.dropout.patterns import (
+    RecurrentTilePattern,
     RowDropoutPattern,
     TileDropoutPattern,
+    recurrent_tile_mask,
     row_pattern_mask,
     tile_pattern_mask,
 )
@@ -80,6 +92,23 @@ def default_max_period(drop_rate: float, available: int,
         return 1
     needed = int(np.ceil(1.0 / (1.0 - drop_rate)))
     return max(1, min(max(needed, 3), available, cap))
+
+
+def _shrink_tile_to_rate(rows: int, cols: int, drop_rate: float,
+                         tile: int) -> int:
+    """Largest tile edge ``<= tile`` whose grid can express ``drop_rate``.
+
+    A weight matrix too small for the requested rate at the nominal 32x32
+    granularity (e.g. a 16-wide layer asked to drop half of its tiles) has
+    its tile halved until the grid holds at least ``ceil(1/(1-rate))``
+    tiles.  Shared by every tile-pattern site so the shrink rule cannot
+    drift between layers.
+    """
+    needed = 1 if drop_rate == 0.0 else int(np.ceil(1.0 / (1.0 - drop_rate)))
+    while tile > 1 and TileDropoutPattern(rows=rows, cols=cols, dp=1, bias=0,
+                                          tile=tile).num_tiles < needed:
+        tile //= 2
+    return tile
 
 
 class ApproxRandomDropout(Module):
@@ -372,12 +401,8 @@ class ApproxDropConnectLinear(Module):
         # Shrink the tile when the weight matrix is too small for the requested
         # rate to be expressible with whole 32x32 tiles (small layers simply do
         # not have enough tiles); the paper's choice of 32 targets large layers.
-        needed = 1 if self.drop_rate == 0.0 else int(np.ceil(1.0 / (1.0 - self.drop_rate)))
-        self.tile = tile
-        while self.tile > 1 and TileDropoutPattern(
-                rows=out_features, cols=in_features, dp=1, bias=0,
-                tile=self.tile).num_tiles < needed:
-            self.tile //= 2
+        self.tile = _shrink_tile_to_rate(out_features, in_features,
+                                         self.drop_rate, tile)
         reference = TileDropoutPattern(rows=out_features, cols=in_features,
                                        dp=1, bias=0, tile=self.tile)
         self.max_period = max_period or default_max_period(self.drop_rate,
@@ -451,3 +476,163 @@ class ApproxDropConnectLinear(Module):
         return (f"ApproxDropConnectLinear(in_features={self.in_features}, "
                 f"out_features={self.out_features}, drop_rate={self.drop_rate}, "
                 f"tile={self.tile})")
+
+
+class ApproxRecurrentDropConnect(Module):
+    """Gate-aligned structured DropConnect site for a recurrent projection.
+
+    Unlike the other pattern layers this module owns no weights: it wraps the
+    ``h @ weight_h.T`` step of an :class:`~repro.nn.recurrent.LSTMCell`, whose
+    ``weight_h`` parameter stays on the cell.  Each training iteration one
+    :class:`~repro.dropout.patterns.RecurrentTilePattern` is sampled (or
+    installed by a pooled :class:`~repro.dropout.sampler.PatternSchedule`) and
+    :meth:`project` computes the recurrent GEMM touching only the surviving
+    per-gate weight tiles — the recurrent half of the paper's DropConnect
+    acceleration that the seed implementation left dense.
+
+    The site is **gated**: it is constructed by the model's dropout strategy
+    but stays inert (``enabled=False`` — :meth:`project` is a plain dense
+    GEMM and :attr:`drop_rate` reads 0, so the pooled schedule skips it)
+    until :meth:`repro.execution.EngineRuntime.bind` flips ``enabled`` for
+    ``ExecutionConfig(recurrent="tiled")``.  ``execution_mode`` and
+    ``backend`` behave as on the other pattern layers.
+
+    No workspace ring: the projection runs once per *timestep* inside a BPTT
+    unroll — many executions per autodiff graph — which the
+    :class:`~repro.dropout.engine.CompactWorkspace` buffer-reuse contract
+    explicitly excludes, so scatter buffers are allocated per call.
+    """
+
+    #: Marker :meth:`EngineRuntime.bind` probes to apply the ``recurrent``
+    #: execution toggle (duck-typed like ``execution_mode``/``backend``).
+    recurrent_site = True
+
+    def __init__(self, hidden_size: int, drop_rate: float, num_gates: int = 4,
+                 tile: int = 32, max_period: int | None = None,
+                 scale: bool = True, rng: np.random.Generator | None = None,
+                 enabled: bool = False):
+        super().__init__()
+        if hidden_size <= 0:
+            raise ValueError("hidden_size must be positive")
+        if num_gates < 1:
+            raise ValueError("num_gates must be >= 1")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        if tile <= 0:
+            raise ValueError("tile must be positive")
+        self.hidden_size = hidden_size
+        self.num_gates = num_gates
+        self.target_rate = float(drop_rate)
+        self.scale = scale
+        self.rng = rng or np.random.default_rng()
+        self.enabled = bool(enabled)
+        # Shrink the tile when the per-gate (hidden, hidden) block is too
+        # small for the requested rate at the nominal 32x32 granularity.
+        self.tile = _shrink_tile_to_rate(hidden_size, hidden_size,
+                                         self.target_rate, tile)
+        reference = TileDropoutPattern(rows=hidden_size, cols=hidden_size,
+                                       dp=1, bias=0, tile=self.tile)
+        self.max_period = max_period or default_max_period(self.target_rate,
+                                                           reference.num_tiles)
+        self.sampler = PatternSampler(self.target_rate, self.max_period,
+                                      rng=self.rng)
+        self.pattern: RecurrentTilePattern | None = None
+        self.execution_mode = "compact"
+        #: Execution backend of the compact op (set by EngineRuntime.bind;
+        #: None = the reference numpy backend).
+        self.backend = None
+
+    @property
+    def drop_rate(self) -> float:
+        """The effective rate: 0 while the site is disabled, so the pooled
+        schedule (:func:`~repro.dropout.sampler.is_pattern_site`) skips it."""
+        return self.target_rate if self.enabled else 0.0
+
+    # ------------------------------------------------------------------
+    # pattern lifecycle (pool protocol, like every other pattern layer)
+    # ------------------------------------------------------------------
+    def resample(self) -> RecurrentTilePattern | None:
+        """Draw a fresh gate-aligned pattern (no-op while disabled)."""
+        if self.drop_rate == 0.0:
+            self.pattern = None
+            return None
+        self.pattern = self.sampler.sample_recurrent_pattern(
+            self.hidden_size, self.num_gates, tile=self.tile)
+        return self.pattern
+
+    def draw_pool(self, count: int) -> list[RecurrentTilePattern]:
+        """Vectorized pool draw for :class:`~repro.dropout.sampler.PatternSchedule`."""
+        return self.sampler.sample_recurrent_patterns(
+            self.hidden_size, self.num_gates, count, tile=self.tile)
+
+    def set_pattern(self, pattern: RecurrentTilePattern) -> None:
+        if (pattern.hidden_size, pattern.num_gates, pattern.tile) != (
+                self.hidden_size, self.num_gates, self.tile):
+            raise ValueError(
+                f"pattern covers hidden={pattern.hidden_size} gates="
+                f"{pattern.num_gates} tile={pattern.tile}, site has "
+                f"hidden={self.hidden_size} gates={self.num_gates} "
+                f"tile={self.tile}")
+        self.pattern = pattern
+
+    # ------------------------------------------------------------------
+    # the recurrent projection
+    # ------------------------------------------------------------------
+    def window_context(self, weight: Tensor):
+        """Pre-gather the surviving weight tiles for a whole BPTT window.
+
+        Returns ``None`` whenever the compact path is not active (disabled,
+        eval mode, or ``masked`` execution) — callers pass the result to
+        :meth:`project` for every timestep of the window, so the weight
+        gather cost amortises over the unroll (the pattern is fixed for the
+        window; the optimizer only updates the weight between windows).
+        """
+        if self.drop_rate == 0.0 or not self.training:
+            return None
+        if self.execution_mode == "masked":
+            return None
+        if self.pattern is None:
+            self.resample()
+        return recurrent_compact_context(weight, self.pattern,
+                                         backend=self.backend)
+
+    def project(self, h: Tensor, weight: Tensor, context=None) -> Tensor:
+        """Compute ``h @ weight.T`` under the current recurrent pattern.
+
+        Dense when disabled; inverted-DropConnect-style rescaling (by the
+        expected keep fraction) in eval mode; dense-GEMM-plus-rebuilt-mask
+        under ``execution_mode == "masked"`` (the Fig. 1(a) baseline);
+        the compact execution otherwise — against a hoisted
+        :meth:`window_context` when one is supplied and still current, else
+        through the plan op directly.
+        """
+        if self.drop_rate == 0.0:
+            return F.linear(h, weight, None)
+        if not self.training:
+            # Non-inverted DropConnect: rescale the recurrent contribution by
+            # the expected keep fraction at evaluation time.
+            if not self.scale:
+                return F.linear(h, weight, None)
+            return F.linear(h, weight * (1.0 - self.drop_rate), None)
+        if self.pattern is None:
+            self.resample()
+        if self.execution_mode == "masked":
+            # Fig. 1(a) baseline: mask the dense recurrent weight every step
+            # (the pattern's own tile, which set_pattern pins to the site's).
+            mask = recurrent_tile_mask(self.hidden_size, self.num_gates,
+                                       self.pattern.dp, self.pattern.bias,
+                                       self.pattern.tile, dtype=h.data.dtype)
+            return F.linear(h, F.apply_mask(weight, mask), None)
+        if (context is not None and context.pattern is self.pattern
+                and context.weight is weight):
+            return recurrent_context_linear(h, context, backend=self.backend)
+        return recurrent_compact_linear(h, weight, self.pattern,
+                                        backend=self.backend)
+
+    def forward(self, h: Tensor, weight: Tensor) -> Tensor:
+        return self.project(h, weight)
+
+    def __repr__(self) -> str:
+        return (f"ApproxRecurrentDropConnect(hidden_size={self.hidden_size}, "
+                f"num_gates={self.num_gates}, drop_rate={self.target_rate}, "
+                f"tile={self.tile}, enabled={self.enabled})")

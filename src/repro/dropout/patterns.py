@@ -332,6 +332,116 @@ class TileDropoutPattern:
                 f"tile={self.tile}, drop_rate={self.drop_rate:.3f})")
 
 
+def recurrent_tile_mask(hidden_size: int, num_gates: int, dp: int, bias: int,
+                        tile: int = 32, dtype=np.float64) -> np.ndarray:
+    """0/1 keep-mask of shape ``(num_gates * hidden, hidden)`` for a
+    gate-aligned recurrent weight-tile pattern (see
+    :class:`RecurrentTilePattern`).  Built fresh on every call — this is the
+    rebuilt-per-step mask of the ``masked`` execution baseline."""
+    if num_gates < 1:
+        raise ValueError("num_gates must be >= 1")
+    gate = tile_pattern_mask(hidden_size, hidden_size, dp, bias, tile,
+                             dtype=dtype)
+    return np.tile(gate, (num_gates, 1))
+
+
+@dataclass(frozen=True)
+class RecurrentTilePattern:
+    """Gate-aligned structured DropConnect over a recurrent weight matrix.
+
+    The recurrent projection of an LSTM cell multiplies the hidden state by a
+    ``(num_gates * hidden, hidden)`` matrix — the four gates stacked along the
+    output dimension.  A recurrent weight-tile pattern applies *the same* TDP
+    pattern (period ``dp``, phase ``bias``, ``tile x tile`` blocks) to each
+    gate's ``(hidden, hidden)`` block:
+
+    * every gate sees the identical structured sparsity, so no gate's
+      recurrent connectivity is starved more than another's in one step;
+    * execution-wise, the surviving tile-rows of the four gate blocks share
+      identical column sets, which is exactly the structure the ``fused`` and
+      ``stacked`` backends concatenate/batch into large GEMMs.
+
+    Attributes
+    ----------
+    hidden_size:
+        Hidden width ``H``; the weight has ``num_gates * H`` rows and ``H``
+        columns.
+    num_gates:
+        Stacked gate blocks (4 for an LSTM).
+    dp, bias, tile:
+        The per-gate TDP parameterisation (see :class:`TileDropoutPattern`).
+    """
+
+    hidden_size: int
+    num_gates: int
+    dp: int
+    bias: int
+    tile: int = 32
+
+    def __post_init__(self):
+        if self.hidden_size <= 0:
+            raise ValueError("hidden_size must be positive")
+        if self.num_gates < 1:
+            raise ValueError("num_gates must be >= 1")
+        if self.tile <= 0:
+            raise ValueError("tile must be positive")
+        _validate_period(self.dp, self.bias)
+
+    @property
+    def rows(self) -> int:
+        return self.num_gates * self.hidden_size
+
+    @property
+    def cols(self) -> int:
+        return self.hidden_size
+
+    @cached_property
+    def gate_pattern(self) -> TileDropoutPattern:
+        """The interned per-gate TDP pattern every gate block replays."""
+        return tile_pattern(self.hidden_size, self.hidden_size, self.dp,
+                            self.bias, self.tile)
+
+    @property
+    def num_tiles(self) -> int:
+        """Tiles per gate block (the period domain of the sampler)."""
+        return self.gate_pattern.num_tiles
+
+    @property
+    def keep_fraction(self) -> float:
+        """Fraction of recurrent weights kept (identical per gate block)."""
+        return self.gate_pattern.keep_fraction
+
+    @property
+    def drop_rate(self) -> float:
+        return 1.0 - self.keep_fraction
+
+    @cached_property
+    def _mask_cache(self) -> dict:
+        return {}
+
+    def mask(self, dtype=np.float64) -> np.ndarray:
+        """0/1 keep-mask of shape ``(rows, cols)`` (cached per dtype, read-only)."""
+        key = np.dtype(dtype)
+        cached = self._mask_cache.get(key)
+        if cached is None:
+            cached = self._mask_cache[key] = _freeze(
+                np.tile(self.gate_pattern.mask(dtype=key), (self.num_gates, 1)))
+        return cached
+
+    def apply_mask(self, weight: np.ndarray) -> np.ndarray:
+        """Zero out the dropped tiles of ``weight`` (functional reference path)."""
+        if weight.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"weight shape {weight.shape} does not match pattern "
+                f"({self.rows}, {self.cols})")
+        return weight * self.mask()
+
+    def describe(self) -> str:
+        return (f"RecurrentTDP(dp={self.dp}, bias={self.bias}, "
+                f"hidden={self.hidden_size}, gates={self.num_gates}, "
+                f"tile={self.tile}, drop_rate={self.drop_rate:.3f})")
+
+
 # ----------------------------------------------------------------------
 # interned (cached) pattern construction
 # ----------------------------------------------------------------------
@@ -357,15 +467,25 @@ def tile_pattern(rows: int, cols: int, dp: int, bias: int,
     return TileDropoutPattern(rows=rows, cols=cols, dp=dp, bias=bias, tile=tile)
 
 
+@lru_cache(maxsize=65536)
+def recurrent_tile_pattern(hidden_size: int, num_gates: int, dp: int, bias: int,
+                           tile: int = 32) -> RecurrentTilePattern:
+    """Interned :class:`RecurrentTilePattern`; repeated calls return the same object."""
+    return RecurrentTilePattern(hidden_size=hidden_size, num_gates=num_gates,
+                                dp=dp, bias=bias, tile=tile)
+
+
 def pattern_cache_info() -> dict[str, object]:
     """Cache statistics of the interned pattern factories (for diagnostics)."""
-    return {"row": row_pattern.cache_info(), "tile": tile_pattern.cache_info()}
+    return {"row": row_pattern.cache_info(), "tile": tile_pattern.cache_info(),
+            "recurrent": recurrent_tile_pattern.cache_info()}
 
 
 def clear_pattern_caches() -> None:
     """Drop all interned patterns (mainly useful in long-lived test processes)."""
     row_pattern.cache_clear()
     tile_pattern.cache_clear()
+    recurrent_tile_pattern.cache_clear()
 
 
 # ----------------------------------------------------------------------

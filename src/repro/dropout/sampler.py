@@ -22,8 +22,10 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.dropout.patterns import (
+    RecurrentTilePattern,
     RowDropoutPattern,
     TileDropoutPattern,
+    recurrent_tile_pattern,
     row_pattern,
     tile_pattern,
 )
@@ -98,6 +100,21 @@ class PatternSampler:
         bias = bias % period
         return tile_pattern(rows, cols, period, bias, tile)
 
+    def sample_recurrent_pattern(self, hidden_size: int, num_gates: int = 4,
+                                 tile: int = 32) -> RecurrentTilePattern:
+        """Draw a gate-aligned weight-tile (DropConnect) pattern for a
+        ``(num_gates * hidden, hidden)`` recurrent weight matrix.
+
+        The period domain is the per-gate tile grid — the same ``(dp, bias)``
+        is replayed by every gate block.
+        """
+        period, bias = self.sample()
+        reference = TileDropoutPattern(rows=hidden_size, cols=hidden_size,
+                                       dp=1, bias=0, tile=tile)
+        period = min(period, reference.num_tiles)
+        bias = bias % period
+        return recurrent_tile_pattern(hidden_size, num_gates, period, bias, tile)
+
     # ------------------------------------------------------------------
     # vectorized (batched) sampling — the pattern-pool fast path
     # ------------------------------------------------------------------
@@ -131,6 +148,19 @@ class PatternSampler:
         periods = np.minimum(periods, reference.num_tiles)
         biases = biases % periods
         return [tile_pattern(rows, cols, int(dp), int(b), tile)
+                for dp, b in zip(periods, biases)]
+
+    def sample_recurrent_patterns(self, hidden_size: int, num_gates: int,
+                                  count: int, tile: int = 32,
+                                  ) -> list[RecurrentTilePattern]:
+        """Batched :meth:`sample_recurrent_pattern`: one vectorized draw,
+        interned patterns."""
+        reference = TileDropoutPattern(rows=hidden_size, cols=hidden_size,
+                                       dp=1, bias=0, tile=tile)
+        periods, biases = self.sample_many(count)
+        periods = np.minimum(periods, reference.num_tiles)
+        biases = biases % periods
+        return [recurrent_tile_pattern(hidden_size, num_gates, int(dp), int(b), tile)
                 for dp, b in zip(periods, biases)]
 
     def expected_drop_rate(self) -> float:

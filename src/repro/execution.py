@@ -69,6 +69,10 @@ from repro.dropout.sampler import PatternSchedule, is_pattern_site
 #: Engine execution modes, in increasing order of caching aggressiveness.
 EXECUTION_MODES: tuple[str, ...] = ("masked", "compact", "pooled")
 
+#: Recurrent-projection execution: keep the LSTM ``weight_h`` GEMM dense, or
+#: run it as a gate-aligned weight-tile (DropConnect) pattern site.
+RECURRENT_MODES: tuple[str, ...] = ("dense", "tiled")
+
 #: Supported floating dtypes of the execution hot path.
 EXECUTION_DTYPES: dict[str, np.dtype] = {
     "float64": np.dtype(np.float64),
@@ -91,6 +95,12 @@ class ExecutionConfig:
         Execution backend selector, validated against the
         :mod:`repro.backends` registry (``"numpy"`` and ``"fused"`` ship;
         see :func:`repro.backends.available_backends`).
+    recurrent:
+        Recurrent-projection execution: ``"dense"`` (the default — the LSTM
+        ``weight_h`` GEMM stays dense, the pre-existing behaviour) or
+        ``"tiled"`` (every bound recurrent DropConnect site is enabled, so
+        the hidden-to-hidden projection becomes a gate-aligned weight-tile
+        pattern site pooled and executed like the other pattern layers).
     seed:
         Pool-wide pattern seed.  A single integer deterministically fixes the
         pattern streams of *every* dropout site; ``None`` leaves each layer's
@@ -104,6 +114,7 @@ class ExecutionConfig:
     mode: str = "pooled"
     dtype: str = "float64"
     backend: str = "numpy"
+    recurrent: str = "dense"
     seed: int | None = 0
     pool_size: int = 1024
     workspace_slots: int = 2
@@ -129,6 +140,10 @@ class ExecutionConfig:
             raise ValueError(
                 f"unknown execution backend {self.backend!r}; "
                 f"available: {available_backends()}")
+        if self.recurrent not in RECURRENT_MODES:
+            raise ValueError(
+                f"unknown recurrent execution {self.recurrent!r}; "
+                f"available: {RECURRENT_MODES}")
         if self.pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if self.workspace_slots < 1:
@@ -143,7 +158,7 @@ class ExecutionConfig:
         """One-line human-readable summary (used in formatted table output)."""
         seed = "-" if self.seed is None else self.seed
         return (f"mode={self.mode} dtype={self.dtype} backend={self.backend} "
-                f"seed={seed} pool={self.pool_size}")
+                f"recurrent={self.recurrent} seed={seed} pool={self.pool_size}")
 
 
 def _pattern_sites(model) -> list:
@@ -226,6 +241,11 @@ class EngineRuntime:
                 module.use_workspace = use_workspace
             if hasattr(module, "backend"):
                 module.backend = self.backend
+            if getattr(module, "recurrent_site", False):
+                # Gated recurrent DropConnect sites: enabled under
+                # recurrent="tiled" (they then count as pattern sites below,
+                # get pooled and reseeded), inert/dense otherwise.
+                module.enabled = config.recurrent == "tiled"
             workspace = getattr(module, "workspace", None)
             if (isinstance(workspace, CompactWorkspace)
                     and workspace.slots != config.workspace_slots):
@@ -342,6 +362,7 @@ class EngineRuntime:
             "mode": config.mode,
             "dtype": config.dtype,
             "backend": config.backend,
+            "recurrent": config.recurrent,
             "backend_calls": backend_calls,
             "seed": config.seed,
             "runs": self.runs,

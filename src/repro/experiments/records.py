@@ -115,6 +115,7 @@ def format_engine_stats(engine: dict[str, Any]) -> str:
         seed = engine.get("seed")
         parts.append(f"mode={mode} dtype={engine.get('dtype')} "
                      f"backend={engine.get('backend', 'numpy')} "
+                     f"recurrent={engine.get('recurrent', 'dense')} "
                      f"seed={'-' if seed is None else seed}")
     backend_calls = engine.get("backend_calls")
     if backend_calls:

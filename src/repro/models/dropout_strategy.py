@@ -27,6 +27,7 @@ from repro.dropout.layers import (
     ApproxDropConnectLinear,
     ApproxRandomDropout,
     ApproxRandomDropoutLinear,
+    ApproxRecurrentDropConnect,
 )
 from repro.nn.dropout import Dropout
 from repro.nn.layers import Identity, Linear
@@ -55,6 +56,19 @@ class DropoutStrategy:
                            rng: np.random.Generator) -> Module:
         """Dropout module for a non-recurrent LSTM connection."""
         raise NotImplementedError
+
+    def recurrent_dropout(self, hidden_size: int, rate: float,
+                          rng: np.random.Generator) -> Module | None:
+        """Structured-DropConnect site for an LSTM cell's recurrent projection.
+
+        ``None`` (the default, used by the no-dropout and conventional
+        strategies) keeps the recurrent GEMM dense — the paper drops only the
+        non-recurrent connections.  The pattern strategies return a *gated*
+        :class:`~repro.dropout.layers.ApproxRecurrentDropConnect` that stays
+        inert until :meth:`repro.execution.EngineRuntime.bind` enables it for
+        ``ExecutionConfig(recurrent="tiled")``.
+        """
+        return None
 
     def resample(self, model: Module) -> None:
         """Draw fresh patterns for every pattern-based module in ``model``.
@@ -128,6 +142,11 @@ class RowPatternDropout(DropoutStrategy):
         return ApproxRandomDropout(num_units, rate, max_period=self.max_period,
                                    scale=self.scale, rng=rng)
 
+    def recurrent_dropout(self, hidden_size, rate, rng) -> Module | None:
+        return ApproxRecurrentDropConnect(hidden_size, rate,
+                                          max_period=self.max_period,
+                                          scale=self.scale, rng=rng)
+
 
 class TilePatternDropout(DropoutStrategy):
     """Tile-based Dropout Pattern (TDP): structured DropConnect over 32x32 tiles."""
@@ -153,6 +172,11 @@ class TilePatternDropout(DropoutStrategy):
         return ApproxBlockDropout(num_units, rate, block=self.tile,
                                   max_period=self.max_period,
                                   scale=self.scale, rng=rng)
+
+    def recurrent_dropout(self, hidden_size, rate, rng) -> Module | None:
+        return ApproxRecurrentDropConnect(hidden_size, rate, tile=self.tile,
+                                          max_period=self.max_period,
+                                          scale=self.scale, rng=rng)
 
 
 _STRATEGIES = {

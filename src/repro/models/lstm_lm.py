@@ -91,9 +91,17 @@ class LSTMLanguageModel(Module):
             return self.strategy.activation_dropout(
                 config.hidden_size, config.drop_rates[layer_index], self.rng)
 
+        def recurrent_builder(layer_index: int) -> Module | None:
+            # Gate-aligned DropConnect site on each cell's weight_h; inert
+            # (dense) until an EngineRuntime with recurrent="tiled" binds the
+            # model and enables it.
+            return self.strategy.recurrent_dropout(
+                config.hidden_size, config.drop_rates[layer_index], self.rng)
+
         self.lstm = LSTM(config.embed_size, config.hidden_size,
                          num_layers=config.num_layers, rng=self.rng,
-                         dropout_builder=dropout_builder)
+                         dropout_builder=dropout_builder,
+                         recurrent_dropout_builder=recurrent_builder)
         self.output_dropout = self.strategy.activation_dropout(
             config.hidden_size, config.drop_rates[-1], self.rng)
         self.projection = Linear(config.hidden_size, config.vocab_size, rng=self.rng)

@@ -55,13 +55,16 @@ class LSTMCell(Module):
     ``concat`` GEMM.  The split is what lets the paper's dropout patterns
     compress the cell: when the *input* activations were dropped by a row
     pattern (non-recurrent dropout, the only kind the paper applies to LSTMs),
-    the input GEMM skips the dropped columns entirely while the recurrent GEMM
-    stays dense.
+    the input GEMM skips the dropped columns entirely; and when a
+    ``recurrent_dropout`` site is attached (gate-aligned structured
+    DropConnect on ``weight_h`` tiles), the recurrent GEMM only touches the
+    surviving weight tiles instead of staying dense.
     """
 
     def __init__(self, input_size: int, hidden_size: int,
                  rng: np.random.Generator | None = None,
-                 forget_bias: float = 1.0):
+                 forget_bias: float = 1.0,
+                 recurrent_dropout: Module | None = None):
         super().__init__()
         if input_size <= 0 or hidden_size <= 0:
             raise ValueError("input_size and hidden_size must be positive")
@@ -79,6 +82,13 @@ class LSTMCell(Module):
         # Positive forget-gate bias is the standard trick for trainability.
         bias[hidden_size:2 * hidden_size] = forget_bias
         self.bias = Parameter(bias)
+        # Optional recurrent-projection site (duck-typed so repro.nn needs no
+        # import from repro.dropout): a module exposing
+        # ``project(h, weight) -> Tensor`` that owns the structured-DropConnect
+        # execution of ``h @ weight_h.T`` — e.g.
+        # :class:`repro.dropout.layers.ApproxRecurrentDropConnect`.  ``None``
+        # keeps the dense recurrent GEMM.
+        self.recurrent_dropout = recurrent_dropout
 
     def compact_input_context(self, input_pattern) -> tuple[np.ndarray, Tensor]:
         """Precompact the input projection against a row pattern.
@@ -93,8 +103,22 @@ class LSTMCell(Module):
         kept = input_pattern.kept_indices
         return kept, F.cols_select(self.weight_x, kept)
 
+    def recurrent_window_context(self):
+        """Hoistable per-window state of the recurrent DropConnect site.
+
+        ``None`` when the cell has no recurrent site or the site's compact
+        path is inactive; otherwise the pre-gathered weight-tile context a
+        window unroll should pass to every timestep (see
+        :meth:`repro.dropout.layers.ApproxRecurrentDropConnect.window_context`).
+        """
+        site = self.recurrent_dropout
+        if site is None:
+            return None
+        build = getattr(site, "window_context", None)
+        return build(self.weight_h) if callable(build) else None
+
     def forward(self, x: Tensor, state: tuple[Tensor, Tensor] | None = None,
-                input_pattern=None, compact_input=None,
+                input_pattern=None, compact_input=None, recurrent_context=None,
                 ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
         """Run one timestep.
 
@@ -112,6 +136,10 @@ class LSTMCell(Module):
             Optional precomputed :meth:`compact_input_context`; takes
             precedence over ``input_pattern``.  Used by the window unroll so
             the weight gather happens once per window, not once per timestep.
+        recurrent_context:
+            Optional precomputed :meth:`recurrent_window_context`, hoisting
+            the recurrent site's weight-tile gather out of the unroll the
+            same way.
 
         Returns
         -------
@@ -131,7 +159,11 @@ class LSTMCell(Module):
             gates = F.linear(F.cols_select(x, kept), compact_weight, self.bias)
         else:
             gates = F.linear(x, self.weight_x, self.bias)
-        gates = gates + F.linear(h, self.weight_h, None)
+        if self.recurrent_dropout is not None:
+            gates = gates + self.recurrent_dropout.project(
+                h, self.weight_h, context=recurrent_context)
+        else:
+            gates = gates + F.linear(h, self.weight_h, None)
         hs = self.hidden_size
         i_gate = gates[:, 0 * hs:1 * hs].sigmoid()
         f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
@@ -158,11 +190,17 @@ class LSTM(Module):
         module applied to the output of each layer except the last.  This is
         how conventional dropout and the approximate dropout patterns are
         swapped in the experiments.
+    recurrent_dropout_builder:
+        Optional callable ``layer_index -> Module | None`` that returns the
+        recurrent-projection DropConnect site of each cell (see
+        :class:`LSTMCell`); ``None`` (the callable, or its return value)
+        keeps that cell's recurrent GEMM dense.
     """
 
     def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
                  rng: np.random.Generator | None = None,
-                 dropout_builder: Callable[[int], Module] | None = None):
+                 dropout_builder: Callable[[int], Module] | None = None,
+                 recurrent_dropout_builder: Callable[[int], Module | None] | None = None):
         super().__init__()
         if num_layers <= 0:
             raise ValueError("num_layers must be positive")
@@ -173,7 +211,10 @@ class LSTM(Module):
         self.cells: list[LSTMCell] = []
         self.inter_layer_dropout: list[Module] = []
         for layer in range(num_layers):
-            cell = LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng=rng)
+            recurrent_dropout = (recurrent_dropout_builder(layer)
+                                 if recurrent_dropout_builder is not None else None)
+            cell = LSTMCell(input_size if layer == 0 else hidden_size, hidden_size,
+                            rng=rng, recurrent_dropout=recurrent_dropout)
             self.add_module(f"cell{layer}", cell)
             self.cells.append(cell)
         for layer in range(max(num_layers - 1, 0)):
@@ -234,13 +275,18 @@ class LSTM(Module):
         contexts = [None if pattern is None
                     else self.cells[layer].compact_input_context(pattern)
                     for layer, pattern in enumerate(patterns)]
+        # Same hoist for the recurrent DropConnect sites: the weight-tile
+        # gather of each cell's recurrent pattern is paid once per window.
+        recurrent_contexts = [cell.recurrent_window_context()
+                              for cell in self.cells]
         outputs: list[Tensor] = []
         for t in range(seq_len):
             layer_input = inputs[t]
             new_state: list[tuple[Tensor, Tensor]] = []
             for layer, cell in enumerate(self.cells):
                 h, layer_state = cell(layer_input, state[layer],
-                                      compact_input=contexts[layer])
+                                      compact_input=contexts[layer],
+                                      recurrent_context=recurrent_contexts[layer])
                 new_state.append(layer_state)
                 if layer < self.num_layers - 1:
                     h = self.inter_layer_dropout[layer](h)

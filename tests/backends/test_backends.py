@@ -20,6 +20,7 @@ from repro.backends import (
     ExecutionBackend,
     FusedBackend,
     NumpyBackend,
+    StackedBackend,
     available_backends,
     create_backend,
     default_backend,
@@ -28,11 +29,16 @@ from repro.backends import (
 )
 from repro.dropout.compact_ops import (
     input_compact_linear,
+    recurrent_compact_linear,
     row_compact_linear,
     tile_compact_linear,
 )
 from repro.dropout.engine import CompactWorkspace
-from repro.dropout.patterns import RowDropoutPattern, TileDropoutPattern
+from repro.dropout.patterns import (
+    RecurrentTilePattern,
+    RowDropoutPattern,
+    TileDropoutPattern,
+)
 from repro.execution import EngineRuntime, ExecutionConfig
 from repro.models import MLPClassifier, MLPConfig
 from repro.tensor import Tensor
@@ -233,6 +239,109 @@ class TestFusedEquivalence:
         assert backend.predict_device is not None
         # Selectable through the config layer like any other backend.
         assert ExecutionConfig(backend="fused-predict").backend == "fused-predict"
+
+
+class TestStackedEquivalence:
+    """The stacked backend must agree with the reference numpy backend on
+    every plan-driven op — forward and both backward ops — and be
+    registered/selectable like any other backend."""
+
+    def test_registered_and_selectable(self):
+        assert "stacked" in available_backends()
+        backend = create_backend("stacked")
+        assert isinstance(backend, StackedBackend)
+        assert isinstance(backend, FusedBackend)  # inherits the fused tiers
+        assert ExecutionConfig(backend="stacked").backend == "stacked"
+
+    @pytest.mark.parametrize("rows,cols,dp,bias_phase,tile",
+                             TestFusedEquivalence.TILE_CASES)
+    def test_tile_compact_linear_matches_numpy(self, rows, cols, dp,
+                                               bias_phase, tile):
+        pattern = TileDropoutPattern(rows=rows, cols=cols, dp=dp,
+                                     bias=bias_phase, tile=tile)
+        captured = []
+        for backend in (NumpyBackend(), StackedBackend()):
+            rng = np.random.default_rng(7)
+            x, weight, bias = _random_operands(rng, 9, rows, cols)
+            out = _run_and_collect(lambda: tile_compact_linear(
+                x, weight, bias, pattern, scale_factor=1.3, backend=backend))
+            captured.append((out.data.copy(), x.grad.copy(),
+                             weight.grad.copy(), bias.grad.copy()))
+        reference, stacked = captured
+        for ref, got in zip(reference, stacked):
+            np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+        np.testing.assert_array_equal(reference[2] == 0.0, stacked[2] == 0.0)
+
+    RECURRENT_CASES = [
+        # (hidden, num_gates, dp, bias, tile) — the gate replication feeds
+        # the stacked families; dp=4 over an 8-wide tile grid produces
+        # several equal-shape column classes (the batched-GEMM path proper).
+        (96, 4, 3, 1, 32),
+        (160, 4, 4, 0, 32),
+        (256, 4, 7, 2, 32),
+        (64, 2, 2, 1, 32),
+    ]
+
+    @pytest.mark.parametrize("hidden,gates,dp,bias_phase,tile", RECURRENT_CASES)
+    def test_recurrent_compact_linear_matches_numpy(self, hidden, gates, dp,
+                                                    bias_phase, tile):
+        pattern = RecurrentTilePattern(hidden_size=hidden, num_gates=gates,
+                                       dp=dp, bias=bias_phase, tile=tile)
+        captured = []
+        for backend in (NumpyBackend(), StackedBackend()):
+            rng = np.random.default_rng(11)
+            h = Tensor(rng.normal(size=(6, hidden)), requires_grad=True)
+            weight = Tensor(rng.normal(size=(gates * hidden, hidden)) * 0.1,
+                            requires_grad=True)
+            out = _run_and_collect(lambda: recurrent_compact_linear(
+                h, weight, pattern, scale_factor=1.2, backend=backend))
+            captured.append((out.data.copy(), h.grad.copy(), weight.grad.copy()))
+        reference, stacked = captured
+        for ref, got in zip(reference, stacked):
+            np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+        # Identical sparsity: dropped tiles get exactly zero grad either way.
+        np.testing.assert_array_equal(reference[2] == 0.0, stacked[2] == 0.0)
+
+    def test_stacked_families_engage_on_gate_aligned_plans(self):
+        """The batched-GEMM tier must actually execute (not just fall back to
+        the fused path) on a plan with several equal-shape column classes."""
+        pattern = RecurrentTilePattern(hidden_size=160, num_gates=4, dp=4,
+                                       bias=0, tile=32)
+        backend = StackedBackend()
+        rng = np.random.default_rng(0)
+        h = Tensor(rng.normal(size=(4, 160)), requires_grad=True)
+        weight = Tensor(rng.normal(size=(640, 160)), requires_grad=True)
+        out = recurrent_compact_linear(h, weight, pattern, backend=backend)
+        out.sum().backward()
+        assert backend.calls.get("stacked_gemm", 0) > 0
+        assert backend.calls.get("plan_stack") == 1
+
+    def test_stacked_layout_cached_per_plan(self):
+        backend = StackedBackend()
+        pattern = TileDropoutPattern(rows=256, cols=128, dp=3, bias=1, tile=32)
+        rng = np.random.default_rng(0)
+        x, weight, bias = _random_operands(rng, 4, 256, 128)
+        for _ in range(3):
+            tile_compact_linear(x, weight, bias, pattern, backend=backend)
+        assert backend.calls.get("plan_stack") == 1  # compiled once, reused
+        assert backend.calls.get("tile_forward") == 3
+
+    def test_stacked_with_workspace_matches_fresh_buffers(self):
+        pattern = RecurrentTilePattern(hidden_size=96, num_gates=4, dp=3, bias=1)
+        backend = StackedBackend()
+        workspace = CompactWorkspace()
+        rng = np.random.default_rng(2)
+        h = Tensor(rng.normal(size=(5, 96)), requires_grad=True)
+        weight = Tensor(rng.normal(size=(384, 96)), requires_grad=True)
+        with_ws = _run_and_collect(lambda: recurrent_compact_linear(
+            h, weight, pattern, workspace=workspace, backend=backend))
+        grads_ws = (h.grad.copy(), weight.grad.copy())
+        h.zero_grad(), weight.zero_grad()
+        without = _run_and_collect(lambda: recurrent_compact_linear(
+            h, weight, pattern, backend=backend))
+        np.testing.assert_allclose(with_ws.data, without.data)
+        np.testing.assert_allclose(grads_ws[0], h.grad)
+        np.testing.assert_allclose(grads_ws[1], weight.grad)
 
 
 class TestRuntimeIntegration:

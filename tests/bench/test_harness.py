@@ -57,10 +57,68 @@ class TestRunBenchmark:
         assert result.width == 48
 
 
+class TestLstmRecFamily:
+    """The recurrent-projection (gate-aligned DropConnect) benchmark family."""
+
+    def test_lstm_rec_case_produced(self):
+        results = run_benchmark(tiny_config(families=("lstm_rec",)))
+        (result,) = results
+        assert result.family == "lstm_rec"
+        assert result.recurrent == "tiled"
+        assert set(result.mode_ms) == {"masked", "compact", "pooled"}
+        assert all(ms > 0 for ms in result.mode_ms.values())
+        assert 0.0 < result.keep_fraction <= 1.0
+        assert result.to_dict()["recurrent"] == "tiled"
+
+    def test_lstm_rec_in_family_registry_and_cli(self):
+        assert "lstm_rec" in BenchmarkConfig.FAMILIES
+        args = parse_args(["--families", "lstm_rec"])
+        assert args.families == ["lstm_rec"]
+
+    def test_recurrent_toggle_validation(self):
+        with pytest.raises(ValueError, match="recurrent"):
+            BenchmarkConfig(recurrent="sparse")
+        assert BenchmarkConfig().recurrent == "tiled"
+
+    def test_e2e_config_records_recurrent(self, tmp_path):
+        config = tiny_config(widths=(32,), batch=8, families=("e2e",),
+                             recurrent="tiled",
+                             output=str(tmp_path / "bench.json"))
+        results = run_benchmark(config)
+        path = write_report(results, config)
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["config"]["recurrent"] == "tiled"
+        lstm_entry = next(e for e in report["results"]
+                          if e["family"] == "e2e_lstm")
+        assert lstm_entry["recurrent"] == "tiled"
+
+
 class TestBackendSelection:
     def test_unknown_backend_fails_fast(self):
         with pytest.raises(ValueError, match="unknown execution backend"):
             BenchmarkConfig(backend="cuda")
+
+    def test_cli_unknown_backend_fails_fast_with_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            bench_main(["--backend", "cuda"])
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert "unknown execution backend 'cuda'" in err
+        assert "numpy" in err and "stacked" in err
+
+    def test_cli_list_backends(self, capsys):
+        assert bench_main(["--list-backends"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert "numpy" in printed and "fused" in printed and "stacked" in printed
+
+    def test_stacked_backend_runs_plan_families(self):
+        config = tiny_config(backend="stacked", families=("tile", "lstm_rec"))
+        results = run_benchmark(config)
+        assert [r.family for r in results] == ["tile", "lstm_rec"]
+        for result in results:
+            assert result.backend == "stacked"
+            assert set(result.mode_ms) == {"masked", "compact", "pooled"}
 
     def test_fused_backend_runs_all_families(self):
         config = tiny_config(backend="fused")
@@ -171,9 +229,9 @@ class TestDeltaCheck:
     """The CI regression gate comparing fresh vs committed speedups."""
 
     @staticmethod
-    def entry(family="row", width=2048, rate=0.7, speedup=4.0):
+    def entry(family="row", width=2048, rate=0.7, speedup=4.0, backend="numpy"):
         return {"family": family, "width": width, "rate": rate,
-                "speedup_pooled": speedup}
+                "speedup_pooled": speedup, "backend": backend}
 
     def test_no_regression_passes(self):
         from repro.bench import compare_reports
@@ -232,3 +290,95 @@ class TestDeltaCheck:
         assert delta_main(["--baseline", str(baseline_path),
                            "--fresh", str(fresh_path)]) == 1
         assert "BENCHMARK REGRESSION" in capsys.readouterr().out
+
+
+class TestDeltaReportMismatches:
+    """Satellite: clear, tested errors when the fresh and committed reports
+    disagree on backend or case set (instead of a raw KeyError)."""
+
+    entry = staticmethod(TestDeltaCheck.entry)
+
+    def test_malformed_entry_raises_clear_error(self):
+        from repro.bench import compare_reports
+
+        good = [self.entry(), self.entry("tile")]
+        bad = [{"family": "row", "width": 2048}]  # no rate / speedup_pooled
+        with pytest.raises(ValueError, match="missing required fields"):
+            compare_reports(bad, good)
+        with pytest.raises(ValueError, match="baseline report entry"):
+            compare_reports(good, bad)
+
+    def test_backend_mismatch_fails_with_clear_message(self):
+        from repro.bench import compare_reports
+
+        baseline = [self.entry(), self.entry("tile")]
+        fresh = [self.entry(backend="numpy"), self.entry("tile", backend="numpy")]
+        # Gating the fused backend against a fresh report that was actually
+        # measured with numpy must fail loudly, not compare silently.
+        failures = compare_reports(fresh, baseline, require_backend="fused")
+        assert len(failures) == 2
+        assert all("backend mismatch" in f for f in failures)
+        assert compare_reports(fresh, baseline, require_backend="numpy") == []
+
+    def test_fresh_entry_without_backend_field_fails_the_gate(self):
+        from repro.bench import compare_reports
+
+        baseline = [self.entry(), self.entry("tile")]
+        fresh = [{k: v for k, v in self.entry().items() if k != "backend"},
+                 {k: v for k, v in self.entry("tile").items() if k != "backend"}]
+        # A pre-backend-era report cannot prove which backend it measured:
+        # the gate must refuse it rather than compare silently.
+        failures = compare_reports(fresh, baseline, require_backend="stacked")
+        assert len(failures) == 2
+        assert all("does not record which backend" in f for f in failures)
+        # Without a backend requirement (in-library use) it still compares.
+        assert compare_reports(fresh, baseline) == []
+
+    def test_case_set_disagreement_lists_every_missing_case(self):
+        from repro.bench import compare_reports
+
+        failures = compare_reports([], [self.entry(), self.entry("tile")])
+        assert len(failures) == 2
+        assert all("missing from the fresh run" in f for f in failures)
+
+    def test_load_report_rejects_non_report_json(self, tmp_path):
+        from repro.bench import load_report
+
+        path = tmp_path / "not_a_report.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="not a benchmark report"):
+            load_report(str(path))
+
+    def test_cli_fresh_report_with_wrong_backend_fails(self, tmp_path, capsys):
+        from repro.bench.delta import main as delta_main
+
+        baseline = {"results": [self.entry(), self.entry("tile")]}
+        fresh = {"results": [dict(self.entry(), backend="numpy"),
+                             dict(self.entry("tile"), backend="numpy")]}
+        baseline_path = tmp_path / "baseline.json"
+        fresh_path = tmp_path / "fresh.json"
+        baseline_path.write_text(json.dumps(baseline))
+        fresh_path.write_text(json.dumps(fresh))
+        assert delta_main(["--baseline", str(baseline_path),
+                           "--fresh", str(fresh_path),
+                           "--backend", "fused"]) == 1
+        assert "backend mismatch" in capsys.readouterr().out
+
+    def test_cli_unknown_backend_fails_fast(self, capsys):
+        from repro.bench.delta import main as delta_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            delta_main(["--backend", "cuda"])
+        assert excinfo.value.code == 2
+        assert "unknown execution backend" in capsys.readouterr().err
+
+    def test_cli_write_fresh_incompatible_with_fresh(self, tmp_path, capsys):
+        from repro.bench.delta import main as delta_main
+
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps({"results": []}))
+        with pytest.raises(SystemExit) as excinfo:
+            delta_main(["--fresh", str(fresh_path),
+                        "--write-fresh", str(tmp_path / "out.json")])
+        assert excinfo.value.code == 2
+        assert "--write-fresh" in capsys.readouterr().err

@@ -70,6 +70,16 @@ def test_lstm_language_model_smoke(capsys):
     assert "Engine:" in out
 
 
+def test_lstm_language_model_tiled_recurrent_smoke(capsys):
+    module = load_example("lstm_language_model")
+    module.main(["--epochs", "1", "--hidden", "32", "--vocab", "80",
+                 "--train-tokens", "1600", "--eval-tokens", "400",
+                 "--recurrent", "tiled", "--backend", "stacked"])
+    out = capsys.readouterr().out
+    assert "recurrent=tiled" in out
+    assert "perplexity" in out
+
+
 def test_gpu_cost_model_tour_smoke(capsys):
     module = load_example("gpu_cost_model_tour")
     module.main()

@@ -40,6 +40,7 @@ class TestExecutionConfig:
         {"mode": "bogus"},
         {"dtype": "float16"},
         {"backend": "cuda"},
+        {"recurrent": "sparse"},
         {"pool_size": 0},
         {"workspace_slots": 0},
     ])
@@ -50,6 +51,10 @@ class TestExecutionConfig:
     def test_describe_mentions_mode_and_dtype(self):
         text = ExecutionConfig(mode="compact", dtype="float32").describe()
         assert "compact" in text and "float32" in text
+
+    def test_recurrent_defaults_to_dense(self):
+        assert ExecutionConfig().recurrent == "dense"
+        assert "recurrent=tiled" in ExecutionConfig(recurrent="tiled").describe()
 
 
 class TestEngineRuntimeBind:
@@ -125,6 +130,151 @@ class TestEngineRuntimeBind:
         # ...but the first model's pair was released at the second bind.
         assert runtime.stats(model=models["first"])["steps"] == 0
         assert len(runtime._bound) == 1
+
+
+def make_lstm(strategy="row", hidden=16, vocab=60, seed=0) -> LSTMLanguageModel:
+    return LSTMLanguageModel(LSTMConfig(
+        vocab_size=vocab, embed_size=12, hidden_size=hidden, num_layers=2,
+        drop_rates=(0.5, 0.5), strategy=strategy, seed=seed))
+
+
+class TestRecurrentToggle:
+    """ExecutionConfig.recurrent gates the LSTM recurrent DropConnect sites."""
+
+    def _sites(self, model):
+        from repro.dropout.layers import ApproxRecurrentDropConnect
+
+        return [m for m in model.modules()
+                if isinstance(m, ApproxRecurrentDropConnect)]
+
+    def test_pattern_strategies_attach_gated_sites(self):
+        model = make_lstm("row")
+        sites = self._sites(model)
+        assert len(sites) == 2  # one per LSTM layer
+        assert all(not site.enabled for site in sites)  # inert by default
+        assert not self._sites(make_lstm("original"))  # baseline stays dense
+
+    def test_bind_tiled_enables_and_pools_the_sites(self):
+        model = make_lstm("row")
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled",
+                                                recurrent="tiled", seed=0))
+        schedule = runtime.bind(model)
+        sites = self._sites(model)
+        assert all(site.enabled for site in sites)
+        assert all(site.backend is runtime.backend for site in sites)
+        # The enabled sites join the pooled schedule alongside the three
+        # activation-dropout sites (input, inter-layer, output).
+        pooled = schedule.pooled_sites()
+        assert sum("RecurrentDropConnect" in name for name in pooled) == 2
+        assert runtime.stats()["recurrent"] == "tiled"
+
+    def test_bind_dense_disables_previously_enabled_sites(self):
+        model = make_lstm("row")
+        EngineRuntime(ExecutionConfig(recurrent="tiled", seed=0)).bind(model)
+        assert all(site.enabled for site in self._sites(model))
+        schedule = EngineRuntime(ExecutionConfig(recurrent="dense",
+                                                 seed=0)).bind(model)
+        assert all(not site.enabled for site in self._sites(model))
+        assert not any("RecurrentDropConnect" in name
+                       for name in schedule.pooled_sites())
+
+    def test_tiled_training_step_runs_and_counts_backend_calls(self, tiny_corpus):
+        model = make_lstm("row", vocab=tiny_corpus.vocab_size)
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled",
+                                                recurrent="tiled", seed=0))
+        trainer = LanguageModelTrainer(
+            model, tiny_corpus,
+            LanguageModelTrainingConfig(batch_size=5, seq_len=8, epochs=1,
+                                        seed=0),
+            runtime=runtime)
+        inputs = tiny_corpus.train[:40].reshape(8, 5)
+        targets = tiny_corpus.train[1:41].reshape(8, 5)
+        loss, _ = trainer.train_step(inputs, targets, model.init_state(5))
+        assert np.isfinite(loss)
+        for param in model.parameters():
+            assert param.grad is not None
+        stats = runtime.stats(model=model)
+        assert stats["recurrent"] == "tiled"
+        assert stats["backend_calls"].get("gemm", 0) > 0
+
+    def test_dense_vs_tiled_recurrent_equivalence_through_the_cell(self):
+        """With the same pattern, masked and compact execution of the
+        recurrent site compute the same function through a whole LSTM cell."""
+        from repro.nn.recurrent import LSTMCell
+        from repro.dropout.layers import ApproxRecurrentDropConnect
+
+        rng = np.random.default_rng(0)
+        cells = []
+        for mode in ("masked", "compact"):
+            site = ApproxRecurrentDropConnect(24, 0.5, enabled=True,
+                                              rng=np.random.default_rng(1))
+            site.execution_mode = mode
+            cells.append(LSTMCell(10, 24, rng=np.random.default_rng(2),
+                                  recurrent_dropout=site))
+        pattern = cells[0].recurrent_dropout.sampler.sample_recurrent_pattern(
+            24, 4, tile=cells[0].recurrent_dropout.tile)
+        for cell in cells:
+            cell.recurrent_dropout.set_pattern(pattern)
+        x = Tensor(rng.normal(size=(3, 10)))
+        state = (Tensor(rng.normal(size=(3, 24))), Tensor(rng.normal(size=(3, 24))))
+        masked_out, _ = cells[0](x, state)
+        compact_out, _ = cells[1](x, state)
+        np.testing.assert_allclose(compact_out.data, masked_out.data,
+                                   rtol=1e-10, atol=1e-12)
+
+
+class TestRebindResetsCounters:
+    """Satellite: binding a second model with the same config must reseed the
+    sites and keep per-run backend call counters clean (no stat bleed)."""
+
+    def test_rebind_per_run_backend_calls_do_not_bleed(self, tiny_corpus):
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled",
+                                                recurrent="tiled", seed=0))
+        inputs = tiny_corpus.train[:40].reshape(8, 5)
+        targets = tiny_corpus.train[1:41].reshape(8, 5)
+        per_run = []
+        for _ in range(2):
+            model = make_lstm("row", vocab=tiny_corpus.vocab_size)
+            trainer = LanguageModelTrainer(
+                model, tiny_corpus,
+                LanguageModelTrainingConfig(batch_size=5, seq_len=8, epochs=1,
+                                            seed=0),
+                runtime=runtime)
+            trainer.train_step(inputs, targets, model.init_state(5))
+            per_run.append(runtime.stats(model=model))
+        # No bleed: each per-model record covers exactly its own run (the
+        # exact counts differ between runs because each bind deliberately
+        # draws a fresh pattern stream), so the two records partition the
+        # runtime-wide totals instead of the second doubling up the first.
+        assert per_run[0]["backend_calls"] and per_run[1]["backend_calls"]
+        totals = runtime.stats()["backend_calls"]
+        for op in totals:
+            assert totals[op] == (per_run[0]["backend_calls"].get(op, 0)
+                                  + per_run[1]["backend_calls"].get(op, 0))
+        # Steps/pool counters are likewise per-run, not cumulative.
+        assert per_run[1]["steps"] == per_run[0]["steps"] == 1
+        assert (per_run[1]["pools"]["consumed"]
+                == per_run[0]["pools"]["consumed"] == 5)  # 5 pooled sites
+
+    def test_rebind_reseeds_sites_deterministically(self):
+        """Two runtimes with the same config replay identical per-bind
+        streams: bind k of runtime A draws the same pools as bind k of B."""
+        def pool_fingerprint(runtime):
+            model = make_lstm("row")
+            schedule = runtime.bind(model)
+            schedule.plan(16)
+            draws = []
+            for _ in range(16):
+                draws.append([(type(p).__name__, p.dp, p.bias)
+                              for p in schedule.step().values()])
+            return draws
+
+        first = EngineRuntime(ExecutionConfig(mode="pooled",
+                                              recurrent="tiled", seed=42))
+        second = EngineRuntime(ExecutionConfig(mode="pooled",
+                                               recurrent="tiled", seed=42))
+        assert pool_fingerprint(first) == pool_fingerprint(second)   # bind 1
+        assert pool_fingerprint(first) == pool_fingerprint(second)   # bind 2
 
 
 class TestFloat32Path:
@@ -219,6 +369,46 @@ class TestPoolWideDeterminism:
         first, second = run(), run()
         assert first.history.train_loss == second.history.train_loss
         assert first.history.eval_metric == second.history.eval_metric
+
+    def test_same_seed_bit_identical_with_tiled_recurrent(self, tiny_corpus):
+        """The determinism contract extends to the recurrent pattern sites:
+        recurrent="tiled" adds two pooled sites and the single config seed
+        still fixes the whole schedule bit-identically."""
+        def run():
+            model = LSTMLanguageModel(LSTMConfig(
+                vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
+                num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
+            runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=9,
+                                                    recurrent="tiled"))
+            trainer = LanguageModelTrainer(
+                model, tiny_corpus,
+                LanguageModelTrainingConfig(batch_size=5, seq_len=10, epochs=1,
+                                            seed=0),
+                runtime=runtime)
+            return trainer.train()
+
+        first, second = run(), run()
+        assert first.history.train_loss == second.history.train_loss
+        assert first.history.eval_metric == second.history.eval_metric
+        assert first.engine_stats["recurrent"] == "tiled"
+
+    def test_tiled_and_dense_recurrent_runs_differ(self, tiny_corpus):
+        """Sanity: the toggle actually changes the computation."""
+        def run(recurrent):
+            model = LSTMLanguageModel(LSTMConfig(
+                vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
+                num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
+            runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=9,
+                                                    recurrent=recurrent))
+            trainer = LanguageModelTrainer(
+                model, tiny_corpus,
+                LanguageModelTrainingConfig(batch_size=5, seq_len=10, epochs=1,
+                                            seed=0),
+                runtime=runtime)
+            return trainer.train()
+
+        assert (run("tiled").history.train_loss
+                != run("dense").history.train_loss)
 
     def test_compact_mode_is_also_seed_deterministic(self, tiny_mnist):
         def run():

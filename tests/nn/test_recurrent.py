@@ -161,3 +161,99 @@ class TestInputPatternCompaction:
                 module.execution_mode = "masked"
         out_masked, _ = lstm(inputs)
         assert np.allclose(out_compact.data, out_masked.data)
+
+
+class TestRecurrentDropConnectSite:
+    """The recurrent weight_h projection as a pattern site (tiled execution)."""
+
+    def _build_lstm(self, mode, seed=5, hidden=24, layers=2):
+        from repro.dropout.layers import ApproxRecurrentDropConnect
+
+        sites = []
+
+        def recurrent_builder(layer):
+            site = ApproxRecurrentDropConnect(hidden, 0.5, enabled=True,
+                                              rng=np.random.default_rng(9))
+            site.execution_mode = mode
+            sites.append(site)
+            return site
+
+        lstm = LSTM(6, hidden, num_layers=layers,
+                    rng=np.random.default_rng(seed),
+                    recurrent_dropout_builder=recurrent_builder)
+        return lstm, sites
+
+    def test_builder_attaches_one_site_per_cell(self):
+        lstm, sites = self._build_lstm("compact", layers=3)
+        assert len(sites) == 3
+        assert [cell.recurrent_dropout for cell in lstm.cells] == sites
+
+    def test_dense_vs_tiled_equivalence_through_the_unroll(self, rng):
+        """With the same installed pattern, the masked (dense GEMM + weight
+        mask) and tiled (compact plan + hoisted window context) executions of
+        a whole multi-layer unroll agree — forward and gradients."""
+        masked_lstm, masked_sites = self._build_lstm("masked")
+        tiled_lstm, tiled_sites = self._build_lstm("compact")
+        patterns = [site.sampler.sample_recurrent_pattern(24, 4, tile=site.tile)
+                    for site in masked_sites]
+        for masked_site, tiled_site, pattern in zip(masked_sites, tiled_sites,
+                                                    patterns):
+            masked_site.set_pattern(pattern)
+            tiled_site.set_pattern(pattern)
+        inputs = rng.normal(size=(4, 3, 6))
+        results = []
+        for lstm in (masked_lstm, tiled_lstm):
+            x = Tensor(inputs, requires_grad=True)
+            out, _ = lstm(x)
+            (out ** 2).sum().backward()
+            grads = [cell.weight_h.grad.copy() for cell in lstm.cells]
+            results.append((out.data.copy(), x.grad.copy(), grads))
+        np.testing.assert_allclose(results[1][0], results[0][0],
+                                   rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(results[1][1], results[0][1],
+                                   rtol=1e-10, atol=1e-12)
+        for masked_grad, tiled_grad, pattern in zip(results[0][2],
+                                                    results[1][2], patterns):
+            np.testing.assert_allclose(tiled_grad, masked_grad,
+                                       rtol=1e-10, atol=1e-12)
+            # Dropped recurrent tiles receive exactly zero gradient.
+            assert np.all(tiled_grad[pattern.mask() == 0.0] == 0.0)
+
+    def test_unroll_hoists_one_context_per_cell(self, rng):
+        """The weight-tile gather must run once per window, not per timestep."""
+        from repro.backends import NumpyBackend
+
+        lstm, sites = self._build_lstm("compact", layers=1)
+        backend = NumpyBackend()
+        sites[0].backend = backend
+        seq_len = 5
+        lstm(Tensor(rng.normal(size=(seq_len, 2, 6))))
+        classes = len(__import__(
+            "repro.dropout.engine", fromlist=["plan_column_classes"]
+        ).plan_column_classes(
+            __import__(
+                "repro.dropout.engine", fromlist=["compile_recurrent_plan"]
+            ).compile_recurrent_plan(sites[0].pattern)))
+        # One gather per column class for the whole window (the context),
+        # plus one h-gather per class per timestep — but no per-timestep
+        # weight gathers (which would add another `classes` per step).
+        assert backend.calls["gather"] == classes + seq_len * classes
+
+    def test_eval_mode_unroll_is_dense_scaled(self, rng):
+        lstm, sites = self._build_lstm("compact", layers=1)
+        lstm.eval()
+        x = Tensor(rng.normal(size=(3, 2, 6)))
+        out, _ = lstm(x)
+        assert np.all(np.isfinite(out.data))
+        assert sites[0].window_context(lstm.cells[0].weight_h) is None
+
+    def test_disabled_site_matches_plain_cell(self, rng):
+        from repro.dropout.layers import ApproxRecurrentDropConnect
+
+        site = ApproxRecurrentDropConnect(8, 0.5, enabled=False,
+                                          rng=np.random.default_rng(0))
+        with_site = LSTMCell(4, 8, rng=np.random.default_rng(1),
+                             recurrent_dropout=site)
+        without = LSTMCell(4, 8, rng=np.random.default_rng(1))
+        x = Tensor(rng.normal(size=(2, 4)))
+        np.testing.assert_allclose(with_site(x)[0].data, without(x)[0].data)
