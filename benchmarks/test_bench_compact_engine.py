@@ -19,7 +19,8 @@ from repro.bench import BenchmarkConfig, run_benchmark, write_report
 def acceptance_results(tmp_path_factory):
     config = BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=128, steps=6,
                              repeats=2, warmup=1,
-                             families=("row", "tile", "lstm_rec", "e2e"))
+                             families=("row", "tile", "lstm_rec", "e2e",
+                                       "head"))
     results = run_benchmark(config, verbose=True)
     output = tmp_path_factory.mktemp("bench") / "BENCH_compact_engine.json"
     write_report(results, config, path=str(output))
@@ -50,6 +51,18 @@ def test_pooled_recurrent_projection_beats_masked_baseline(acceptance_results):
     assert rec.recurrent == "tiled"
     assert rec.speedup_pooled > 1.0, (
         f"pooled recurrent projection not faster: {rec.mode_ms}")
+
+
+def test_sampled_loss_head_beats_dense_softmax_baseline(acceptance_results):
+    """The loss-head family (ISSUE 5): the class-pruned sampled softmax —
+    gather-GEMM projection plus compact cross-entropy — must beat the dense
+    projection + full-vocabulary cross-entropy baseline at vocab 2048."""
+    results, _ = acceptance_results
+    (head,) = [r for r in results if r.family == "head"]
+    assert head.width == 2048 and head.rate == 0.7
+    assert head.loss_head == "sampled"
+    assert head.speedup_pooled > 1.0, (
+        f"pooled sampled head not faster: {head.mode_ms}")
 
 
 def test_uncached_compact_also_beats_masked_baseline(acceptance_results):

@@ -34,6 +34,37 @@ def test_pooled_lstm_trainer_step_beats_masked_baseline(e2e_results):
     assert lstm.speedup_pooled > 1.0, f"pooled LSTM step not faster: {lstm.mode_ms}"
 
 
+def test_pooled_lstm_step_records_sampled_loss_head(e2e_results):
+    (lstm,) = [r for r in e2e_results if r.family == "e2e_lstm"]
+    assert lstm.loss_head == "sampled"  # the default: compact loss head
+
+
+def test_sampled_head_beats_dense_head_lstm_step():
+    """The point of the loss-head subsystem: with the vocabulary projection +
+    cross-entropy as a pattern site, the pooled LSTM step must not regress
+    against the exact dense head — this gates sampled-at-least-matching-dense
+    (a >5% slowdown fails); the committed BENCH report records the actual
+    win.  Measurements are interleaved and best-of-two compared, exactly like
+    the tiled-vs-dense recurrent gate below.
+    """
+    def lstm_pooled_ms(loss_head):
+        config = BenchmarkConfig(widths=(512,), rates=(0.7,), batch=64,
+                                 steps=4, repeats=2, warmup=1,
+                                 families=("e2e",), loss_head=loss_head)
+        (lstm,) = [r for r in run_benchmark(config, verbose=True)
+                   if r.family == "e2e_lstm"]
+        return lstm.mode_ms["pooled"]
+
+    times = {"sampled": [], "dense": []}
+    for _ in range(2):
+        for loss_head in ("sampled", "dense"):
+            times[loss_head].append(lstm_pooled_ms(loss_head))
+    sampled, dense = min(times["sampled"]), min(times["dense"])
+    assert sampled < dense * 1.05, (
+        f"sampled-head pooled step ({sampled:.2f}ms) regressed more than 5% "
+        f"against the dense loss head ({dense:.2f}ms)")
+
+
 def test_tiled_recurrent_beats_dense_recurrent_lstm_step():
     """The point of the recurrent path: with the recurrent projection as a
     pattern site, the pooled LSTM step must not regress against the dense

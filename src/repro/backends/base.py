@@ -101,6 +101,13 @@ class ExecutionBackend(abc.ABC):
         self.count("scatter")
         out[indices] = values
 
+    def scatter_block(self, out: np.ndarray, row_indices, col_indices,
+                      values: np.ndarray) -> None:
+        """``out[ix_(rows, cols)] = values`` — the 2-D counterpart of
+        :meth:`gather_block` (compact tile/class-block scatter)."""
+        self.count("scatter")
+        out[np.ix_(np.asarray(row_indices), np.asarray(col_indices))] = values
+
     def scatter_cols(self, out: np.ndarray, indices, values: np.ndarray) -> None:
         """``out[:, indices] = values`` (compact scatter into a zeroed buffer)."""
         self.count("scatter")
@@ -135,6 +142,63 @@ class ExecutionBackend(abc.ABC):
                              x: np.ndarray, grad_weight: np.ndarray,
                              scale: float = 1.0) -> None:
         """Write ``d loss / d W`` for the surviving tiles into ``grad_weight``."""
+
+    # ------------------------------------------------------------------
+    # window-context execution (per-class GEMMs on pre-gathered blocks)
+    # ------------------------------------------------------------------
+    #
+    # The per-window recurrent context (`recurrent_compact_context`) gathers
+    # the surviving weight tiles once per BPTT window into per-class blocks;
+    # every timestep then runs one small GEMM per column class against those
+    # blocks.  These three primitives own that per-timestep loop, so backends
+    # can batch it (see StackedBackend) without the op changing shape.
+    # ``key`` is a hashable layout-cache key (the plan identity) — the class
+    # structure is a pure function of it, so layouts can be cached per key.
+
+    def context_forward(self, key, classes, blocks, h: np.ndarray,
+                        out: np.ndarray, scratch: dict | None = None) -> None:
+        """Fill ``out[:, rows] = h[:, cols] @ block.T`` for every class.
+
+        ``classes`` is a sequence of ``(row_indices, col_indices)`` pairs
+        with disjoint row sets (so plain assignment is exact) and ``blocks``
+        the matching pre-gathered ``(R, C)`` weight blocks.  ``out`` arrives
+        zero-filled.  ``scratch`` is the context's per-window dict: the
+        blocks are fixed for the window, so a backend may cache derived
+        layouts in it across timesteps (ignored by the reference loop).
+        """
+        self.count("context_forward")
+        self.count("context_gemm", len(classes))
+        for (rows, cols), block in zip(classes, blocks):
+            out[:, rows] = h[:, cols] @ block.T
+
+    def context_backward_h(self, key, classes, blocks, grad: np.ndarray,
+                           grad_h: np.ndarray, scale: float = 1.0,
+                           scratch: dict | None = None) -> None:
+        """Accumulate ``d loss / d h`` into the zero-filled ``grad_h``."""
+        self.count("context_backward_h")
+        self.count("context_gemm", len(classes))
+        for (rows, cols), block in zip(classes, blocks):
+            grad_compact = grad[:, rows]
+            if scale != 1.0:
+                grad_compact = grad_compact * scale
+            # += not =: different column classes may share some columns.
+            grad_h[:, cols] += grad_compact @ block
+
+    def context_backward_blocks(self, key, classes, grad: np.ndarray,
+                                h: np.ndarray,
+                                scale: float = 1.0) -> list[np.ndarray]:
+        """Per-class block gradients ``grad[:, rows].T @ h[:, cols]``, in
+        class order (the caller flattens them back into the compact gather's
+        gradient)."""
+        self.count("context_backward_blocks")
+        self.count("context_gemm", len(classes))
+        pieces: list[np.ndarray] = []
+        for rows, cols in classes:
+            grad_compact = grad[:, rows]
+            if scale != 1.0:
+                grad_compact = grad_compact * scale
+            pieces.append(grad_compact.T @ h[:, cols])
+        return pieces
 
     def __repr__(self) -> str:
         total = sum(self.calls.values())

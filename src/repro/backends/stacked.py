@@ -31,14 +31,15 @@ one of each.  The structure this exploits is pervasive:
   stacked index layouts (cached per plan identity, like the fused layouts)
   are computed once and replayed across consecutive training steps.
 
-Scope: the batching applies to *plan-driven* execution — the tile layers
-(``tile_compact_linear``) and the recurrent plan op
+The batching covers both plan entry points: the plan-driven ops — the tile
+layers (``tile_compact_linear``) and the recurrent plan op
 (``recurrent_compact_linear``, e.g. the ``lstm_rec`` bench family or
-standalone cell calls).  The LSTM *unroll* instead hoists a per-window
-context (:func:`~repro.dropout.compact_ops.recurrent_compact_context`) whose
-per-class GEMMs run against pre-gathered blocks and deliberately bypass the
-plan entry points — at LSTM sizes the gather hoist dominates anything the
-batched tier could add (folding the two is a ROADMAP item).
+standalone cell calls) — and the *window-context* path the LSTM unroll uses
+(:func:`~repro.dropout.compact_ops.recurrent_context_linear`): its per-class
+GEMMs against the pre-gathered weight blocks route through the backend's
+``context_*`` primitives, whose stacked override batches equal-shape classes
+into the same 3-D ``np.matmul`` tier (context layouts cached per plan
+identity like the plan layouts).
 
 Classes without an equal-shape partner fall back to the fused per-class
 path, and lone tile-row groups to the reference loop — the three tiers share
@@ -86,6 +87,40 @@ class _StackedLayout:
     leftovers: tuple                  # TileRowGroup objects (reference loop)
 
 
+@dataclass(frozen=True)
+class _ContextFamily:
+    """All window-context classes of one plan sharing the same (R, C) shape."""
+
+    members: tuple[int, ...]  # indices into the plan's class list
+    rows2d: np.ndarray        # (F, R) row indices, one row per member
+    cols2d: np.ndarray        # (F, C) column indices, one row per member
+
+
+@dataclass(frozen=True)
+class _ContextLayout:
+    """Two-tier context execution: batched families / per-class reference."""
+
+    families: tuple[_ContextFamily, ...]
+    singles: tuple[int, ...]  # class indices without an equal-shape partner
+
+
+def _context_layout(classes) -> _ContextLayout:
+    by_shape: dict[tuple[int, int], list[int]] = {}
+    for index, (rows, cols) in enumerate(classes):
+        by_shape.setdefault((len(rows), len(cols)), []).append(index)
+    families: list[_ContextFamily] = []
+    singles: list[int] = []
+    for members in by_shape.values():
+        if len(members) < 2:
+            singles.extend(members)
+            continue
+        rows2d = np.stack([np.asarray(classes[i][0]) for i in members])
+        cols2d = np.stack([np.asarray(classes[i][1]) for i in members])
+        families.append(_ContextFamily(members=tuple(members),
+                                       rows2d=rows2d, cols2d=cols2d))
+    return _ContextLayout(families=tuple(families), singles=tuple(singles))
+
+
 def _stack_layout(fused: _FusedPlanLayout) -> _StackedLayout:
     by_shape: dict[tuple[int, int], list[_FusedClass]] = {}
     for cls in fused.classes:
@@ -119,9 +154,10 @@ class StackedBackend(FusedBackend):
     def __init__(self, predict_device=None):
         super().__init__(predict_device=predict_device)
         self._stacked: dict[tuple, _StackedLayout] = {}
+        self._context: dict[tuple, _ContextLayout] = {}
 
     # ------------------------------------------------------------------
-    # stacked layout cache
+    # stacked layout caches
     # ------------------------------------------------------------------
     def stacked_layout(self, plan) -> _StackedLayout:
         """The stacked layout of ``plan`` (computed once per plan identity)."""
@@ -133,6 +169,23 @@ class StackedBackend(FusedBackend):
             layout = _stack_layout(self.layout_for(plan))
             self._stacked[key] = layout
             self.count("plan_stack")
+        return layout
+
+    def context_layout(self, key, classes) -> _ContextLayout:
+        """The equal-shape family partition of one plan's context classes.
+
+        The class structure is a pure function of the plan identity ``key``
+        (see :func:`~repro.dropout.engine.plan_column_classes`), so the
+        stacked index layouts are computed once and replayed by every
+        timestep of every window that replays the plan.
+        """
+        layout = self._context.get(key)
+        if layout is None:
+            if len(self._context) >= _STACKED_CACHE_CAP:
+                self._context.clear()
+            layout = _context_layout(classes)
+            self._context[key] = layout
+            self.count("context_stack")
         return layout
 
     # ------------------------------------------------------------------
@@ -199,3 +252,91 @@ class StackedBackend(FusedBackend):
             self.count("tile_group_gemm", len(layout.leftovers))
             self._groups_backward_weight(layout.leftovers, grad, x, grad_weight,
                                          scale)
+
+    # ------------------------------------------------------------------
+    # window-context execution (batched tier over the pre-gathered blocks)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _family_blocks(family, blocks, scratch) -> np.ndarray:
+        """The family's blocks stacked into one (F, R, C) array.
+
+        The blocks are fixed for a whole BPTT window, so the stacked copy is
+        built once and cached in the context's per-window ``scratch`` —
+        subsequent timesteps (forward and backward) reuse it instead of
+        re-copying F*R*C floats per call.
+        """
+        if scratch is None:
+            return np.stack([blocks[i] for i in family.members])
+        stacked = scratch.get(family.members)
+        if stacked is None:
+            stacked = scratch[family.members] = np.stack(
+                [blocks[i] for i in family.members])
+        return stacked
+
+    def context_forward(self, key, classes, blocks, h, out,
+                        scratch: dict | None = None) -> None:
+        layout = self.context_layout(key, classes)
+        self.count("context_forward")
+        for family in layout.families:
+            self.count("stacked_gemm")
+            ws = self._family_blocks(family, blocks, scratch)        # (F, R, C)
+            xs = h[:, family.cols2d]                                 # (batch, F, C)
+            result = np.matmul(xs.transpose(1, 0, 2),
+                               ws.transpose(0, 2, 1))                # (F, batch, R)
+            # Row sets are disjoint across classes, so the fancy-indexed
+            # assignment is exact.
+            out[:, family.rows2d] = result.transpose(1, 0, 2)
+        if layout.singles:
+            self.count("context_gemm", len(layout.singles))
+            for i in layout.singles:
+                rows, cols = classes[i]
+                out[:, rows] = h[:, cols] @ blocks[i].T
+
+    def context_backward_h(self, key, classes, blocks, grad, grad_h,
+                           scale: float = 1.0,
+                           scratch: dict | None = None) -> None:
+        layout = self.context_layout(key, classes)
+        self.count("context_backward_h")
+        for family in layout.families:
+            self.count("stacked_gemm")
+            gc = grad[:, family.rows2d].transpose(1, 0, 2)           # (F, batch, R)
+            if scale != 1.0:
+                gc = gc * scale
+            ws = self._family_blocks(family, blocks, scratch)        # (F, R, C)
+            contrib = np.matmul(gc, ws)                              # (F, batch, C)
+            # Different classes may share *some* columns, and a fancy-indexed
+            # += buffers duplicates — scatter one class at a time instead.
+            for position, i in enumerate(family.members):
+                grad_h[:, classes[i][1]] += contrib[position]
+        if layout.singles:
+            self.count("context_gemm", len(layout.singles))
+            for i in layout.singles:
+                rows, cols = classes[i]
+                gc = grad[:, rows]
+                if scale != 1.0:
+                    gc = gc * scale
+                grad_h[:, cols] += gc @ blocks[i]
+
+    def context_backward_blocks(self, key, classes, grad, h,
+                                scale: float = 1.0) -> list[np.ndarray]:
+        layout = self.context_layout(key, classes)
+        self.count("context_backward_blocks")
+        pieces: list[np.ndarray | None] = [None] * len(classes)
+        for family in layout.families:
+            self.count("stacked_gemm")
+            gc = grad[:, family.rows2d].transpose(1, 0, 2)           # (F, batch, R)
+            if scale != 1.0:
+                gc = gc * scale
+            xs = h[:, family.cols2d].transpose(1, 0, 2)              # (F, batch, C)
+            gw = np.matmul(gc.transpose(0, 2, 1), xs)                # (F, R, C)
+            for position, i in enumerate(family.members):
+                pieces[i] = gw[position]
+        if layout.singles:
+            self.count("context_gemm", len(layout.singles))
+            for i in layout.singles:
+                rows, cols = classes[i]
+                gc = grad[:, rows]
+                if scale != 1.0:
+                    gc = gc * scale
+                pieces[i] = gc.T @ h[:, cols]
+        return pieces

@@ -11,7 +11,7 @@ import argparse
 
 from repro.backends import available_backends
 from repro.bench.harness import BenchmarkConfig, run_benchmark, write_report
-from repro.execution import RECURRENT_MODES
+from repro.execution import LOSS_HEAD_MODES, RECURRENT_MODES
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -31,10 +31,10 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="untimed warm-up steps per repeat")
     parser.add_argument("--tile", type=int, default=32, help="TDP tile edge")
     parser.add_argument("--families", nargs="+",
-                        default=["row", "tile", "e2e"],
-                        choices=list(BenchmarkConfig.FAMILIES),
+                        default=["row", "tile", "e2e", "head"],
                         help="benchmark families to time (lstm_rec = one "
-                             "recurrent projection, e2e = whole trainer steps)")
+                             "recurrent projection, head = one loss-head "
+                             "step, e2e = whole trainer steps)")
     parser.add_argument("--e2e-dtype", default="float64",
                         choices=["float64", "float32"],
                         help="floating dtype of the e2e trainer-step cases")
@@ -45,6 +45,11 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         choices=list(RECURRENT_MODES),
                         help="recurrent-projection execution of the e2e LSTM "
                              "case (tiled = gate-aligned DropConnect site)")
+    parser.add_argument("--loss-head", default="sampled",
+                        choices=list(LOSS_HEAD_MODES),
+                        help="loss head of the e2e LSTM case's compact/pooled "
+                             "modes (sampled = class-pruned softmax; the "
+                             "masked baseline always pays the dense head)")
     parser.add_argument("--list-backends", action="store_true",
                         help="print the registered execution backends and exit")
     parser.add_argument("--shards", type=int, default=1,
@@ -62,6 +67,14 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         parser.error(
             f"unknown execution backend {args.backend!r}; registered backends: "
             f"{', '.join(available_backends())} (see --list-backends)")
+    # Same treatment for families: the error names every valid family instead
+    # of argparse's terse choices dump, mirroring the backend behaviour.
+    unknown = [family for family in args.families
+               if family not in BenchmarkConfig.FAMILIES]
+    if unknown:
+        parser.error(
+            f"unknown benchmark families: {', '.join(unknown)}; "
+            f"valid families: {', '.join(BenchmarkConfig.FAMILIES)}")
     return args
 
 
@@ -76,6 +89,7 @@ def main(argv: list[str] | None = None) -> int:
                                  repeats=1, warmup=1, families=tuple(args.families),
                                  e2e_dtype=args.e2e_dtype, backend=args.backend,
                                  recurrent=args.recurrent,
+                                 loss_head=args.loss_head,
                                  shards=args.shards, output=args.output)
     else:
         config = BenchmarkConfig(widths=tuple(args.widths), rates=tuple(args.rates),
@@ -84,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
                                  tile=args.tile, families=tuple(args.families),
                                  e2e_dtype=args.e2e_dtype, backend=args.backend,
                                  recurrent=args.recurrent,
+                                 loss_head=args.loss_head,
                                  shards=args.shards, output=args.output)
     print("repro.bench — compact pattern-execution engine vs mask-based dropout")
     print(f"batch={config.batch} steps={config.steps} repeats={config.repeats} "

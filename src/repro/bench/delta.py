@@ -1,7 +1,7 @@
 """Benchmark-regression gate: compare a fresh run against a committed report.
 
 ``python -m repro.bench.delta`` runs a quick benchmark at the acceptance case
-(width 2048, rate 0.7, both the row and tile families), loads the committed
+(width 2048, rate 0.7; the row, tile and head families), loads the committed
 ``BENCH_compact_engine.json`` and **fails (exit code 1) when the freshly
 measured ``speedup_pooled`` regresses by more than 30%** relative to the
 committed value.  This is the CI hook that keeps the pooled engine's headline
@@ -27,9 +27,11 @@ from repro.backends import available_backends
 from repro.bench.harness import BenchmarkConfig, run_benchmark, write_report
 
 #: The acceptance cases gated by the delta check: (family, width, rate).
+#: ``head`` gates the sampled loss head (vocab projection + cross-entropy).
 ACCEPTANCE_CASES: tuple[tuple[str, int, float], ...] = (
     ("row", 2048, 0.7),
     ("tile", 2048, 0.7),
+    ("head", 2048, 0.7),
 )
 
 #: Maximum tolerated relative drop in ``speedup_pooled`` (0.3 = 30%).
@@ -148,7 +150,8 @@ def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     full = BenchmarkConfig()
     return BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=full.batch,
                            steps=full.steps, repeats=full.repeats,
-                           warmup=full.warmup, families=("row", "tile"),
+                           warmup=full.warmup,
+                           families=("row", "tile", "head"),
                            backend=backend)
 
 

@@ -25,6 +25,13 @@ with ``weight_h`` the 4-gate LSTM stack) under gate-aligned structured
 DropConnect — the recurrent pattern site added by the recurrent-path PR —
 with the same three-mode protocol as ``row``/``tile``.
 
+The ``head`` family times one *loss-head* step (vocabulary projection +
+cross-entropy, forward and backward) under the class-pruned sampled softmax
+of :mod:`repro.heads`: ``masked`` runs the dense projection plus
+full-vocabulary cross-entropy, ``compact`` the sampled loss with fresh
+(uninterned) class patterns, ``pooled`` the same loss with interned patterns
+and workspace buffer reuse.  ``width`` is the vocabulary size.
+
 The ``e2e`` family widens the measurement from one layer to *whole trainer
 steps*: it times ``ClassifierTrainer.train_step`` (MLP) and
 ``LanguageModelTrainer.train_step`` (LSTM) with the model and trainer built
@@ -34,7 +41,10 @@ drivers use.  There, ``masked`` is the conventional-dropout baseline (the
 ``compact`` and ``pooled`` run the pattern strategy under
 ``ExecutionConfig(mode="compact")`` / ``ExecutionConfig(mode="pooled")``;
 ``BenchmarkConfig.recurrent`` (default ``"tiled"``) additionally routes the
-LSTM case's recurrent projections through the pattern machinery.
+LSTM case's recurrent projections through the pattern machinery, and
+``BenchmarkConfig.loss_head`` (default ``"sampled"``, ``--loss-head`` on the
+CLI) selects the loss head the LSTM case's compact/pooled modes train with —
+the ``masked`` baseline always runs the dense head.
 
 Backends: ``BenchmarkConfig.backend`` selects the
 :class:`~repro.backends.ExecutionBackend` the compact/pooled modes execute
@@ -95,7 +105,7 @@ class BenchmarkConfig:
     tile: int = 32
     max_period: int = 16
     seed: int = 0
-    families: tuple[str, ...] = ("row", "tile", "e2e")
+    families: tuple[str, ...] = ("row", "tile", "e2e", "head")
     #: Floating dtype of the e2e trainer-step cases ("float64" or "float32").
     e2e_dtype: str = "float64"
     #: Execution backend of the compact/pooled modes (registry name).
@@ -104,12 +114,17 @@ class BenchmarkConfig:
     #: modes ("dense" keeps the pre-PR behaviour, "tiled" runs the recurrent
     #: DropConnect site).  The ``lstm_rec`` family always times the tiled op.
     recurrent: str = "tiled"
+    #: Loss-head execution of the e2e LSTM case's compact/pooled modes
+    #: ("dense" = exact full softmax, "sampled" = the class-pruned head).
+    #: The ``head`` family always times the sampled loss.
+    loss_head: str = "sampled"
     #: Worker processes the cases are sharded across (1 = run in-process).
     shards: int = 1
     output: str = "BENCH_compact_engine.json"
 
-    #: Valid benchmark family names (``lstm_rec`` = one recurrent projection).
-    FAMILIES = ("row", "tile", "lstm_rec", "e2e")
+    #: Valid benchmark family names (``lstm_rec`` = one recurrent projection,
+    #: ``head`` = one loss-head step: vocab projection + cross-entropy).
+    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head")
 
     def __post_init__(self):
         if self.batch <= 0 or self.steps <= 0 or self.repeats <= 0:
@@ -122,15 +137,21 @@ class BenchmarkConfig:
             raise ValueError(
                 f"unknown execution backend {self.backend!r}; "
                 f"available: {available_backends()}")
-        from repro.execution import RECURRENT_MODES
+        from repro.execution import LOSS_HEAD_MODES, RECURRENT_MODES
 
         if self.recurrent not in RECURRENT_MODES:
             raise ValueError(
                 f"unknown recurrent execution {self.recurrent!r}; "
                 f"available: {RECURRENT_MODES}")
+        if self.loss_head not in LOSS_HEAD_MODES:
+            raise ValueError(
+                f"unknown loss head {self.loss_head!r}; "
+                f"available: {LOSS_HEAD_MODES}")
         for family in self.families:
             if family not in self.FAMILIES:
-                raise ValueError(f"unknown benchmark family {family!r}")
+                raise ValueError(
+                    f"unknown benchmark family {family!r}; "
+                    f"valid families: {', '.join(self.FAMILIES)}")
 
 
 @dataclass
@@ -148,6 +169,8 @@ class BenchmarkResult:
     backend: str = "numpy"
     #: Recurrent-projection execution of the case (None = not applicable).
     recurrent: str | None = None
+    #: Loss-head execution of the case (None = not applicable).
+    loss_head: str | None = None
     mode_ms: dict[str, float] = field(default_factory=dict)
     #: Mean fraction of the dense GEMM the compact modes execute over the
     #: case's shared pattern sequence (kept rows / kept tile area).
@@ -174,6 +197,7 @@ class BenchmarkResult:
             "repeats": self.repeats,
             "backend": self.backend,
             "recurrent": self.recurrent,
+            "loss_head": self.loss_head,
             "mode_ms": {mode: round(ms, 4) for mode, ms in self.mode_ms.items()},
             "keep_fraction": (round(self.keep_fraction, 4)
                               if self.keep_fraction is not None else None),
@@ -432,6 +456,75 @@ def _bench_lstm_rec_case(config: BenchmarkConfig, width: int, rate: float,
     return result
 
 
+def _bench_head_case(config: BenchmarkConfig, width: int, rate: float,
+                     rng: np.random.Generator) -> BenchmarkResult:
+    """One loss-head step: vocabulary projection + cross-entropy, fwd + bwd.
+
+    ``width`` is the vocabulary size (the class-pattern dimension);
+    ``in_features`` the hidden width feeding the projection.  ``masked``
+    computes the dense projection and the full-vocabulary cross-entropy —
+    what every trainer paid before the head subsystem; ``compact`` computes
+    the sampled softmax with fresh (uninterned) class patterns and no
+    workspace; ``pooled`` replays interned patterns with the workspace ring
+    reusing the full-size gradient scatter buffers (the ``vocab x hidden``
+    weight gradient is the big one).
+    """
+    from repro.dropout.patterns import row_pattern
+    from repro.heads import sampled_softmax_loss
+
+    in_features = config.in_features or width
+    x, weight, bias = _make_operands(rng, config.batch, in_features, width)
+    targets = rng.integers(0, width, size=config.batch)
+    sampler = PatternSampler(rate, min(config.max_period, width),
+                             rng=np.random.default_rng(config.seed))
+    sampler.result  # run the one-time distribution search outside the timers
+    sequence = _shared_pattern_sequence(sampler, width,
+                                        config.steps + config.warmup)
+    masked_seq, compact_seq = _Cycle(sequence), _Cycle(sequence)
+    backend = create_backend(config.backend)
+
+    def masked_step():
+        _zero_grads(x, weight, bias)
+        masked_seq.next()  # the dense baseline ignores the pattern stream
+        loss = F.cross_entropy(F.linear(x, weight, bias), targets)
+        loss.backward()
+
+    def compact_step():
+        _zero_grads(x, weight, bias)
+        dp, bias_phase = compact_seq.next()
+        pattern = RowDropoutPattern(width, dp, bias_phase)  # fresh object, no interning
+        loss = sampled_softmax_loss(x, weight, bias, targets, pattern,
+                                    backend=backend)
+        loss.backward()
+
+    pooled_seq = _Cycle([row_pattern(width, dp, b) for dp, b in sequence])
+    workspace = CompactWorkspace()
+
+    def pooled_step():
+        _zero_grads(x, weight, bias)
+        pattern = pooled_seq.next()  # interned pattern from the pre-drawn pool
+        loss = sampled_softmax_loss(x, weight, bias, targets, pattern,
+                                    workspace=workspace, backend=backend)
+        loss.backward()
+
+    from repro.heads import sampled_class_set
+
+    # The executed class set is union(pattern kept, batch targets) — count
+    # exactly what the sampled loss gathers, not the pattern alone.
+    kept_counts = [len(sampled_class_set(pattern, targets)[0])
+                   for pattern in pooled_seq.items]
+    result = BenchmarkResult(family="head", width=width,
+                             in_features=in_features, batch=config.batch,
+                             rate=rate, steps=config.steps,
+                             repeats=config.repeats, backend=config.backend,
+                             loss_head="sampled",
+                             keep_fraction=float(np.mean(kept_counts) / width))
+    result.mode_ms = _timed_modes(
+        {"masked": masked_step, "compact": compact_step, "pooled": pooled_step},
+        config.steps, config.warmup, config.repeats)
+    return result
+
+
 # ----------------------------------------------------------------------
 # end-to-end trainer-step cases
 # ----------------------------------------------------------------------
@@ -452,12 +545,16 @@ def _e2e_runtime(mode: str, config: BenchmarkConfig):
     from repro.execution import EngineRuntime, ExecutionConfig
 
     # The masked baseline trains the `original` strategy, which has no
-    # recurrent pattern sites — the recurrent toggle only affects the
-    # compact/pooled pattern runs.
+    # recurrent pattern sites and always pays the dense loss head — the
+    # recurrent/loss-head toggles only affect the compact/pooled pattern
+    # runs.  The sampled head prunes classes at the case's dropout rate.
     recurrent = "dense" if mode == "masked" else config.recurrent
+    loss_head = "dense" if mode == "masked" else config.loss_head
     return EngineRuntime(ExecutionConfig(mode=mode, dtype=config.e2e_dtype,
                                          backend=config.backend,
                                          recurrent=recurrent,
+                                         loss_head=loss_head,
+                                         loss_head_rate=max(config.rates),
                                          seed=config.seed))
 
 
@@ -539,7 +636,8 @@ def _bench_e2e_lstm_case(config: BenchmarkConfig,
     result = BenchmarkResult(family="e2e_lstm", width=hidden, in_features=vocab,
                              batch=batch, rate=rate, steps=config.steps,
                              repeats=config.repeats, backend=config.backend,
-                             recurrent=config.recurrent)
+                             recurrent=config.recurrent,
+                             loss_head=config.loss_head)
     result.mode_ms = _timed_modes(step_fns, config.steps, config.warmup,
                                   config.repeats)
     return result
@@ -583,7 +681,7 @@ def run_case(config: BenchmarkConfig, index: int,
     if kind == "e2e_lstm":
         return _bench_e2e_lstm_case(config, rng)
     bench = {"row": _bench_row_case, "tile": _bench_tile_case,
-             "lstm_rec": _bench_lstm_rec_case}[kind]
+             "lstm_rec": _bench_lstm_rec_case, "head": _bench_head_case}[kind]
     return bench(config, width, rate, rng)
 
 
@@ -685,6 +783,7 @@ def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
             "e2e_dtype": config.e2e_dtype,
             "backend": config.backend,
             "recurrent": config.recurrent,
+            "loss_head": config.loss_head,
             "shards": config.shards,
             "seed": config.seed,
         },

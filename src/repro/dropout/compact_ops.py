@@ -20,6 +20,10 @@ Two operations are provided:
   DropConnect) applied to the hidden-to-hidden projection of a recurrent
   cell; the same compiled-plan execution as the tile op, with the per-gate
   plan replicated across the stacked gate blocks.
+* :func:`head_compact_linear` — class-pruned gather-GEMM of the compact loss
+  heads (:mod:`repro.heads`): only the kept vocabulary rows are projected
+  and the result stays *compact* (the sampled softmax consumes it directly),
+  while the weight/bias gradients scatter into full-size zeroed buffers.
 
 All of them return ordinary :class:`~repro.tensor.Tensor` objects wired into
 the autodiff tape.
@@ -47,7 +51,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.backends import ExecutionBackend, default_backend
 from repro.dropout.engine import (
@@ -159,8 +163,8 @@ def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
         grad_weight = backend.zeros(workspace, "row_grad_w", weight.data.shape,
                                     weight.data.dtype)
         if kept_cols is not None:
-            backend.scatter_rows(grad_weight, np.ix_(kept_rows, kept_cols),
-                                 backend.gemm(grad_compact.T, x_compact))
+            backend.scatter_block(grad_weight, kept_rows, kept_cols,
+                                  backend.gemm(grad_compact.T, x_compact))
         else:
             backend.scatter_rows(grad_weight, kept_rows,
                                  backend.gemm(grad_compact.T, x_compact))
@@ -354,6 +358,10 @@ class RecurrentWindowContext:
     classes: tuple   # (row_indices, col_indices) pairs, disjoint row sets
     compact: Tensor  # flat differentiable gather of the surviving weights
     blocks: tuple    # per-class 2-D numpy views into ``compact.data``
+    #: Per-window backend scratch: the blocks are fixed for the window, so a
+    #: backend may stash derived layouts here (e.g. the stacked backend's
+    #: 3-D block arrays) and reuse them across the unroll's timesteps.
+    scratch: dict = field(default_factory=dict)
 
 
 def recurrent_compact_context(weight: Tensor, pattern: RecurrentTilePattern,
@@ -388,8 +396,8 @@ def recurrent_compact_context(weight: Tensor, pattern: RecurrentTilePattern,
                              weight.data.dtype)
         offset = 0
         for (rows, cols), block in zip(classes, gathered):
-            backend.scatter_rows(
-                full, np.ix_(rows, cols),
+            backend.scatter_block(
+                full, rows, cols,
                 grad[offset:offset + block.size].reshape(block.shape))
             offset += block.size
         return full
@@ -426,31 +434,27 @@ def recurrent_context_linear(h: Tensor, context: RecurrentWindowContext,
     backend = backend or default_backend()
     dtype = np.result_type(h.data, context.compact.data)
     out = backend.zeros(None, "rec_ctx_out", (h.shape[0], plan.rows), dtype)
-    for (rows, cols), block in zip(context.classes, context.blocks):
-        compact = backend.gemm(backend.gather_cols(h.data, cols), block.T)
-        backend.scatter_cols(out, rows, compact)
+    # The per-class GEMM loop is a backend primitive (keyed on the plan
+    # identity) so accelerated backends can batch equal-shape classes — the
+    # stacked backend runs them as one 3-D np.matmul per shape family.
+    backend.context_forward(plan.identity, context.classes, context.blocks,
+                            h.data, out, scratch=context.scratch)
     if scale_factor != 1.0:
         out *= scale_factor
 
     def backward_h(grad: np.ndarray) -> np.ndarray:
         grad_h = backend.zeros(None, "rec_ctx_grad_h", h.data.shape, h.data.dtype)
-        for (rows, cols), block in zip(context.classes, context.blocks):
-            grad_compact = backend.gather_cols(grad, rows)
-            if scale_factor != 1.0:
-                grad_compact = grad_compact * scale_factor
-            # += not =: different column classes may share some columns.
-            grad_h[:, cols] += backend.gemm(grad_compact, block)
+        backend.context_backward_h(plan.identity, context.classes,
+                                   context.blocks, grad, grad_h,
+                                   scale=scale_factor,
+                                   scratch=context.scratch)
         return grad_h
 
     def backward_compact(grad: np.ndarray) -> np.ndarray:
-        pieces = []
-        for rows, cols in context.classes:
-            grad_compact = backend.gather_cols(grad, rows)
-            if scale_factor != 1.0:
-                grad_compact = grad_compact * scale_factor
-            pieces.append(backend.gemm(grad_compact.T,
-                                       backend.gather_cols(h.data, cols)).ravel())
-        return (np.concatenate(pieces) if pieces
+        pieces = backend.context_backward_blocks(plan.identity, context.classes,
+                                                 grad, h.data,
+                                                 scale=scale_factor)
+        return (np.concatenate([piece.ravel() for piece in pieces]) if pieces
                 else np.zeros(0, dtype=context.compact.data.dtype))
 
     return Tensor.from_op(out, [(h, backward_h),
@@ -511,6 +515,120 @@ def input_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
     if bias is not None:
         parents.append((bias, lambda grad: grad.sum(axis=0)))
     return Tensor.from_op(out, parents, "input_compact_linear")
+
+
+def head_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
+                        kept_rows: np.ndarray,
+                        input_pattern: RowDropoutPattern | None = None,
+                        workspace: CompactWorkspace | None = None,
+                        backend: ExecutionBackend | None = None) -> Tensor:
+    """Class-pruned affine layer: compute only the output rows in ``kept_rows``.
+
+    This is the gather-GEMM of the compact loss heads (:mod:`repro.heads`):
+    unlike :func:`row_compact_linear`, the result is *compact* —
+    ``(batch, len(kept_rows))`` — because the consumer (a sampled softmax)
+    only ever looks at the kept classes, so scattering back into the
+    full-vocabulary width would waste both the scatter and the downstream
+    loss arithmetic.  The backward pass scatters the weight/bias gradients of
+    the kept classes into full-size zero-filled buffers (drawn from
+    ``workspace`` when given), so dropped classes receive exactly zero
+    gradient — the same semantics every other compact op guarantees.
+
+    Parameters
+    ----------
+    x:
+        Input activations of shape ``(batch, in_features)``.
+    weight:
+        Weight tensor of shape ``(out_features, in_features)`` — for a loss
+        head, the ``(vocab, hidden)`` projection matrix.
+    bias:
+        Optional bias of shape ``(out_features,)``.
+    kept_rows:
+        Integer indices of the output rows (classes) to compute.
+    input_pattern:
+        Optional RDP pattern of the layer *feeding* ``x`` (e.g. the LSTM's
+        ``output_dropout``): dropped input columns are zero, so the matching
+        columns of ``x`` and ``weight`` are skipped as well.
+    workspace:
+        Optional :class:`CompactWorkspace` for the full-size gradient
+        scatter buffers (the weight gradient is the big one: ``vocab x
+        hidden``).
+    backend:
+        Optional :class:`~repro.backends.ExecutionBackend`; the reference
+        numpy backend when omitted.
+
+    Returns
+    -------
+    Tensor of shape ``(batch, len(kept_rows))`` — compact logits, ordered as
+    ``kept_rows``.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"head_compact_linear expects 2-D input, got shape {x.shape}")
+    out_features, in_features = weight.shape
+    kept_rows = np.asarray(kept_rows)
+    if kept_rows.ndim != 1 or len(kept_rows) == 0:
+        raise ValueError("kept_rows must be a non-empty 1-D index array")
+    if kept_rows.min() < 0 or kept_rows.max() >= out_features:
+        raise ValueError(
+            f"kept_rows must index the {out_features} output rows, got range "
+            f"[{kept_rows.min()}, {kept_rows.max()}]")
+    if np.unique(kept_rows).size != len(kept_rows):
+        # The gradient scatters assign (not accumulate) per kept row, so a
+        # duplicated class would silently get last-write-wins gradients.
+        raise ValueError("kept_rows must not contain duplicate classes")
+    if x.shape[1] != in_features:
+        raise ValueError(
+            f"input feature dimension {x.shape[1]} does not match weight columns {in_features}")
+    if input_pattern is not None and input_pattern.num_units != in_features:
+        raise ValueError(
+            f"input_pattern covers {input_pattern.num_units} units but the layer "
+            f"has {in_features} inputs")
+
+    backend = backend or default_backend()
+    weight_compact = backend.gather_rows(weight.data, kept_rows)
+    if input_pattern is not None:
+        kept_cols = input_pattern.kept_indices
+        weight_compact = backend.gather_cols(weight_compact, kept_cols)
+        x_compact = backend.gather_cols(x.data, kept_cols)
+    else:
+        kept_cols = None
+        x_compact = x.data
+
+    out = backend.gemm(x_compact, weight_compact.T)
+    if bias is not None:
+        out = out + bias.data[kept_rows]
+
+    def backward_x(grad: np.ndarray) -> np.ndarray:
+        if kept_cols is not None:
+            grad_x = backend.zeros(workspace, "head_grad_x", x.data.shape,
+                                   x.data.dtype)
+            backend.scatter_cols(grad_x, kept_cols,
+                                 backend.gemm(grad, weight_compact))
+            return grad_x
+        return backend.gemm(grad, weight_compact)
+
+    def backward_weight(grad: np.ndarray) -> np.ndarray:
+        grad_weight = backend.zeros(workspace, "head_grad_w", weight.data.shape,
+                                    weight.data.dtype)
+        if kept_cols is not None:
+            backend.scatter_block(grad_weight, kept_rows, kept_cols,
+                                  backend.gemm(grad.T, x_compact))
+        else:
+            backend.scatter_rows(grad_weight, kept_rows,
+                                 backend.gemm(grad.T, x_compact))
+        return grad_weight
+
+    parents = [(x, backward_x), (weight, backward_weight)]
+    if bias is not None:
+        def backward_bias(grad: np.ndarray) -> np.ndarray:
+            grad_bias = backend.zeros(workspace, "head_grad_b", bias.data.shape,
+                                      bias.data.dtype)
+            backend.scatter_rows(grad_bias, kept_rows, grad.sum(axis=0))
+            return grad_bias
+
+        parents.append((bias, backward_bias))
+
+    return Tensor.from_op(out, parents, "head_compact_linear")
 
 
 def dense_masked_linear_reference(x: np.ndarray, weight: np.ndarray,

@@ -52,6 +52,18 @@ reference per-group implementation, ``"fused"`` batches same-shape tile
 GEMMs into stacked 3-D GEMM calls, and further backends can be plugged in
 through :func:`repro.backends.register_backend`.  Validation consults the
 registry, so unknown names fail fast with the list of available backends.
+
+Loss head
+---------
+
+``loss_head`` selects how a bound model computes its training loss
+(:mod:`repro.heads`): ``"dense"`` keeps the exact full-softmax head, while
+``"sampled"`` installs the :class:`~repro.heads.CompactSoftmaxHead` on every
+model exposing the ``set_loss_head`` hook — the vocabulary becomes one more
+pooled pattern site (class patterns drawn from the same seeded stream,
+targets always kept) and the projection + loss run compactly;
+``loss_head_rate`` is the target fraction of classes pruned per step.
+Evaluation always uses the head's exact dense path.
 """
 
 from __future__ import annotations
@@ -65,6 +77,7 @@ from repro.backends import ExecutionBackend, available_backends, create_backend
 from repro.dropout.engine import CompactWorkspace, tile_plan_cache_info
 from repro.dropout.patterns import pattern_cache_info
 from repro.dropout.sampler import PatternSchedule, is_pattern_site
+from repro.heads import LOSS_HEAD_KINDS
 
 #: Engine execution modes, in increasing order of caching aggressiveness.
 EXECUTION_MODES: tuple[str, ...] = ("masked", "compact", "pooled")
@@ -72,6 +85,10 @@ EXECUTION_MODES: tuple[str, ...] = ("masked", "compact", "pooled")
 #: Recurrent-projection execution: keep the LSTM ``weight_h`` GEMM dense, or
 #: run it as a gate-aligned weight-tile (DropConnect) pattern site.
 RECURRENT_MODES: tuple[str, ...] = ("dense", "tiled")
+
+#: Loss-head execution: the exact dense softmax head, or the sampled
+#: (class-pruned) head of :mod:`repro.heads` (re-exported registry names).
+LOSS_HEAD_MODES: tuple[str, ...] = LOSS_HEAD_KINDS
 
 #: Supported floating dtypes of the execution hot path.
 EXECUTION_DTYPES: dict[str, np.dtype] = {
@@ -101,6 +118,15 @@ class ExecutionConfig:
         ``"tiled"`` (every bound recurrent DropConnect site is enabled, so
         the hidden-to-hidden projection becomes a gate-aligned weight-tile
         pattern site pooled and executed like the other pattern layers).
+    loss_head:
+        Loss-head execution for models exposing ``set_loss_head`` (the LSTM
+        language model): ``"dense"`` (the default — exact full-softmax loss)
+        or ``"sampled"`` (the :class:`~repro.heads.CompactSoftmaxHead`: the
+        vocabulary becomes a pooled pattern site, targets always kept, the
+        training loss a compact sampled softmax; evaluation stays exact).
+    loss_head_rate:
+        Target fraction of vocabulary classes the sampled head prunes per
+        iteration (ignored by the dense head).
     seed:
         Pool-wide pattern seed.  A single integer deterministically fixes the
         pattern streams of *every* dropout site; ``None`` leaves each layer's
@@ -115,6 +141,8 @@ class ExecutionConfig:
     dtype: str = "float64"
     backend: str = "numpy"
     recurrent: str = "dense"
+    loss_head: str = "dense"
+    loss_head_rate: float = 0.5
     seed: int | None = 0
     pool_size: int = 1024
     workspace_slots: int = 2
@@ -144,6 +172,13 @@ class ExecutionConfig:
             raise ValueError(
                 f"unknown recurrent execution {self.recurrent!r}; "
                 f"available: {RECURRENT_MODES}")
+        if self.loss_head not in LOSS_HEAD_MODES:
+            raise ValueError(
+                f"unknown loss head {self.loss_head!r}; "
+                f"available: {LOSS_HEAD_MODES}")
+        if not 0.0 <= self.loss_head_rate < 1.0:
+            raise ValueError(
+                f"loss_head_rate must be in [0, 1), got {self.loss_head_rate}")
         if self.pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if self.workspace_slots < 1:
@@ -158,7 +193,8 @@ class ExecutionConfig:
         """One-line human-readable summary (used in formatted table output)."""
         seed = "-" if self.seed is None else self.seed
         return (f"mode={self.mode} dtype={self.dtype} backend={self.backend} "
-                f"recurrent={self.recurrent} seed={seed} pool={self.pool_size}")
+                f"recurrent={self.recurrent} head={self.loss_head} "
+                f"seed={seed} pool={self.pool_size}")
 
 
 def _pattern_sites(model) -> list:
@@ -216,9 +252,14 @@ class EngineRuntime:
         """Configure ``model`` for this runtime and return its schedule.
 
         * casts every parameter to the configured dtype (in place);
+        * installs the configured loss head on every module exposing the
+          ``set_loss_head`` hook (the LSTM language model), *before* the
+          engine attributes are applied and the sites enumerated, so a
+          sampled head is configured, pooled and reseeded like any other
+          pattern site;
         * sets ``execution_mode`` / ``use_workspace`` on every module that
-          exposes them (the pattern layers, and models with engine-aware
-          fast paths such as the LSTM projection compaction);
+          exposes them (the pattern layers, the loss heads, and models with
+          engine-aware fast paths);
         * installs the runtime's :class:`~repro.backends.ExecutionBackend`
           instance on every module exposing a ``backend`` attribute, so all
           compact GEMMs of the run execute (and are counted) through it;
@@ -231,6 +272,14 @@ class EngineRuntime:
         for param in model.parameters():
             if param.data.dtype != config.np_dtype:
                 param.data = param.data.astype(config.np_dtype)
+
+        # Loss-head installation first: set_loss_head replaces a child
+        # module, so the list is materialised before mutation and the
+        # attribute/site loops below see the freshly installed head.
+        for module in list(model.modules()):
+            installer = getattr(module, "set_loss_head", None)
+            if callable(installer):
+                installer(config.loss_head, rate=config.loss_head_rate)
 
         layer_mode = "masked" if config.mode == "masked" else "compact"
         use_workspace = config.mode == "pooled"
@@ -285,6 +334,7 @@ class EngineRuntime:
             "steps": 0,
             "pools": {"sites": 0, "refills": 0, "consumed": 0, "remaining": 0},
             "workspace": {"num_buffers": 0, "hits": 0, "misses": 0},
+            "head": {"draws": 0, "kept_classes": 0},
         }
 
     @staticmethod
@@ -308,6 +358,11 @@ class EngineRuntime:
                     totals["workspace"]["num_buffers"] += ws.num_buffers
                     totals["workspace"]["hits"] += ws.hits
                     totals["workspace"]["misses"] += ws.misses
+                counters = getattr(module, "head_counters", None)
+                if callable(counters):
+                    head = counters()
+                    totals["head"]["draws"] += head.get("draws", 0)
+                    totals["head"]["kept_classes"] += head.get("kept_classes", 0)
 
     def _archive_finished_runs(self) -> None:
         """Fold the previous binds' counters and release their models.
@@ -342,7 +397,8 @@ class EngineRuntime:
         if model is None:
             totals = {"steps": self._archived["steps"],
                       "pools": dict(self._archived["pools"]),
-                      "workspace": dict(self._archived["workspace"])}
+                      "workspace": dict(self._archived["workspace"]),
+                      "head": dict(self._archived["head"])}
             self._fold(totals, self._bound)
         else:
             totals = self._zero_totals()
@@ -363,6 +419,9 @@ class EngineRuntime:
             "dtype": config.dtype,
             "backend": config.backend,
             "recurrent": config.recurrent,
+            "loss_head": {"kind": config.loss_head,
+                          "rate": config.loss_head_rate,
+                          **totals["head"]},
             "backend_calls": backend_calls,
             "seed": config.seed,
             "runs": self.runs,

@@ -117,6 +117,10 @@ def format_engine_stats(engine: dict[str, Any]) -> str:
                      f"backend={engine.get('backend', 'numpy')} "
                      f"recurrent={engine.get('recurrent', 'dense')} "
                      f"seed={'-' if seed is None else seed}")
+    head = engine.get("loss_head")
+    if head and (head.get("kind", "dense") != "dense" or head.get("draws")):
+        parts.append(f"loss-head {head.get('kind')} draws={head.get('draws', 0)} "
+                     f"kept-classes={head.get('kept_classes', 0)}")
     backend_calls = engine.get("backend_calls")
     if backend_calls:
         total = sum(backend_calls.values())

@@ -1,0 +1,58 @@
+"""repro.heads — compact loss heads (sampled / class-pruned softmax).
+
+The loss-head subsystem applies the pattern-site treatment to the output end
+of a large-vocabulary model: a :class:`LossHead` turns hidden features into a
+scalar training loss, and :class:`~repro.execution.ExecutionConfig.loss_head`
+selects which implementation a run binds —
+
+* ``"dense"`` → :class:`DenseSoftmaxHead`: the exact dense projection + full
+  softmax cross-entropy (the pre-subsystem behaviour, refactored behind the
+  head interface);
+* ``"sampled"`` → :class:`CompactSoftmaxHead`: the vocabulary pruned by a
+  pooled :class:`~repro.dropout.patterns.RowDropoutPattern` each iteration
+  (targets always kept), executed as a compact gather-GEMM with an
+  importance-weighted sampled softmax — see :mod:`repro.heads.softmax`.
+
+Exact dense evaluation (perplexity reporting) is preserved under either
+head: :meth:`LossHead.logits` never samples.
+"""
+
+from repro.heads.base import DenseSoftmaxHead, LossHead
+from repro.heads.softmax import (
+    CompactSoftmaxHead,
+    sampled_class_set,
+    sampled_softmax_loss,
+)
+
+#: Loss-head selectors understood by ``ExecutionConfig.loss_head``.
+LOSS_HEAD_KINDS: tuple[str, ...] = ("dense", "sampled")
+
+
+def build_loss_head(kind: str, vocab_size: int | None = None, *,
+                    rate: float = 0.5, max_period: int | None = None,
+                    rng=None) -> LossHead:
+    """Instantiate a loss head by registry name (``"dense"`` or ``"sampled"``).
+
+    ``vocab_size`` (and optionally ``rate``/``max_period``/``rng``) are only
+    consumed by the sampled head; the dense head is stateless.
+    """
+    if kind == "dense":
+        return DenseSoftmaxHead()
+    if kind == "sampled":
+        if vocab_size is None:
+            raise ValueError("the sampled loss head needs a vocab_size")
+        return CompactSoftmaxHead(vocab_size, drop_rate=rate,
+                                  max_period=max_period, rng=rng)
+    raise ValueError(
+        f"unknown loss head {kind!r}; available: {LOSS_HEAD_KINDS}")
+
+
+__all__ = [
+    "LOSS_HEAD_KINDS",
+    "LossHead",
+    "DenseSoftmaxHead",
+    "CompactSoftmaxHead",
+    "build_loss_head",
+    "sampled_class_set",
+    "sampled_softmax_loss",
+]

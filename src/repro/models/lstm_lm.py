@@ -16,11 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dropout.compact_ops import input_compact_linear
-from repro.dropout.engine import CompactWorkspace
-from repro.dropout.patterns import RowDropoutPattern
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.gpu.training_time import DropoutTimingConfig, LSTMTimingModel
+from repro.heads import DenseSoftmaxHead, build_loss_head
 from repro.models.dropout_strategy import DropoutStrategy, build_strategy
 from repro.nn.layers import Embedding, Linear
 from repro.nn.module import Module
@@ -105,41 +103,27 @@ class LSTMLanguageModel(Module):
         self.output_dropout = self.strategy.activation_dropout(
             config.hidden_size, config.drop_rates[-1], self.rng)
         self.projection = Linear(config.hidden_size, config.vocab_size, rng=self.rng)
-        # Engine integration (set by repro.execution.EngineRuntime.bind):
-        # under "compact"/"pooled" execution the vocabulary projection skips
-        # the input columns that output_dropout's row pattern zeroed — the
-        # consumer-GEMM compaction of Fig. 3(a) step 2, which is where most of
-        # the LSTM's accelerable work lives (the projection is its largest
-        # GEMM).  "masked" keeps the dense projection of the baseline.
-        self.execution_mode = "masked"
-        self.use_workspace = False
-        # Named `workspace`/`backend` so EngineRuntime.bind configures the
-        # slot depth and execution backend like any pattern layer's, and
-        # stats() counts the workspace buffers.
-        self.workspace = CompactWorkspace()
-        self.backend = None
-        self._projection_forwards = 0
-        self._projection_pattern = None
+        # The loss head owns the tail of the forward pass (projection + loss
+        # execution strategy): dense by default; EngineRuntime.bind swaps in a
+        # CompactSoftmaxHead for ExecutionConfig(loss_head="sampled") via
+        # set_loss_head.  The consumer-GEMM compaction of the projection
+        # against output_dropout's row pattern (Fig. 3(a) step 2) lives on
+        # the head too — both heads apply it when the engine is bound.
+        self.loss_head = DenseSoftmaxHead()
 
     # ------------------------------------------------------------------
     # forward / lifecycle
     # ------------------------------------------------------------------
-    def forward(self, tokens: np.ndarray,
-                state: list[tuple[Tensor, Tensor]] | None = None,
-                ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
-        """Compute next-word logits for a batch of sequences.
+    def _features(self, tokens: np.ndarray,
+                  state: list[tuple[Tensor, Tensor]] | None,
+                  ) -> tuple[Tensor, list[tuple[Tensor, Tensor]], object]:
+        """Embedding → LSTM → output dropout, flattened for the loss head.
 
-        Parameters
-        ----------
-        tokens:
-            Integer array of shape ``(seq_len, batch)``.
-        state:
-            Optional LSTM state carried over from the previous BPTT window.
-
-        Returns
-        -------
-        ``(logits, new_state)`` with ``logits`` of shape
-        ``(seq_len * batch, vocab_size)``.
+        Returns ``(features, new_state, output_pattern)``: the
+        ``(seq_len * batch, hidden)`` feature matrix, the carried LSTM state
+        and the row pattern ``output_dropout`` zeroed the features with when
+        a consumer GEMM may compact against it (``None`` otherwise — see
+        :func:`~repro.nn.recurrent.active_input_pattern`).
         """
         tokens = np.asarray(tokens)
         if tokens.ndim != 2:
@@ -153,29 +137,64 @@ class LSTMLanguageModel(Module):
         outputs = self.output_dropout(outputs)
         seq_len, batch = tokens.shape
         flat = outputs.reshape(seq_len * batch, self.config.hidden_size)
-        pattern = getattr(self.output_dropout, "pattern", None)
-        if (self.training and self.execution_mode != "masked"
-                and isinstance(pattern, RowDropoutPattern)
-                and pattern.num_units == self.config.hidden_size
-                and pattern.dp > 1):
-            # The columns dropped by output_dropout are exactly zero, so the
-            # projection GEMM can skip them (numerically identical result).
-            # Same buffer-reuse contract as the pattern layers: once this
-            # pattern installment has used up the workspace ring (more than
-            # `slots` forwards inside one graph), fall back to fresh buffers.
-            if pattern is not self._projection_pattern:
-                self._projection_pattern = pattern
-                self._projection_forwards = 0
-            self._projection_forwards += 1
-            use_ring = (self.use_workspace
-                        and self._projection_forwards <= self.workspace.slots)
-            logits = input_compact_linear(
-                flat, self.projection.weight, self.projection.bias, pattern,
-                workspace=self.workspace if use_ring else None,
-                backend=self.backend)
-        else:
-            logits = self.projection(flat)
+        pattern = active_input_pattern(self.output_dropout,
+                                       self.config.hidden_size)
+        return flat, new_state, pattern
+
+    def forward(self, tokens: np.ndarray,
+                state: list[tuple[Tensor, Tensor]] | None = None,
+                ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        """Compute next-word logits for a batch of sequences.
+
+        The logits always come from the head's *exact dense* projection
+        (:meth:`~repro.heads.LossHead.logits`), so evaluation — perplexity in
+        particular — is never approximated, whichever head trains the model.
+
+        Parameters
+        ----------
+        tokens:
+            Integer array of shape ``(seq_len, batch)``.
+        state:
+            Optional LSTM state carried over from the previous BPTT window.
+
+        Returns
+        -------
+        ``(logits, new_state)`` with ``logits`` of shape
+        ``(seq_len * batch, vocab_size)``.
+        """
+        flat, new_state, pattern = self._features(tokens, state)
+        logits = self.loss_head.logits(flat, self.projection.weight,
+                                       self.projection.bias,
+                                       input_pattern=pattern)
         return logits, new_state
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray,
+             state: list[tuple[Tensor, Tensor]] | None = None,
+             ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        """Training loss of one window, computed through the bound loss head.
+
+        This is the entry point the trainer's hot path uses instead of
+        ``forward`` + an external cross-entropy: the head may never
+        materialise full-vocabulary logits (the sampled head projects only
+        the kept classes).  Returns ``(loss, new_state)``.
+        """
+        flat, new_state, pattern = self._features(tokens, state)
+        loss = self.loss_head.loss(flat, self.projection.weight,
+                                   self.projection.bias,
+                                   np.asarray(targets).reshape(-1),
+                                   input_pattern=pattern)
+        return loss, new_state
+
+    def set_loss_head(self, kind: str, rate: float = 0.5) -> None:
+        """Install a fresh loss head (the ``ExecutionConfig.loss_head`` hook).
+
+        Called by :meth:`repro.execution.EngineRuntime.bind` before the
+        engine attributes are applied and the pattern sites enumerated, so a
+        sampled head joins the pooled schedule and the pool-wide reseeding
+        like any other pattern site.
+        """
+        self.loss_head = build_loss_head(kind, self.config.vocab_size,
+                                         rate=rate, rng=self.rng)
 
     def init_state(self, batch: int) -> list[tuple[Tensor, Tensor]]:
         return self.lstm.init_state(batch)

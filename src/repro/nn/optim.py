@@ -63,7 +63,8 @@ class SGD(Optimizer):
         self.step_count += 1
         clip_scale = self._clip_scale()
         for (param, grad), velocity in zip(self._gradients(), self._velocity):
-            grad = grad * clip_scale
+            if clip_scale != 1.0:
+                grad = grad * clip_scale
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
@@ -72,7 +73,9 @@ class SGD(Optimizer):
                 update = velocity
             else:
                 update = grad
-            param.data = param.data - self.lr * update
+            # In-place update: one scaled temp instead of a scaled temp plus
+            # a whole fresh parameter array per step.
+            param.data -= self.lr * update
 
     def _clip_scale(self) -> float:
         """Global-norm gradient clipping factor (1.0 when clipping disabled)."""
@@ -80,7 +83,8 @@ class SGD(Optimizer):
             return 1.0
         total = 0.0
         for _, grad in self._gradients():
-            total += float(np.sum(grad * grad))
+            flat = grad.reshape(-1)
+            total += float(np.dot(flat, flat))
         norm = np.sqrt(total)
         if norm <= self.grad_clip or norm == 0.0:
             return 1.0

@@ -132,8 +132,23 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     out = weight.data[indices]
 
     def backward(g, indices=indices):
+        # Sort the flat lookups and segment-sum with np.add.reduceat: same
+        # result as np.add.at (which is unbuffered and an order of magnitude
+        # slower for embedding-sized scatters), one contiguous reduction per
+        # distinct row instead of one scalar add per gathered element.
         grad_weight = np.zeros_like(weight.data)
-        np.add.at(grad_weight, indices.reshape(-1), g.reshape(-1, weight.data.shape[1]))
+        # Normalize negative indices so aliases of one row (-n+k and k) land
+        # in the same segment — fancy assignment below is last-write-wins.
+        flat_indices = indices.reshape(-1) % weight.data.shape[0]
+        if flat_indices.size == 0:
+            return grad_weight  # reduceat rejects the empty segment list
+        flat_grad = g.reshape(-1, weight.data.shape[1])
+        order = np.argsort(flat_indices, kind="stable")
+        sorted_indices = flat_indices[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_indices[1:] != sorted_indices[:-1]])
+        grad_weight[sorted_indices[starts]] = np.add.reduceat(
+            flat_grad[order], starts, axis=0)
         return grad_weight
 
     return Tensor.from_op(out, [(weight, backward)], "embedding")

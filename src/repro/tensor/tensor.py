@@ -339,10 +339,21 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out = self.data[index]
+        # Basic indices (ints, slices, ellipsis) select each element at most
+        # once, so the gradient scatter can use a buffered `+=` instead of
+        # np.add.at — the unbuffered ufunc loop is an order of magnitude
+        # slower and only needed when integer-array indices may repeat.
+        parts = index if isinstance(index, tuple) else (index,)
+        duplicate_free = all(
+            isinstance(part, (int, np.integer, slice)) or part is Ellipsis
+            or part is None for part in parts)
 
         def backward(g, index=index):
             full = np.zeros_like(self.data)
-            np.add.at(full, index, g)
+            if duplicate_free:
+                full[index] += g
+            else:
+                np.add.at(full, index, g)
             return full
 
         return Tensor.from_op(out, [(self, backward)], "getitem")

@@ -128,12 +128,18 @@ class LanguageModelTrainer:
 
     def train_step(self, inputs: np.ndarray, targets: np.ndarray,
                    state: list) -> tuple[float, list]:
-        """One BPTT window: forward, backward, clip, update. Returns (loss, state)."""
+        """One BPTT window: forward, backward, clip, update. Returns (loss, state).
+
+        The loss is computed through the model's bound loss head
+        (:mod:`repro.heads`): the dense head reproduces the classic
+        logits-then-cross-entropy path exactly, the sampled head never
+        materialises full-vocabulary logits.  Evaluation (:meth:`evaluate`)
+        always goes through the exact dense logits.
+        """
         self.model.train()
         self.pattern_schedule.step()
         self.optimizer.zero_grad()
-        logits, new_state = self.model(inputs, state)
-        loss = self.loss_fn(logits, targets.reshape(-1))
+        loss, new_state = self.model.loss(inputs, targets.reshape(-1), state)
         loss.backward()
         self.optimizer.step()
         return float(loss.data), self.model.detach_state(new_state)

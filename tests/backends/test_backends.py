@@ -29,7 +29,9 @@ from repro.backends import (
 )
 from repro.dropout.compact_ops import (
     input_compact_linear,
+    recurrent_compact_context,
     recurrent_compact_linear,
+    recurrent_context_linear,
     row_compact_linear,
     tile_compact_linear,
 )
@@ -342,6 +344,64 @@ class TestStackedEquivalence:
         np.testing.assert_allclose(with_ws.data, without.data)
         np.testing.assert_allclose(grads_ws[0], h.grad)
         np.testing.assert_allclose(grads_ws[1], weight.grad)
+
+
+class TestContextEquivalence:
+    """The window-context op (`recurrent_context_linear`) routes its
+    per-class GEMMs through the backend's ``context_*`` primitives; the
+    stacked backend's batched tier must agree with the reference loop on the
+    forward pass and both gradients (through the whole gather op, so the
+    full-size weight gradient is compared too)."""
+
+    def _run(self, backend, pattern, seed=13, scale=1.4):
+        rng = np.random.default_rng(seed)
+        hidden = pattern.hidden_size
+        h = Tensor(rng.normal(size=(6, hidden)), requires_grad=True)
+        weight = Tensor(rng.normal(size=(pattern.num_gates * hidden, hidden))
+                        * 0.1, requires_grad=True)
+        context = recurrent_compact_context(weight, pattern, backend=backend)
+        out = _run_and_collect(lambda: recurrent_context_linear(
+            h, context, scale_factor=scale, backend=backend))
+        return out.data.copy(), h.grad.copy(), weight.grad.copy()
+
+    @pytest.mark.parametrize("hidden,gates,dp,bias_phase,tile",
+                             TestStackedEquivalence.RECURRENT_CASES)
+    def test_context_linear_matches_numpy(self, hidden, gates, dp,
+                                          bias_phase, tile):
+        pattern = RecurrentTilePattern(hidden_size=hidden, num_gates=gates,
+                                       dp=dp, bias=bias_phase, tile=tile)
+        reference = self._run(NumpyBackend(), pattern)
+        stacked = self._run(StackedBackend(), pattern)
+        for ref, got in zip(reference, stacked):
+            np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+        # Identical sparsity: dropped tiles get exactly zero grad either way.
+        np.testing.assert_array_equal(reference[2] == 0.0, stacked[2] == 0.0)
+
+    def test_batched_tier_engages_and_layout_is_cached(self):
+        """Equal-shape context classes must execute through the stacked
+        np.matmul tier (not the per-class fallback), with the index layout
+        computed once per plan identity across repeated timesteps."""
+        pattern = RecurrentTilePattern(hidden_size=160, num_gates=4, dp=4,
+                                       bias=0, tile=32)
+        backend = StackedBackend()
+        rng = np.random.default_rng(3)
+        weight = Tensor(rng.normal(size=(640, 160)), requires_grad=True)
+        context = recurrent_compact_context(weight, pattern, backend=backend)
+        for _ in range(3):  # three "timesteps" of one window
+            h = Tensor(rng.normal(size=(4, 160)), requires_grad=True)
+            out = recurrent_context_linear(h, context, backend=backend)
+            out.sum().backward()
+        assert backend.calls.get("stacked_gemm", 0) > 0
+        assert backend.calls.get("context_stack") == 1
+        assert backend.calls.get("context_forward") == 3
+
+    def test_fused_backend_inherits_the_reference_loop(self):
+        pattern = RecurrentTilePattern(hidden_size=96, num_gates=4, dp=3,
+                                       bias=1, tile=32)
+        reference = self._run(NumpyBackend(), pattern)
+        fused = self._run(FusedBackend(), pattern)
+        for ref, got in zip(reference, fused):
+            np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
 
 
 class TestRuntimeIntegration:

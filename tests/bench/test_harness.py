@@ -94,6 +94,67 @@ class TestLstmRecFamily:
         assert lstm_entry["recurrent"] == "tiled"
 
 
+class TestHeadFamily:
+    """The loss-head (sampled softmax) benchmark family and CLI plumbing."""
+
+    def test_head_case_produced(self):
+        results = run_benchmark(tiny_config(families=("head",)))
+        (result,) = results
+        assert result.family == "head"
+        assert result.loss_head == "sampled"
+        assert set(result.mode_ms) == {"masked", "compact", "pooled"}
+        assert all(ms > 0 for ms in result.mode_ms.values())
+        assert 0.0 < result.keep_fraction <= 1.0
+        assert result.to_dict()["loss_head"] == "sampled"
+
+    def test_head_in_family_registry_defaults_and_cli(self):
+        assert "head" in BenchmarkConfig.FAMILIES
+        assert "head" in BenchmarkConfig().families  # default sweep
+        args = parse_args([])
+        assert "head" in args.families  # --quick inherits the default list
+        args = parse_args(["--families", "head"])
+        assert args.families == ["head"]
+
+    def test_loss_head_toggle_validation(self):
+        with pytest.raises(ValueError, match="loss head"):
+            BenchmarkConfig(loss_head="hierarchical")
+        assert BenchmarkConfig().loss_head == "sampled"
+
+    def test_cli_unknown_family_fails_fast_with_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            bench_main(["--families", "row", "bogus"])
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert "unknown benchmark families: bogus" in err
+        for family in BenchmarkConfig.FAMILIES:
+            assert family in err
+
+    def test_config_unknown_family_error_names_valid_families(self):
+        with pytest.raises(ValueError, match="valid families"):
+            BenchmarkConfig(families=("bogus",))
+
+    def test_e2e_config_records_loss_head(self, tmp_path):
+        config = tiny_config(widths=(32,), batch=8, families=("e2e",),
+                             loss_head="sampled",
+                             output=str(tmp_path / "bench.json"))
+        results = run_benchmark(config)
+        path = write_report(results, config)
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["config"]["loss_head"] == "sampled"
+        lstm_entry = next(e for e in report["results"]
+                          if e["family"] == "e2e_lstm")
+        assert lstm_entry["loss_head"] == "sampled"
+
+    def test_cli_loss_head_flag(self, tmp_path):
+        output = str(tmp_path / "bench.json")
+        assert bench_main(["--quick", "--families", "head",
+                           "--loss-head", "dense", "--output", output]) == 0
+        with open(output) as handle:
+            report = json.load(handle)
+        assert report["config"]["loss_head"] == "dense"
+
+
 class TestBackendSelection:
     def test_unknown_backend_fails_fast(self):
         with pytest.raises(ValueError, match="unknown execution backend"):
@@ -236,15 +297,19 @@ class TestDeltaCheck:
     def test_no_regression_passes(self):
         from repro.bench import compare_reports
 
-        fresh = [self.entry(speedup=3.9), self.entry("tile", speedup=3.5)]
-        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6)]
+        fresh = [self.entry(speedup=3.9), self.entry("tile", speedup=3.5),
+                 self.entry("head", speedup=1.9)]
+        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6),
+                    self.entry("head", speedup=2.0)]
         assert compare_reports(fresh, baseline) == []
 
     def test_large_regression_fails(self):
         from repro.bench import compare_reports
 
-        fresh = [self.entry(speedup=2.0), self.entry("tile", speedup=3.6)]
-        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6)]
+        fresh = [self.entry(speedup=2.0), self.entry("tile", speedup=3.6),
+                 self.entry("head", speedup=2.0)]
+        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6),
+                    self.entry("head", speedup=2.0)]
         failures = compare_reports(fresh, baseline)
         assert len(failures) == 1
         assert "row" in failures[0] and "regressed" in failures[0]
@@ -252,15 +317,18 @@ class TestDeltaCheck:
     def test_small_regression_within_threshold_passes(self):
         from repro.bench import compare_reports
 
-        fresh = [self.entry(speedup=3.0), self.entry("tile", speedup=3.0)]
-        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=4.0)]
+        fresh = [self.entry(speedup=3.0), self.entry("tile", speedup=3.0),
+                 self.entry("head", speedup=3.0)]
+        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=4.0),
+                    self.entry("head", speedup=4.0)]
         assert compare_reports(fresh, baseline) == []  # 25% < 30%
         assert compare_reports(fresh, baseline, threshold=0.2)
 
     def test_missing_cases_fail(self):
         from repro.bench import compare_reports
 
-        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6)]
+        baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6),
+                    self.entry("head", speedup=2.0)]
         failures = compare_reports([self.entry(speedup=4.0)], baseline)
         assert any("missing from the fresh run" in f for f in failures)
         failures = compare_reports(baseline, [self.entry(speedup=4.0)])
@@ -276,9 +344,11 @@ class TestDeltaCheck:
         from repro.bench.delta import main as delta_main
 
         baseline = {"results": [self.entry(speedup=4.0),
-                                self.entry("tile", speedup=3.6)]}
+                                self.entry("tile", speedup=3.6),
+                                self.entry("head", speedup=2.0)]}
         fresh = {"results": [self.entry(speedup=3.8),
-                             self.entry("tile", speedup=3.5)]}
+                             self.entry("tile", speedup=3.5),
+                             self.entry("head", speedup=1.9)]}
         baseline_path = tmp_path / "baseline.json"
         fresh_path = tmp_path / "fresh.json"
         baseline_path.write_text(json.dumps(baseline))
@@ -311,25 +381,26 @@ class TestDeltaReportMismatches:
     def test_backend_mismatch_fails_with_clear_message(self):
         from repro.bench import compare_reports
 
-        baseline = [self.entry(), self.entry("tile")]
-        fresh = [self.entry(backend="numpy"), self.entry("tile", backend="numpy")]
+        baseline = [self.entry(), self.entry("tile"), self.entry("head")]
+        fresh = [self.entry(backend="numpy"), self.entry("tile", backend="numpy"),
+                 self.entry("head", backend="numpy")]
         # Gating the fused backend against a fresh report that was actually
         # measured with numpy must fail loudly, not compare silently.
         failures = compare_reports(fresh, baseline, require_backend="fused")
-        assert len(failures) == 2
+        assert len(failures) == 3
         assert all("backend mismatch" in f for f in failures)
         assert compare_reports(fresh, baseline, require_backend="numpy") == []
 
     def test_fresh_entry_without_backend_field_fails_the_gate(self):
         from repro.bench import compare_reports
 
-        baseline = [self.entry(), self.entry("tile")]
-        fresh = [{k: v for k, v in self.entry().items() if k != "backend"},
-                 {k: v for k, v in self.entry("tile").items() if k != "backend"}]
+        baseline = [self.entry(), self.entry("tile"), self.entry("head")]
+        fresh = [{k: v for k, v in self.entry(family).items() if k != "backend"}
+                 for family in ("row", "tile", "head")]
         # A pre-backend-era report cannot prove which backend it measured:
         # the gate must refuse it rather than compare silently.
         failures = compare_reports(fresh, baseline, require_backend="stacked")
-        assert len(failures) == 2
+        assert len(failures) == 3
         assert all("does not record which backend" in f for f in failures)
         # Without a backend requirement (in-library use) it still compares.
         assert compare_reports(fresh, baseline) == []
@@ -337,8 +408,9 @@ class TestDeltaReportMismatches:
     def test_case_set_disagreement_lists_every_missing_case(self):
         from repro.bench import compare_reports
 
-        failures = compare_reports([], [self.entry(), self.entry("tile")])
-        assert len(failures) == 2
+        failures = compare_reports([], [self.entry(), self.entry("tile"),
+                                        self.entry("head")])
+        assert len(failures) == 3
         assert all("missing from the fresh run" in f for f in failures)
 
     def test_load_report_rejects_non_report_json(self, tmp_path):
@@ -352,9 +424,10 @@ class TestDeltaReportMismatches:
     def test_cli_fresh_report_with_wrong_backend_fails(self, tmp_path, capsys):
         from repro.bench.delta import main as delta_main
 
-        baseline = {"results": [self.entry(), self.entry("tile")]}
-        fresh = {"results": [dict(self.entry(), backend="numpy"),
-                             dict(self.entry("tile"), backend="numpy")]}
+        baseline = {"results": [self.entry(), self.entry("tile"),
+                                self.entry("head")]}
+        fresh = {"results": [dict(self.entry(family), backend="numpy")
+                             for family in ("row", "tile", "head")]}
         baseline_path = tmp_path / "baseline.json"
         fresh_path = tmp_path / "fresh.json"
         baseline_path.write_text(json.dumps(baseline))

@@ -19,7 +19,11 @@ from repro.dropout import (
     TileDropoutPattern,
     compile_tile_plan,
 )
-from repro.dropout.compact_ops import row_compact_linear, tile_compact_linear
+from repro.dropout.compact_ops import (
+    head_compact_linear,
+    row_compact_linear,
+    tile_compact_linear,
+)
 from repro.tensor import Tensor, check_gradients, functional as F
 
 
@@ -129,6 +133,59 @@ def test_tile_compact_matches_dense_forward_and_gradients(
     assert_all_close(compact_grads, grads_of(tensors))
 
 
+def dense_head_reference(x, weight, bias, kept_rows, input_pattern):
+    """Dense autodiff reference for ``head_compact_linear``: full projection,
+    then a differentiable gather of the kept output columns."""
+    if input_pattern is not None:
+        x = F.apply_mask(x, input_pattern.mask()[None, :])
+    return F.cols_select(F.linear(x, weight, bias), kept_rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=st.integers(1, 6), in_features=st.integers(3, 24),
+       out_features=st.integers(4, 32), dp=st.integers(1, 6),
+       in_dp=st.integers(0, 5),  # 0 => no input pattern
+       extra_targets=st.integers(0, 4), use_ws=st.booleans(),
+       seed=st.integers(0, 10_000))
+def test_head_compact_matches_dense_forward_and_gradients(
+        batch, in_features, out_features, dp, in_dp, extra_targets, use_ws,
+        seed):
+    """The class-pruned gather-GEMM of the loss heads: compact logits match a
+    dense-projection-then-gather reference, and the weight/bias gradients of
+    dropped classes are exactly zero."""
+    rng = np.random.default_rng(seed)
+    x, weight, bias = make_inputs(rng, batch, in_features, out_features)
+    dp = min(dp, out_features)
+    pattern = RowDropoutPattern(out_features, dp=dp, bias=int(rng.integers(dp)))
+    # The heads keep the pattern rows plus the batch targets — model that as
+    # a few extra rows unioned in.
+    kept_rows = np.union1d(pattern.kept_indices,
+                           rng.integers(0, out_features, size=extra_targets))
+    input_pattern = None
+    if in_dp:
+        in_dp = min(in_dp, in_features)
+        input_pattern = RowDropoutPattern(in_features, dp=in_dp,
+                                          bias=int(rng.integers(in_dp)))
+    workspace = CompactWorkspace() if use_ws else None
+    direction = rng.normal(size=(batch, len(kept_rows)))
+
+    compact = head_compact_linear(x, weight, bias, kept_rows,
+                                  input_pattern=input_pattern,
+                                  workspace=workspace)
+    backprop_with_direction(compact, direction)
+    compact_grads = grads_of([x, weight, bias])
+    dropped = np.setdiff1d(np.arange(out_features), kept_rows)
+    assert np.all(compact_grads[1][dropped] == 0.0)
+    assert np.all(compact_grads[2][dropped] == 0.0)
+
+    for tensor in (x, weight, bias):
+        tensor.zero_grad()
+    dense = dense_head_reference(x, weight, bias, kept_rows, input_pattern)
+    np.testing.assert_allclose(compact.data, dense.data, rtol=1e-9, atol=1e-10)
+    backprop_with_direction(dense, direction)
+    assert_all_close(compact_grads, grads_of([x, weight, bias]))
+
+
 class TestNumericalGradcheck:
     """Central-difference anchors for the analytic-vs-analytic property tests."""
 
@@ -161,6 +218,25 @@ class TestNumericalGradcheck:
         pattern = TileDropoutPattern(rows=10, cols=11, dp=2, bias=1, tile=4)
         check_gradients(
             lambda: (tile_compact_linear(x, weight, bias, pattern) ** 2).sum(),
+            [x, weight, bias])
+
+    def test_head_compact_rejects_duplicate_classes(self, rng):
+        # The gradient scatter assigns per kept row; duplicates would get
+        # last-write-wins gradients, so the op refuses them up front.
+        x, weight, bias = make_inputs(rng, 3, 8, 12)
+        with pytest.raises(ValueError, match="duplicate"):
+            head_compact_linear(x, weight, bias, np.array([3, 3, 7]))
+
+    @pytest.mark.parametrize("in_dp", [None, 2])
+    def test_head_compact_numerical(self, rng, in_dp):
+        x, weight, bias = make_inputs(rng, 3, 8, 12)
+        kept_rows = np.array([0, 3, 4, 7, 11])
+        input_pattern = RowDropoutPattern(8, dp=in_dp, bias=1) if in_dp else None
+        workspace = CompactWorkspace()
+        check_gradients(
+            lambda: (head_compact_linear(x, weight, bias, kept_rows,
+                                         input_pattern=input_pattern,
+                                         workspace=workspace) ** 2).sum(),
             [x, weight, bias])
 
 

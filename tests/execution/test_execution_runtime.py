@@ -41,12 +41,19 @@ class TestExecutionConfig:
         {"dtype": "float16"},
         {"backend": "cuda"},
         {"recurrent": "sparse"},
+        {"loss_head": "hierarchical"},
+        {"loss_head_rate": 1.0},
+        {"loss_head_rate": -0.1},
         {"pool_size": 0},
         {"workspace_slots": 0},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             ExecutionConfig(**kwargs)
+
+    def test_loss_head_defaults_to_dense(self):
+        assert ExecutionConfig().loss_head == "dense"
+        assert "head=sampled" in ExecutionConfig(loss_head="sampled").describe()
 
     def test_describe_mentions_mode_and_dtype(self):
         text = ExecutionConfig(mode="compact", dtype="float32").describe()
@@ -223,6 +230,79 @@ class TestRecurrentToggle:
                                    rtol=1e-10, atol=1e-12)
 
 
+class TestLossHeadToggle:
+    """ExecutionConfig.loss_head installs and wires the compact loss head."""
+
+    def test_bind_dense_keeps_dense_head(self):
+        from repro.heads import DenseSoftmaxHead
+
+        model = make_lstm("row")
+        EngineRuntime(ExecutionConfig(loss_head="dense", seed=0)).bind(model)
+        assert isinstance(model.loss_head, DenseSoftmaxHead)
+
+    def test_bind_sampled_installs_and_pools_the_head(self):
+        from repro.heads import CompactSoftmaxHead
+
+        model = make_lstm("row")
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled",
+                                                loss_head="sampled",
+                                                loss_head_rate=0.6, seed=0))
+        schedule = runtime.bind(model)
+        head = model.loss_head
+        assert isinstance(head, CompactSoftmaxHead)
+        assert head.vocab_size == model.config.vocab_size
+        assert head.drop_rate == 0.6
+        # Engine attributes applied like any pattern layer's...
+        assert head.execution_mode == "compact"
+        assert head.use_workspace is True
+        assert head.backend is runtime.backend
+        # ...and the head joins the pooled schedule as one more site.
+        assert sum("CompactSoftmaxHead" in name
+                   for name in schedule.pooled_sites()) == 1
+
+    def test_bind_back_to_dense_removes_the_sampled_site(self):
+        model = make_lstm("row")
+        EngineRuntime(ExecutionConfig(loss_head="sampled", seed=0)).bind(model)
+        schedule = EngineRuntime(ExecutionConfig(loss_head="dense",
+                                                 seed=0)).bind(model)
+        assert not any("CompactSoftmaxHead" in name
+                       for name in schedule.pooled_sites())
+
+    def test_stats_report_head_draws_and_kept_classes(self, tiny_corpus):
+        model = make_lstm("row", vocab=tiny_corpus.vocab_size)
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled",
+                                                loss_head="sampled", seed=0))
+        trainer = LanguageModelTrainer(
+            model, tiny_corpus,
+            LanguageModelTrainingConfig(batch_size=5, seq_len=8, epochs=1,
+                                        seed=0),
+            runtime=runtime)
+        inputs = tiny_corpus.train[:40].reshape(8, 5)
+        targets = tiny_corpus.train[1:41].reshape(8, 5)
+        loss, _ = trainer.train_step(inputs, targets, model.init_state(5))
+        assert np.isfinite(loss)
+        stats = runtime.stats(model=model)
+        assert stats["loss_head"]["kind"] == "sampled"
+        assert stats["loss_head"]["draws"] == 1
+        assert 0 < stats["loss_head"]["kept_classes"] <= tiny_corpus.vocab_size
+
+    def test_masked_mode_sampled_head_falls_back_to_dense_loss(self, tiny_corpus):
+        """The conventional baseline computes nothing compactly: under
+        mode="masked" the sampled head must not sample."""
+        model = make_lstm("row", vocab=tiny_corpus.vocab_size)
+        runtime = EngineRuntime(ExecutionConfig(mode="masked",
+                                                loss_head="sampled", seed=0))
+        trainer = LanguageModelTrainer(
+            model, tiny_corpus,
+            LanguageModelTrainingConfig(batch_size=5, seq_len=8, epochs=1,
+                                        seed=0),
+            runtime=runtime)
+        inputs = tiny_corpus.train[:40].reshape(8, 5)
+        targets = tiny_corpus.train[1:41].reshape(8, 5)
+        trainer.train_step(inputs, targets, model.init_state(5))
+        assert runtime.stats(model=model)["loss_head"]["draws"] == 0
+
+
 class TestRebindResetsCounters:
     """Satellite: binding a second model with the same config must reseed the
     sites and keep per-run backend call counters clean (no stat bleed)."""
@@ -391,6 +471,56 @@ class TestPoolWideDeterminism:
         assert first.history.train_loss == second.history.train_loss
         assert first.history.eval_metric == second.history.eval_metric
         assert first.engine_stats["recurrent"] == "tiled"
+
+    @pytest.mark.parametrize("backend", ["numpy", "fused", "stacked"])
+    def test_same_seed_bit_identical_with_sampled_head(self, tiny_corpus,
+                                                       backend):
+        """Satellite: the determinism contract extends to the sampled loss
+        head — the class-pattern stream comes from the same pool-wide
+        SeedSequence, so two runs with one ExecutionConfig.seed produce
+        bit-identical training histories under loss_head="sampled", on every
+        registered backend."""
+        def run():
+            model = LSTMLanguageModel(LSTMConfig(
+                vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
+                num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
+            runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=9,
+                                                    recurrent="tiled",
+                                                    loss_head="sampled",
+                                                    backend=backend))
+            trainer = LanguageModelTrainer(
+                model, tiny_corpus,
+                LanguageModelTrainingConfig(batch_size=5, seq_len=10, epochs=1,
+                                            seed=0),
+                runtime=runtime)
+            return trainer.train()
+
+        first, second = run(), run()
+        assert first.history.train_loss == second.history.train_loss
+        assert first.history.eval_metric == second.history.eval_metric
+        assert first.engine_stats["loss_head"]["kind"] == "sampled"
+        assert first.engine_stats["loss_head"]["draws"] > 0
+        assert (first.engine_stats["loss_head"]["kept_classes"]
+                == second.engine_stats["loss_head"]["kept_classes"])
+
+    def test_sampled_and_dense_head_runs_differ(self, tiny_corpus):
+        """Sanity: the loss-head toggle actually changes the training
+        computation (while the eval path stays exact either way)."""
+        def run(loss_head):
+            model = LSTMLanguageModel(LSTMConfig(
+                vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
+                num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
+            runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=9,
+                                                    loss_head=loss_head))
+            trainer = LanguageModelTrainer(
+                model, tiny_corpus,
+                LanguageModelTrainingConfig(batch_size=5, seq_len=10, epochs=1,
+                                            seed=0),
+                runtime=runtime)
+            return trainer.train()
+
+        assert (run("sampled").history.train_loss
+                != run("dense").history.train_loss)
 
     def test_tiled_and_dense_recurrent_runs_differ(self, tiny_corpus):
         """Sanity: the toggle actually changes the computation."""

@@ -234,10 +234,13 @@ class TestRecurrentDropConnectSite:
             __import__(
                 "repro.dropout.engine", fromlist=["compile_recurrent_plan"]
             ).compile_recurrent_plan(sites[0].pattern)))
-        # One gather per column class for the whole window (the context),
-        # plus one h-gather per class per timestep — but no per-timestep
-        # weight gathers (which would add another `classes` per step).
-        assert backend.calls["gather"] == classes + seq_len * classes
+        # One weight gather per column class for the whole window (the
+        # context) and nothing per timestep: the per-timestep class GEMMs run
+        # through the backend's context primitives against the pre-gathered
+        # blocks (one context_forward per timestep, `classes` GEMMs each).
+        assert backend.calls["gather"] == classes
+        assert backend.calls["context_forward"] == seq_len
+        assert backend.calls["context_gemm"] == seq_len * classes
 
     def test_eval_mode_unroll_is_dense_scaled(self, rng):
         lstm, sites = self._build_lstm("compact", layers=1)

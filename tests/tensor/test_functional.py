@@ -122,6 +122,24 @@ class TestEmbeddingAndMasks:
         assert np.allclose(weight.grad[2], 3.0)
         assert np.allclose(weight.grad[0], 0.0)
 
+    def test_embedding_gradient_matches_numerical(self, rng):
+        weight = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        indices = np.array([[0, 2, 2], [5, 0, 1]])
+        check_gradients(
+            lambda: (F.embedding_lookup(weight, indices) ** 2).sum(), [weight])
+
+    def test_embedding_negative_index_aliases_accumulate(self, rng):
+        weight = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        F.embedding_lookup(weight, np.array([-5, 1])).sum().backward()
+        assert np.allclose(weight.grad[1], 2.0)  # -5 and 1 alias row 1
+
+    def test_embedding_empty_lookup_backward_is_zero(self, rng):
+        weight = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        out = F.embedding_lookup(weight, np.zeros((0,), dtype=int))
+        assert out.shape == (0, 3)
+        out.sum().backward()
+        assert np.all(weight.grad == 0.0)
+
     def test_apply_mask(self, rng):
         x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
         mask = np.array([1.0, 0.0, 1.0, 0.0])
