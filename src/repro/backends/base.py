@@ -29,8 +29,26 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.tensor import dirty as _dirty
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> backends)
     from repro.dropout.engine import CompactWorkspace, TileExecutionPlan
+
+
+def _slice_or_index(indices: np.ndarray):
+    """``indices`` as a slice when it is a contiguous ascending run.
+
+    Fancy indexing with a contiguous index array copies; the equivalent slice
+    is a view (gather) or a strided assignment (scatter) over the same
+    elements in the same order, so swapping it in is bit-identical.
+    """
+    indices = np.asarray(indices)
+    if indices.size >= 2:
+        first = int(indices[0])
+        if (int(indices[-1]) - first + 1 == indices.size
+                and np.all(np.diff(indices) == 1)):
+            return slice(first, first + indices.size)
+    return indices
 
 
 class ExecutionBackend(abc.ABC):
@@ -70,12 +88,23 @@ class ExecutionBackend(abc.ABC):
 
         This is the single allocation point of the compact ops' full-size
         output/gradient arrays; the workspace ring (when present) turns the
-        per-step allocation into a ``fill(0)``.
+        per-step allocation into a ``fill(0)``.  Every buffer handed out is
+        reported to the active dirty tracker as freshly zeroed, so the
+        sparse optimizer knows its region starts empty.
         """
         self.count("alloc")
         if workspace is None:
-            return np.zeros(shape, dtype=dtype)
-        return workspace.zeros(key, shape, dtype=dtype)
+            out = np.zeros(shape, dtype=dtype)
+            _dirty.record_reset(out)
+            # A fresh allocation has no later writer, so the backward pass
+            # may adopt it as a leaf ``.grad`` without the defensive copy.
+            # Ring buffers stay unmarked: a later request of the same key
+            # refills them in place.
+            _dirty.mark_transferable(out)
+        else:
+            out = workspace.zeros(key, shape, dtype=dtype)
+            _dirty.record_reset(out)
+        return out
 
     # ------------------------------------------------------------------
     # compact gather / scatter
@@ -94,24 +123,40 @@ class ExecutionBackend(abc.ABC):
                      col_indices) -> np.ndarray:
         """The 2-D block ``array[ix_(rows, cols)]`` (compact tile-class gather)."""
         self.count("gather")
-        return array[np.ix_(np.asarray(row_indices), np.asarray(col_indices))]
+        rows = _slice_or_index(np.asarray(row_indices))
+        cols = _slice_or_index(np.asarray(col_indices))
+        if isinstance(rows, slice) or isinstance(cols, slice):
+            # Mixed basic/advanced indexing on two axes selects the same
+            # block as np.ix_ but skips the 2-D index broadcast.
+            return array[rows, cols]
+        return array[np.ix_(rows, cols)]
 
     def scatter_rows(self, out: np.ndarray, indices, values: np.ndarray) -> None:
         """``out[indices] = values`` (compact scatter into a zeroed buffer)."""
         self.count("scatter")
         out[indices] = values
+        _dirty.record_rows(out, indices)
 
     def scatter_block(self, out: np.ndarray, row_indices, col_indices,
                       values: np.ndarray) -> None:
         """``out[ix_(rows, cols)] = values`` — the 2-D counterpart of
-        :meth:`gather_block` (compact tile/class-block scatter)."""
+        :meth:`gather_block` (compact tile/class-block scatter).  Recorded as
+        a dirty *row* set (a safe overapproximation: the untouched columns of
+        a recorded row stay exactly zero)."""
         self.count("scatter")
-        out[np.ix_(np.asarray(row_indices), np.asarray(col_indices))] = values
+        rows = _slice_or_index(np.asarray(row_indices))
+        cols = _slice_or_index(np.asarray(col_indices))
+        if isinstance(rows, slice) or isinstance(cols, slice):
+            out[rows, cols] = values
+        else:
+            out[np.ix_(rows, cols)] = values
+        _dirty.record_rows(out, row_indices)
 
     def scatter_cols(self, out: np.ndarray, indices, values: np.ndarray) -> None:
         """``out[:, indices] = values`` (compact scatter into a zeroed buffer)."""
         self.count("scatter")
         out[:, indices] = values
+        _dirty.record_cols(out, indices)
 
     # ------------------------------------------------------------------
     # GEMM primitives
@@ -165,11 +210,17 @@ class ExecutionBackend(abc.ABC):
         zero-filled.  ``scratch`` is the context's per-window dict: the
         blocks are fixed for the window, so a backend may cache derived
         layouts in it across timesteps (ignored by the reference loop).
+
+        Gate-aligned recurrent plans often keep *every* tile-row, so a
+        class's row set is one contiguous run — selecting it as a slice
+        instead of a fancy index turns three per-timestep permutation
+        copies of the gate-width gradient into views (same elements, same
+        GEMMs, bit-identical results).
         """
         self.count("context_forward")
         self.count("context_gemm", len(classes))
         for (rows, cols), block in zip(classes, blocks):
-            out[:, rows] = h[:, cols] @ block.T
+            out[:, _slice_or_index(rows)] = h[:, cols] @ block.T
 
     def context_backward_h(self, key, classes, blocks, grad: np.ndarray,
                            grad_h: np.ndarray, scale: float = 1.0,
@@ -178,7 +229,7 @@ class ExecutionBackend(abc.ABC):
         self.count("context_backward_h")
         self.count("context_gemm", len(classes))
         for (rows, cols), block in zip(classes, blocks):
-            grad_compact = grad[:, rows]
+            grad_compact = grad[:, _slice_or_index(rows)]
             if scale != 1.0:
                 grad_compact = grad_compact * scale
             # += not =: different column classes may share some columns.
@@ -194,7 +245,7 @@ class ExecutionBackend(abc.ABC):
         self.count("context_gemm", len(classes))
         pieces: list[np.ndarray] = []
         for rows, cols in classes:
-            grad_compact = grad[:, rows]
+            grad_compact = grad[:, _slice_or_index(rows)]
             if scale != 1.0:
                 grad_compact = grad_compact * scale
             pieces.append(grad_compact.T @ h[:, cols])

@@ -59,6 +59,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends.base import _slice_or_index
 from repro.backends.fused import FusedBackend, _FusedClass, _FusedPlanLayout
 
 #: Safety cap on cached stacked layouts (mirrors the fused layout cache cap).
@@ -290,7 +291,7 @@ class StackedBackend(FusedBackend):
             self.count("context_gemm", len(layout.singles))
             for i in layout.singles:
                 rows, cols = classes[i]
-                out[:, rows] = h[:, cols] @ blocks[i].T
+                out[:, _slice_or_index(rows)] = h[:, cols] @ blocks[i].T
 
     def context_backward_h(self, key, classes, blocks, grad, grad_h,
                            scale: float = 1.0,
@@ -312,7 +313,7 @@ class StackedBackend(FusedBackend):
             self.count("context_gemm", len(layout.singles))
             for i in layout.singles:
                 rows, cols = classes[i]
-                gc = grad[:, rows]
+                gc = grad[:, _slice_or_index(rows)]
                 if scale != 1.0:
                     gc = gc * scale
                 grad_h[:, cols] += gc @ blocks[i]
@@ -335,7 +336,7 @@ class StackedBackend(FusedBackend):
             self.count("context_gemm", len(layout.singles))
             for i in layout.singles:
                 rows, cols = classes[i]
-                gc = grad[:, rows]
+                gc = grad[:, _slice_or_index(rows)]
                 if scale != 1.0:
                     gc = gc * scale
                 pieces[i] = gc.T @ h[:, cols]

@@ -11,7 +11,7 @@ import argparse
 
 from repro.backends import available_backends
 from repro.bench.harness import BenchmarkConfig, run_benchmark, write_report
-from repro.execution import LOSS_HEAD_MODES, RECURRENT_MODES
+from repro.execution import LOSS_HEAD_MODES, OPTIMIZER_MODES, RECURRENT_MODES
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -50,6 +50,12 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="loss head of the e2e LSTM case's compact/pooled "
                              "modes (sampled = class-pruned softmax; the "
                              "masked baseline always pays the dense head)")
+    parser.add_argument("--optimizer", default="sparse",
+                        choices=list(OPTIMIZER_MODES),
+                        help="optimizer of the e2e cases' compact/pooled "
+                             "modes (sparse = the dirty-region SparseSGD, "
+                             "bit-identical to dense; the masked baseline "
+                             "always runs the dense update)")
     parser.add_argument("--list-backends", action="store_true",
                         help="print the registered execution backends and exit")
     parser.add_argument("--shards", type=int, default=1,
@@ -90,6 +96,7 @@ def main(argv: list[str] | None = None) -> int:
                                  e2e_dtype=args.e2e_dtype, backend=args.backend,
                                  recurrent=args.recurrent,
                                  loss_head=args.loss_head,
+                                 optimizer=args.optimizer,
                                  shards=args.shards, output=args.output)
     else:
         config = BenchmarkConfig(widths=tuple(args.widths), rates=tuple(args.rates),
@@ -99,6 +106,7 @@ def main(argv: list[str] | None = None) -> int:
                                  e2e_dtype=args.e2e_dtype, backend=args.backend,
                                  recurrent=args.recurrent,
                                  loss_head=args.loss_head,
+                                 optimizer=args.optimizer,
                                  shards=args.shards, output=args.output)
     print("repro.bench — compact pattern-execution engine vs mask-based dropout")
     print(f"batch={config.batch} steps={config.steps} repeats={config.repeats} "

@@ -1,10 +1,11 @@
 """Benchmark-regression gate: compare a fresh run against a committed report.
 
 ``python -m repro.bench.delta`` runs a quick benchmark at the acceptance case
-(width 2048, rate 0.7; the row, tile and head families), loads the committed
-``BENCH_compact_engine.json`` and **fails (exit code 1) when the freshly
-measured ``speedup_pooled`` regresses by more than 30%** relative to the
-committed value.  This is the CI hook that keeps the pooled engine's headline
+(width 2048, rate 0.7; the row, tile, e2e and head families — the e2e LSTM
+trainer-step case derives hidden size 256 from that sweep), loads the
+committed ``BENCH_compact_engine.json`` and **fails (exit code 1) when the
+freshly measured ``speedup_pooled`` regresses by more than 30%** relative to
+the committed value.  This is the CI hook that keeps the pooled engine's headline
 speedup honest across PRs without re-running the full sweep.
 
 Usage::
@@ -27,11 +28,15 @@ from repro.backends import available_backends
 from repro.bench.harness import BenchmarkConfig, run_benchmark, write_report
 
 #: The acceptance cases gated by the delta check: (family, width, rate).
-#: ``head`` gates the sampled loss head (vocab projection + cross-entropy).
+#: ``head`` gates the sampled loss head (vocab projection + cross-entropy);
+#: ``e2e_lstm`` gates whole LSTM trainer steps (tiled recurrent site, sampled
+#: head, sparse optimizer) — the width is the e2e case's derived hidden size,
+#: ``min(max(widths) // 2, 256)``.
 ACCEPTANCE_CASES: tuple[tuple[str, int, float], ...] = (
     ("row", 2048, 0.7),
     ("tile", 2048, 0.7),
     ("head", 2048, 0.7),
+    ("e2e_lstm", 256, 0.7),
 )
 
 #: Maximum tolerated relative drop in ``speedup_pooled`` (0.3 = 30%).
@@ -151,7 +156,7 @@ def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     return BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=full.batch,
                            steps=full.steps, repeats=full.repeats,
                            warmup=full.warmup,
-                           families=("row", "tile", "head"),
+                           families=("row", "tile", "e2e", "head"),
                            backend=backend)
 
 

@@ -100,7 +100,9 @@ class BenchmarkConfig:
     batch: int = 128
     in_features: int | None = None  # defaults to the layer width (square layer)
     steps: int = 12
-    repeats: int = 3
+    # Best-of estimation needs enough interleaved repeats that every mode
+    # catches a quiet window on noisy single-core machines; 3 was too few.
+    repeats: int = 6
     warmup: int = 2
     tile: int = 32
     max_period: int = 16
@@ -118,6 +120,10 @@ class BenchmarkConfig:
     #: ("dense" = exact full softmax, "sampled" = the class-pruned head).
     #: The ``head`` family always times the sampled loss.
     loss_head: str = "sampled"
+    #: Optimizer execution of the e2e cases' compact/pooled modes ("dense" =
+    #: the plain SGD update, "sparse" = the dirty-region SparseSGD).  The
+    #: ``masked`` baseline always runs the dense update.
+    optimizer: str = "sparse"
     #: Worker processes the cases are sharded across (1 = run in-process).
     shards: int = 1
     output: str = "BENCH_compact_engine.json"
@@ -137,7 +143,11 @@ class BenchmarkConfig:
             raise ValueError(
                 f"unknown execution backend {self.backend!r}; "
                 f"available: {available_backends()}")
-        from repro.execution import LOSS_HEAD_MODES, RECURRENT_MODES
+        from repro.execution import (
+            LOSS_HEAD_MODES,
+            OPTIMIZER_MODES,
+            RECURRENT_MODES,
+        )
 
         if self.recurrent not in RECURRENT_MODES:
             raise ValueError(
@@ -147,6 +157,10 @@ class BenchmarkConfig:
             raise ValueError(
                 f"unknown loss head {self.loss_head!r}; "
                 f"available: {LOSS_HEAD_MODES}")
+        if self.optimizer not in OPTIMIZER_MODES:
+            raise ValueError(
+                f"unknown optimizer execution {self.optimizer!r}; "
+                f"available: {OPTIMIZER_MODES}")
         for family in self.families:
             if family not in self.FAMILIES:
                 raise ValueError(
@@ -171,6 +185,8 @@ class BenchmarkResult:
     recurrent: str | None = None
     #: Loss-head execution of the case (None = not applicable).
     loss_head: str | None = None
+    #: Optimizer execution of the case (None = not applicable).
+    optimizer: str | None = None
     mode_ms: dict[str, float] = field(default_factory=dict)
     #: Mean fraction of the dense GEMM the compact modes execute over the
     #: case's shared pattern sequence (kept rows / kept tile area).
@@ -198,6 +214,7 @@ class BenchmarkResult:
             "backend": self.backend,
             "recurrent": self.recurrent,
             "loss_head": self.loss_head,
+            "optimizer": self.optimizer,
             "mode_ms": {mode: round(ms, 4) for mode, ms in self.mode_ms.items()},
             "keep_fraction": (round(self.keep_fraction, 4)
                               if self.keep_fraction is not None else None),
@@ -545,16 +562,19 @@ def _e2e_runtime(mode: str, config: BenchmarkConfig):
     from repro.execution import EngineRuntime, ExecutionConfig
 
     # The masked baseline trains the `original` strategy, which has no
-    # recurrent pattern sites and always pays the dense loss head — the
-    # recurrent/loss-head toggles only affect the compact/pooled pattern
-    # runs.  The sampled head prunes classes at the case's dropout rate.
+    # recurrent pattern sites and always pays the dense loss head and the
+    # dense parameter update — the recurrent/loss-head/optimizer toggles only
+    # affect the compact/pooled pattern runs.  The sampled head prunes
+    # classes at the case's dropout rate.
     recurrent = "dense" if mode == "masked" else config.recurrent
     loss_head = "dense" if mode == "masked" else config.loss_head
+    optimizer = "dense" if mode == "masked" else config.optimizer
     return EngineRuntime(ExecutionConfig(mode=mode, dtype=config.e2e_dtype,
                                          backend=config.backend,
                                          recurrent=recurrent,
                                          loss_head=loss_head,
                                          loss_head_rate=max(config.rates),
+                                         optimizer=optimizer,
                                          seed=config.seed))
 
 
@@ -587,7 +607,8 @@ def _bench_e2e_mlp_case(config: BenchmarkConfig,
     result = BenchmarkResult(family="e2e_mlp", width=hidden,
                              in_features=data.num_features, batch=batch,
                              rate=rate, steps=config.steps, repeats=config.repeats,
-                             backend=config.backend)
+                             backend=config.backend,
+                             optimizer=config.optimizer)
     result.mode_ms = _timed_modes(step_fns, config.steps, config.warmup,
                                   config.repeats)
     return result
@@ -637,7 +658,8 @@ def _bench_e2e_lstm_case(config: BenchmarkConfig,
                              batch=batch, rate=rate, steps=config.steps,
                              repeats=config.repeats, backend=config.backend,
                              recurrent=config.recurrent,
-                             loss_head=config.loss_head)
+                             loss_head=config.loss_head,
+                             optimizer=config.optimizer)
     result.mode_ms = _timed_modes(step_fns, config.steps, config.warmup,
                                   config.repeats)
     return result
@@ -784,6 +806,7 @@ def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
             "backend": config.backend,
             "recurrent": config.recurrent,
             "loss_head": config.loss_head,
+            "optimizer": config.optimizer,
             "shards": config.shards,
             "seed": config.seed,
         },

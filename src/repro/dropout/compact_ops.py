@@ -60,6 +60,7 @@ from repro.dropout.engine import (
     compile_recurrent_plan,
     compile_tile_plan,
     plan_column_classes,
+    plan_row_indices,
 )
 from repro.dropout.patterns import (
     RecurrentTilePattern,
@@ -67,6 +68,7 @@ from repro.dropout.patterns import (
     TileDropoutPattern,
 )
 from repro.tensor import Tensor
+from repro.tensor import dirty as _dirty
 
 
 def row_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
@@ -276,6 +278,10 @@ def _plan_compact_linear(x: Tensor, weight: Tensor, bias: Tensor | None,
                                     weight.data.shape, weight.data.dtype)
         backend.tile_backward_weight(plan, grad, x.data, grad_weight,
                                      scale=scale_factor)
+        # The backend wrote exactly the plan-covered rows (and within them
+        # only surviving columns) — record them so the sparse optimizer can
+        # skip the dropped tile-rows, whatever backend ran the write.
+        _dirty.record_rows(grad_weight, plan_row_indices(plan))
         return grad_weight
 
     parents = [(x, backward_x), (weight, backward_weight)]
@@ -383,10 +389,48 @@ def recurrent_compact_context(weight: Tensor, pattern: RecurrentTilePattern,
         plan = compile_recurrent_plan(pattern)
     backend = backend or default_backend()
     classes = plan_column_classes(plan)
-    gathered = [backend.gather_block(weight.data, rows, cols)
-                for rows, cols in classes]
-    flat = (np.concatenate([block.ravel() for block in gathered])
-            if gathered else np.zeros(0, dtype=weight.data.dtype))
+    flat, blocks = gather_recurrent_blocks(weight.data, classes, backend)
+    return assemble_recurrent_context(weight, pattern, plan, backend,
+                                      classes, flat, blocks)
+
+
+def gather_recurrent_blocks(weight_data: np.ndarray, classes: tuple,
+                            backend: ExecutionBackend,
+                            flat: np.ndarray | None = None,
+                            ) -> tuple[np.ndarray, tuple]:
+    """Gather the per-class weight blocks into one flat array.
+
+    Returns ``(flat, blocks)`` where ``blocks`` are per-class 2-D views into
+    ``flat``.  Pass an existing ``flat`` (from a previous window with the
+    same plan identity) to refresh it in place — the weight-tile context
+    cache uses this to re-gather only optimizer-dirtied classes.
+    """
+    total = sum(len(rows) * len(cols) for rows, cols in classes)
+    if flat is None or flat.size != total or flat.dtype != weight_data.dtype:
+        flat = np.empty(total, dtype=weight_data.dtype)
+    blocks, offset = [], 0
+    for rows, cols in classes:
+        block = backend.gather_block(weight_data, rows, cols)
+        view = flat[offset:offset + block.size].reshape(block.shape)
+        view[...] = block
+        blocks.append(view)
+        offset += block.size
+    return flat, tuple(blocks)
+
+
+def assemble_recurrent_context(weight: Tensor, pattern: RecurrentTilePattern,
+                               plan: TileExecutionPlan,
+                               backend: ExecutionBackend, classes: tuple,
+                               flat: np.ndarray, blocks: tuple,
+                               ) -> RecurrentWindowContext:
+    """Wrap gathered class blocks into a differentiable window context.
+
+    ``flat`` holds the concatenated surviving weights and ``blocks`` the
+    per-class views into it (see :func:`gather_recurrent_blocks`).  Split
+    from :func:`recurrent_compact_context` so the sparse-optimizer context
+    cache can rebuild the (per-window) tape wrapper around a cached flat
+    buffer without re-gathering unchanged tiles.
+    """
 
     def backward(grad: np.ndarray) -> np.ndarray:
         # Once per window: scatter the tape-accumulated compact gradient back
@@ -395,7 +439,7 @@ def recurrent_compact_context(weight: Tensor, pattern: RecurrentTilePattern,
         full = backend.zeros(None, "rec_gather_grad", weight.data.shape,
                              weight.data.dtype)
         offset = 0
-        for (rows, cols), block in zip(classes, gathered):
+        for (rows, cols), block in zip(classes, blocks):
             backend.scatter_block(
                 full, rows, cols,
                 grad[offset:offset + block.size].reshape(block.shape))
@@ -404,10 +448,6 @@ def recurrent_compact_context(weight: Tensor, pattern: RecurrentTilePattern,
 
     compact = Tensor.from_op(flat, [(weight, backward)],
                              "recurrent_block_gather")
-    blocks, offset = [], 0
-    for block in gathered:
-        blocks.append(compact.data[offset:offset + block.size].reshape(block.shape))
-        offset += block.size
     return RecurrentWindowContext(pattern=pattern, plan=plan, weight=weight,
                                   classes=classes, compact=compact,
                                   blocks=tuple(blocks))
@@ -442,18 +482,31 @@ def recurrent_context_linear(h: Tensor, context: RecurrentWindowContext,
     if scale_factor != 1.0:
         out *= scale_factor
 
+    # Both backward edges receive the same upstream grad; scale it once here
+    # instead of per primitive (a scalar multiply commutes with the slicing
+    # inside, so the results are bit-identical).  The one-entry cache keeps a
+    # reference to the upstream array, so an id can never go stale.
+    scaled_cache: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def _scaled(grad: np.ndarray) -> np.ndarray:
+        if scale_factor == 1.0:
+            return grad
+        if scaled_cache and scaled_cache[0][0] is grad:
+            return scaled_cache[0][1]
+        scaled = grad * scale_factor
+        scaled_cache[:] = [(grad, scaled)]
+        return scaled
+
     def backward_h(grad: np.ndarray) -> np.ndarray:
         grad_h = backend.zeros(None, "rec_ctx_grad_h", h.data.shape, h.data.dtype)
         backend.context_backward_h(plan.identity, context.classes,
-                                   context.blocks, grad, grad_h,
-                                   scale=scale_factor,
+                                   context.blocks, _scaled(grad), grad_h,
                                    scratch=context.scratch)
         return grad_h
 
     def backward_compact(grad: np.ndarray) -> np.ndarray:
         pieces = backend.context_backward_blocks(plan.identity, context.classes,
-                                                 grad, h.data,
-                                                 scale=scale_factor)
+                                                 _scaled(grad), h.data)
         return (np.concatenate([piece.ravel() for piece in pieces]) if pieces
                 else np.zeros(0, dtype=context.compact.data.dtype))
 

@@ -259,6 +259,34 @@ def plan_column_classes(plan: TileExecutionPlan) -> tuple[tuple[np.ndarray, np.n
     return classes
 
 
+_PLAN_ROW_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def plan_row_indices(plan: TileExecutionPlan) -> np.ndarray:
+    """All weight rows a plan's surviving tile-row groups cover, concatenated.
+
+    This is the dirty-row set of a plan-driven weight-gradient write
+    (:meth:`~repro.backends.ExecutionBackend.tile_backward_weight` touches
+    exactly these rows, and within them only surviving columns — a row-level
+    overapproximation is safe because the untouched columns stay exactly
+    zero).  Row groups are disjoint and ascending by construction, so the
+    concatenation is sorted and duplicate-free.  Cached per plan identity
+    (plans are interned, so the cache stays small).
+    """
+    key = plan.identity
+    rows = _PLAN_ROW_CACHE.get(key)
+    if rows is None:
+        if len(_PLAN_ROW_CACHE) >= _COLUMN_GROUP_CACHE_CAP:
+            _PLAN_ROW_CACHE.clear()
+        if plan.row_groups:
+            rows = np.concatenate([np.arange(g.row_start, g.row_stop)
+                                   for g in plan.row_groups])
+        else:
+            rows = np.zeros(0, dtype=np.intp)
+        rows = _PLAN_ROW_CACHE[key] = _freeze(rows)
+    return rows
+
+
 class CompactWorkspace:
     """Ring of preallocated scratch buffers for the compact ops' scatter steps.
 

@@ -78,6 +78,10 @@ from repro.dropout.engine import CompactWorkspace, tile_plan_cache_info
 from repro.dropout.patterns import pattern_cache_info
 from repro.dropout.sampler import PatternSchedule, is_pattern_site
 from repro.heads import LOSS_HEAD_KINDS
+from repro.nn.optim import SGD
+from repro.optim_sparse import SparseSGD
+from repro.tensor import dirty as _dirty
+from repro.tensor.dirty import DirtyTracker
 
 #: Engine execution modes, in increasing order of caching aggressiveness.
 EXECUTION_MODES: tuple[str, ...] = ("masked", "compact", "pooled")
@@ -89,6 +93,12 @@ RECURRENT_MODES: tuple[str, ...] = ("dense", "tiled")
 #: Loss-head execution: the exact dense softmax head, or the sampled
 #: (class-pruned) head of :mod:`repro.heads` (re-exported registry names).
 LOSS_HEAD_MODES: tuple[str, ...] = LOSS_HEAD_KINDS
+
+#: Optimizer execution: the dense per-parameter SGD update, or the
+#: pattern-aware :class:`~repro.optim_sparse.SparseSGD`, which restricts the
+#: update arithmetic to the dirty gradient regions recorded by the compact
+#: ops' scatters (bit-identical trajectories; see :mod:`repro.tensor.dirty`).
+OPTIMIZER_MODES: tuple[str, ...] = ("dense", "sparse")
 
 #: Supported floating dtypes of the execution hot path.
 EXECUTION_DTYPES: dict[str, np.dtype] = {
@@ -127,6 +137,15 @@ class ExecutionConfig:
     loss_head_rate:
         Target fraction of vocabulary classes the sampled head prunes per
         iteration (ignored by the dense head).
+    optimizer:
+        Parameter-update execution for optimizers built through
+        :meth:`EngineRuntime.make_sgd`: ``"dense"`` (the default — the plain
+        :class:`~repro.nn.optim.SGD` update) or ``"sparse"`` (the
+        :class:`~repro.optim_sparse.SparseSGD`, which consumes the dirty
+        rows/tiles the compact backward scatters recorded and updates only
+        those — bit-identical parameter trajectories, a fraction of the
+        update arithmetic, and dirty-driven refresh of the recurrent sites'
+        cached weight tiles).
     seed:
         Pool-wide pattern seed.  A single integer deterministically fixes the
         pattern streams of *every* dropout site; ``None`` leaves each layer's
@@ -143,6 +162,7 @@ class ExecutionConfig:
     recurrent: str = "dense"
     loss_head: str = "dense"
     loss_head_rate: float = 0.5
+    optimizer: str = "dense"
     seed: int | None = 0
     pool_size: int = 1024
     workspace_slots: int = 2
@@ -179,6 +199,10 @@ class ExecutionConfig:
         if not 0.0 <= self.loss_head_rate < 1.0:
             raise ValueError(
                 f"loss_head_rate must be in [0, 1), got {self.loss_head_rate}")
+        if self.optimizer not in OPTIMIZER_MODES:
+            raise ValueError(
+                f"unknown optimizer execution {self.optimizer!r}; "
+                f"available: {OPTIMIZER_MODES}")
         if self.pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if self.workspace_slots < 1:
@@ -194,7 +218,7 @@ class ExecutionConfig:
         seed = "-" if self.seed is None else self.seed
         return (f"mode={self.mode} dtype={self.dtype} backend={self.backend} "
                 f"recurrent={self.recurrent} head={self.loss_head} "
-                f"seed={seed} pool={self.pool_size}")
+                f"opt={self.optimizer} seed={seed} pool={self.pool_size}")
 
 
 def _pattern_sites(model) -> list:
@@ -239,6 +263,13 @@ class EngineRuntime:
         self._bound: list[tuple[Any, PatternSchedule]] = []
         self._bind_call_baselines: list[tuple[Any, dict[str, int]]] = []
         self._archived = self._zero_totals()
+        #: The runtime's dirty-region tracker: shared by every optimizer
+        #: built through :meth:`make_sgd` and by the recurrent sites' weight
+        #: tile context caches (update observers).  Inert unless a
+        #: :class:`~repro.optim_sparse.SparseSGD` activates it per step.
+        self.dirty_tracker = DirtyTracker()
+        self._optimizers: list[SGD] = []
+        self._archived_optim = self._zero_optimizer_totals()
         self.runs = 0
 
     @property
@@ -295,6 +326,14 @@ class EngineRuntime:
                 # recurrent="tiled" (they then count as pattern sites below,
                 # get pooled and reseeded), inert/dense otherwise.
                 module.enabled = config.recurrent == "tiled"
+                # Under the sparse optimizer the site caches its gathered
+                # weight tiles across BPTT windows and refreshes only the
+                # classes whose rows the optimizer dirtied; without update
+                # notifications the cache would serve stale weights.
+                if config.optimizer == "sparse" and module.enabled:
+                    module.install_context_cache(self.dirty_tracker)
+                elif hasattr(module, "disable_context_cache"):
+                    module.disable_context_cache()
             workspace = getattr(module, "workspace", None)
             if (isinstance(workspace, CompactWorkspace)
                     and workspace.slots != config.workspace_slots):
@@ -326,6 +365,32 @@ class EngineRuntime:
         return schedule
 
     # ------------------------------------------------------------------
+    # optimizers
+    # ------------------------------------------------------------------
+    def make_sgd(self, parameters, lr: float, momentum: float = 0.0,
+                 weight_decay: float = 0.0,
+                 grad_clip: float | None = None) -> SGD:
+        """An SGD optimizer executing per ``config.optimizer``.
+
+        ``"dense"`` returns the plain :class:`~repro.nn.optim.SGD`;
+        ``"sparse"`` returns a :class:`~repro.optim_sparse.SparseSGD` sharing
+        the runtime's dirty tracker, so its per-step activation window feeds
+        the compact ops' scatter records straight into the update.  Both
+        trainers construct their optimizer through this factory, and
+        :meth:`stats` aggregates the counters of every optimizer it built.
+        """
+        if self.config.optimizer == "sparse":
+            optimizer: SGD = SparseSGD(parameters, lr, momentum=momentum,
+                                       weight_decay=weight_decay,
+                                       grad_clip=grad_clip,
+                                       tracker=self.dirty_tracker)
+        else:
+            optimizer = SGD(parameters, lr, momentum=momentum,
+                            weight_decay=weight_decay, grad_clip=grad_clip)
+        self._optimizers.append(optimizer)
+        return optimizer
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     @staticmethod
@@ -336,6 +401,25 @@ class EngineRuntime:
             "workspace": {"num_buffers": 0, "hits": 0, "misses": 0},
             "head": {"draws": 0, "kept_classes": 0},
         }
+
+    @staticmethod
+    def _zero_optimizer_totals() -> dict[str, int]:
+        return {"steps": 0, "sparse_updates": 0, "dense_fallbacks": 0,
+                "skipped_updates": 0, "skipped_norm_chunks": 0,
+                "dirty_elements": 0, "total_elements": 0}
+
+    @staticmethod
+    def _fold_optimizers(totals: dict[str, int],
+                         optimizers: list[SGD]) -> None:
+        for optimizer in optimizers:
+            totals["steps"] += optimizer.step_count
+            if isinstance(optimizer, SparseSGD):
+                totals["sparse_updates"] += optimizer.sparse_updates
+                totals["dense_fallbacks"] += optimizer.dense_fallbacks
+                totals["skipped_updates"] += optimizer.skipped_updates
+                totals["skipped_norm_chunks"] += optimizer.skipped_norm_chunks
+                totals["dirty_elements"] += optimizer._dirty_elements
+                totals["total_elements"] += optimizer._total_elements
 
     @staticmethod
     def _fold(totals: dict[str, Any],
@@ -375,6 +459,15 @@ class EngineRuntime:
         self._fold(self._archived, self._bound)
         self._bound = []
         self._bind_call_baselines = []
+        # The previous runs' sites and optimizers are done: fold the
+        # optimizer counters (releasing the parameter references), drop the
+        # sites' context-cache observers and make sure no stale activation
+        # window leaks into the next run.
+        self._fold_optimizers(self._archived_optim, self._optimizers)
+        self._optimizers = []
+        self.dirty_tracker.clear_observers()
+        self.dirty_tracker.clear()
+        _dirty.deactivate(self.dirty_tracker)
 
     def stats(self, model=None) -> dict[str, Any]:
         """Engine counters: runtime-wide, or restricted to one bound model.
@@ -414,6 +507,12 @@ class EngineRuntime:
         steps = totals["steps"]
         pools = totals["pools"]
         workspace = totals["workspace"]
+        # Optimizer counters are runtime-wide (optimizers are built from
+        # parameter lists, not bound models, so there is no per-model split).
+        optim = dict(self._archived_optim)
+        self._fold_optimizers(optim, self._optimizers)
+        dirty_elements = optim.pop("dirty_elements")
+        total_elements = optim.pop("total_elements")
         return {
             "mode": config.mode,
             "dtype": config.dtype,
@@ -422,6 +521,11 @@ class EngineRuntime:
             "loss_head": {"kind": config.loss_head,
                           "rate": config.loss_head_rate,
                           **totals["head"]},
+            "optimizer": {"kind": config.optimizer,
+                          **optim,
+                          "dirty_fraction": (dirty_elements / total_elements
+                                             if total_elements else 0.0),
+                          "tracker": self.dirty_tracker.stats()},
             "backend_calls": backend_calls,
             "seed": config.seed,
             "runs": self.runs,

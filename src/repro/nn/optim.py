@@ -14,6 +14,29 @@ import numpy as np
 
 from repro.nn.module import Parameter
 
+#: Fixed row-chunk size of the clip-norm accumulation (see ``_grad_sq_norm``).
+NORM_CHUNK_ROWS = 256
+
+
+def _grad_sq_norm(grad: np.ndarray) -> float:
+    """Squared Frobenius norm, accumulated over fixed 256-row chunks.
+
+    The chunking (rather than one flat dot) pins the floating-point summation
+    grouping independently of *which* rows are non-zero: an all-zero chunk
+    contributes exactly ``+0.0``, so the sparse optimizer can skip chunks
+    outside its dirty-row set and still reproduce this function's result bit
+    for bit.  1-D gradients and matrices of at most ``NORM_CHUNK_ROWS`` rows
+    take the single flat dot, matching the pre-chunking behaviour exactly.
+    """
+    if grad.ndim < 2 or grad.shape[0] <= NORM_CHUNK_ROWS:
+        flat = grad.reshape(-1)
+        return float(np.dot(flat, flat))
+    total = 0.0
+    for start in range(0, grad.shape[0], NORM_CHUNK_ROWS):
+        chunk = grad[start:start + NORM_CHUNK_ROWS].reshape(-1)
+        total += float(np.dot(chunk, chunk))
+    return total
+
 
 class Optimizer:
     """Base optimiser holding a parameter list and a learning rate."""
@@ -27,6 +50,7 @@ class Optimizer:
         self.parameters = parameters
         self.lr = float(lr)
         self.step_count = 0
+        self.grad_clip: float | None = None
 
     def zero_grad(self) -> None:
         for param in self.parameters:
@@ -41,6 +65,24 @@ class Optimizer:
             if grad is None:
                 grad = np.zeros_like(param.data)
             yield param, grad
+
+    def _clip_scale(self) -> float:
+        """Global-norm gradient clipping factor (1.0 when clipping disabled).
+
+        Parameters with no gradient contribute exactly zero to the norm, so
+        they are skipped outright instead of materialising a zero array per
+        missing gradient per step (the old ``_gradients()`` round-trip).
+        """
+        if self.grad_clip is None:
+            return 1.0
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += _grad_sq_norm(param.grad)
+        norm = float(np.sqrt(total))
+        if norm <= self.grad_clip or norm == 0.0:
+            return 1.0
+        return self.grad_clip / norm
 
 
 class SGD(Optimizer):
@@ -57,38 +99,57 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.grad_clip = grad_clip
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        # Momentum buffers are materialised on first use (many parameters
+        # never see a gradient in compact runs; their velocity stays an
+        # implicit exact zero).
+        self._velocity: list[np.ndarray | None] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self.step_count += 1
         clip_scale = self._clip_scale()
-        for (param, grad), velocity in zip(self._gradients(), self._velocity):
-            if clip_scale != 1.0:
-                grad = grad * clip_scale
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += grad
-                update = velocity
-            else:
-                update = grad
-            # In-place update: one scaled temp instead of a scaled temp plus
-            # a whole fresh parameter array per step.
-            param.data -= self.lr * update
+        for index, param in enumerate(self.parameters):
+            self._apply_dense(index, param, clip_scale)
 
-    def _clip_scale(self) -> float:
-        """Global-norm gradient clipping factor (1.0 when clipping disabled)."""
-        if self.grad_clip is None:
-            return 1.0
-        total = 0.0
-        for _, grad in self._gradients():
-            flat = grad.reshape(-1)
-            total += float(np.dot(flat, flat))
-        norm = np.sqrt(total)
-        if norm <= self.grad_clip or norm == 0.0:
-            return 1.0
-        return self.grad_clip / norm
+    def _velocity_buffer(self, index: int, param: Parameter) -> np.ndarray:
+        """The momentum buffer of parameter ``index`` (materialised on demand)."""
+        velocity = self._velocity[index]
+        if velocity is None:
+            velocity = self._velocity[index] = np.zeros_like(param.data)
+        return velocity
+
+    def _apply_dense(self, index: int, param: Parameter,
+                     clip_scale: float) -> None:
+        """The dense per-parameter update — the reference the sparse path
+        must match bit for bit."""
+        grad = param.grad
+        if grad is None:
+            # A missing gradient is an exact zero: no array is materialised.
+            # Weight decay still applies, and a live momentum buffer still
+            # decays (dense semantics of a zero gradient).
+            if self.weight_decay:
+                grad_term = self.weight_decay * param.data
+            elif self.momentum:
+                velocity = self._velocity[index]
+                if velocity is not None:
+                    velocity *= self.momentum
+                    param.data -= self.lr * velocity
+                return
+            else:
+                return
+        else:
+            grad_term = grad * clip_scale if clip_scale != 1.0 else grad
+            if self.weight_decay:
+                grad_term = grad_term + self.weight_decay * param.data
+        if self.momentum:
+            velocity = self._velocity_buffer(index, param)
+            velocity *= self.momentum
+            velocity += grad_term
+            update = velocity
+        else:
+            update = grad_term
+        # In-place update: one scaled temp instead of a scaled temp plus
+        # a whole fresh parameter array per step.
+        param.data -= self.lr * update
 
 
 class Adam(Optimizer):
@@ -96,7 +157,7 @@ class Adam(Optimizer):
 
     def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-3,
                  betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
-                 weight_decay: float = 0.0):
+                 weight_decay: float = 0.0, grad_clip: float | None = None):
         super().__init__(parameters, lr)
         beta1, beta2 = betas
         if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
@@ -104,20 +165,27 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = beta1, beta2
         self.eps = eps
         self.weight_decay = weight_decay
+        self.grad_clip = grad_clip
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self.step_count += 1
         t = self.step_count
+        clip_scale = self._clip_scale()
         for index, (param, grad) in enumerate(self._gradients()):
+            if clip_scale != 1.0:
+                grad = grad * clip_scale
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
             self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad * grad
             m_hat = self._m[index] / (1 - self.beta1 ** t)
             v_hat = self._v[index] / (1 - self.beta2 ** t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # In-place: keep the parameter array's identity (views, momentum
+            # buffers and the runtime's dtype cast all rely on it) and avoid
+            # allocating a fresh parameter-sized array per step.
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
 class LRSchedule:
@@ -129,9 +197,20 @@ class LRSchedule:
         self.epoch = 0
 
     def step(self) -> float:
-        """Advance one epoch and return the new learning rate."""
+        """Advance one epoch and return the new learning rate.
+
+        The optimiser constructor enforces ``lr > 0`` but only at
+        construction time; a schedule whose ``lr_at`` underflows to zero (or
+        a custom one returning a non-positive value) would silently break
+        that invariant mid-run.  Validate here so it holds across every
+        schedule boundary.
+        """
         self.epoch += 1
-        new_lr = self.lr_at(self.epoch)
+        new_lr = float(self.lr_at(self.epoch))
+        if not new_lr > 0.0 or not np.isfinite(new_lr):
+            raise ValueError(
+                f"{type(self).__name__}.lr_at({self.epoch}) returned {new_lr}; "
+                "schedules must keep the learning rate positive and finite")
         self.optimizer.lr = new_lr
         return new_lr
 

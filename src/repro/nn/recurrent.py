@@ -164,13 +164,7 @@ class LSTMCell(Module):
                 h, self.weight_h, context=recurrent_context)
         else:
             gates = gates + F.linear(h, self.weight_h, None)
-        hs = self.hidden_size
-        i_gate = gates[:, 0 * hs:1 * hs].sigmoid()
-        f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
-        g_gate = gates[:, 2 * hs:3 * hs].tanh()
-        o_gate = gates[:, 3 * hs:4 * hs].sigmoid()
-        c_new = f_gate * c + i_gate * g_gate
-        h_new = o_gate * c_new.tanh()
+        h_new, c_new = F.lstm_gates(gates, c)
         return h_new, (h_new, c_new)
 
     def __repr__(self) -> str:

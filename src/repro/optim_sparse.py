@@ -1,0 +1,312 @@
+"""Pattern-aware sparse SGD driven by the compact engine's dirty regions.
+
+The compact ops never produce dense gradients: every full-size gradient array
+is a zero-filled buffer plus a handful of compact scatters, and the dirty
+tracker (:mod:`repro.tensor.dirty`) records exactly which rows/columns those
+scatters touched.  :class:`SparseSGD` consumes that record so the parameter
+update only does arithmetic on the touched region — the rest of the parameter
+(and of the momentum state) provably does not move — while staying
+**bit-identical** to the dense :class:`~repro.nn.optim.SGD` update:
+
+* Elements outside a recorded region hold exactly ``+0.0`` (the tracker's
+  complement-is-zero invariant), and for positive ``lr``/``clip_scale`` the
+  dense update of a zero-gradient, zero-velocity element is the bitwise
+  identity, so skipping it changes nothing.
+* With momentum, a previously-touched ("stale") row still decays:
+  ``v = v * m + 0.0`` followed by ``p -= lr * v`` — the exact float sequence
+  the dense path runs for a zero gradient (including the ``+ 0.0`` that
+  normalises a ``-0.0`` product).  An *ever-touched* mask per parameter
+  bounds the rows whose velocity can be non-zero.
+* Grad-norm clipping accumulates squared norms over the same fixed row
+  chunks as the dense path (:func:`repro.nn.optim._grad_sq_norm`); chunks
+  with no dirty row contribute exactly ``+0.0`` and are skipped.
+* Weight decay moves every element, and unknown-region gradients may be
+  dense — both fall back to the inherited dense per-parameter update, which
+  is trivially bit-identical.
+
+The optimizer owns the tracker's activation window: ``zero_grad`` clears and
+activates it (the subsequent backward records into it), ``step`` reads the
+regions and deactivates it.  After each update it notifies the tracker's
+observers (the recurrent weight-tile context caches) with the touched
+region.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim import NORM_CHUNK_ROWS, SGD, _grad_sq_norm
+from repro.tensor import dirty
+from repro.tensor.dirty import DirtyTracker
+
+__all__ = ["SparseSGD", "DirtyTracker"]
+
+#: Dirty fraction above which the update arithmetic runs dense.  Fancy-index
+#: gather/scatter pays a per-element overhead a contiguous full-array pass
+#: does not (column indexing additionally strides across every row), so once
+#: a quarter of the axis is dirty the dense arithmetic is faster — and it is
+#: bit-identical either way (elements outside the region hold exactly
+#: ``+0.0``, and the dense update of a zero gradient is the bitwise
+#: identity).  Only the *arithmetic* goes dense: the region is still known,
+#: so observers are notified with the true sparse index set.
+DENSE_CUTOVER = 0.25
+
+
+class SparseSGD(SGD):
+    """SGD whose update arithmetic is restricted to dirty gradient regions.
+
+    Drop-in replacement for :class:`~repro.nn.optim.SGD` (same
+    hyper-parameters, same trajectories bit for bit); construct it through
+    :meth:`repro.execution.EngineRuntime.make_sgd` so it shares the
+    runtime's :class:`~repro.tensor.dirty.DirtyTracker`.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 grad_clip: float | None = None,
+                 tracker: DirtyTracker | None = None):
+        super().__init__(parameters, lr, momentum=momentum,
+                         weight_decay=weight_decay, grad_clip=grad_clip)
+        self.tracker = tracker if tracker is not None else DirtyTracker()
+        #: Per-parameter overapproximation of where velocity may be non-zero:
+        #: ``None`` (nowhere), ``("full",)``, or ``(kind, bool mask)`` over
+        #: the row/column axis.
+        self._ever: list = [None] * len(self.parameters)
+        self.sparse_updates = 0
+        self.dense_fallbacks = 0
+        self.skipped_updates = 0
+        self.skipped_norm_chunks = 0
+        self._dirty_elements = 0
+        self._total_elements = 0
+
+    # ------------------------------------------------------------------
+    # tracker activation window
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        super().zero_grad()
+        self.tracker.clear()
+        dirty.activate(self.tracker)
+
+    def step(self) -> None:
+        try:
+            self._sparse_step()
+        finally:
+            dirty.deactivate(self.tracker)
+
+    # ------------------------------------------------------------------
+    # the sparse update
+    # ------------------------------------------------------------------
+    def _sparse_step(self) -> None:
+        self.step_count += 1
+        clip_scale = self._clip_scale()
+        for index, param in enumerate(self.parameters):
+            self._total_elements += param.data.size
+            self._update_param(index, param, clip_scale)
+
+    def _fallback(self, index: int, param: Parameter,
+                  clip_scale: float) -> None:
+        """Dense per-parameter update + bookkeeping (region unknown/dense)."""
+        self._apply_dense(index, param, clip_scale)
+        self._ever[index] = ("full",)
+        self.dense_fallbacks += 1
+        self._dirty_elements += param.data.size
+        self.tracker.notify_update(param.data, "full", None)
+
+    def _update_param(self, index: int, param: Parameter,
+                      clip_scale: float) -> None:
+        grad = param.grad
+        if grad is None:
+            # Exact-zero gradient, no array ever materialised.
+            if self.weight_decay:
+                self._fallback(index, param, clip_scale)
+            elif self.momentum and self._ever[index] is not None:
+                ever = self._ever[index]
+                if ever[0] == "full":
+                    self._fallback(index, param, clip_scale)
+                else:
+                    kind, mask = ever
+                    self._decay_stale(index, param, kind, np.flatnonzero(mask))
+                    self.sparse_updates += 1
+                    self.tracker.notify_update(param.data, kind,
+                                               np.flatnonzero(mask))
+            else:
+                self.skipped_updates += 1
+            return
+
+        region = None if self.weight_decay else self.tracker.region_of(grad)
+        if region is None or region[0] == "full":
+            self._fallback(index, param, clip_scale)
+            return
+
+        # The ever-touched mask only constrains the *velocity* state; without
+        # momentum there is no state, so a past dense fallback must not pin
+        # the parameter dense forever.
+        ever = self._ever[index] if self.momentum else None
+        if ever is not None and ever[0] == "full":
+            # Velocity may be non-zero anywhere: dense decay is both correct
+            # and cheaper than materialising the stale complement.
+            self._fallback(index, param, clip_scale)
+            return
+
+        if region[0] == "empty":
+            kind = ever[0] if ever is not None else "rows"
+            idx = np.zeros(0, dtype=np.intp)
+        else:
+            kind, idx = region
+            idx = np.asarray(idx)
+        if kind == "cols" and param.data.ndim != 2:
+            self._fallback(index, param, clip_scale)
+            return
+        if ever is not None and ever[0] != kind:
+            self._fallback(index, param, clip_scale)
+            return
+
+        axis_len = param.data.shape[0] if kind == "rows" else param.data.shape[1]
+        per_index = param.data.size // max(axis_len, 1)
+        self._dirty_elements += int(idx.size) * per_index
+
+        if not self.momentum:
+            if idx.size >= axis_len * DENSE_CUTOVER:
+                # Mostly-dirty: contiguous dense arithmetic wins (and is
+                # bit-identical); the notification stays region-accurate.
+                self._apply_dense(index, param, clip_scale)
+                self.sparse_updates += 1
+                self.tracker.notify_update(param.data, kind, idx)
+            elif idx.size:
+                if kind == "rows":
+                    scaled = (grad[idx] * clip_scale if clip_scale != 1.0
+                              else grad[idx])
+                    param.data[idx] -= self.lr * scaled
+                else:
+                    scaled = (grad[:, idx] * clip_scale if clip_scale != 1.0
+                              else grad[:, idx])
+                    param.data[:, idx] -= self.lr * scaled
+                self.sparse_updates += 1
+                self.tracker.notify_update(param.data, kind, idx)
+            else:
+                self.skipped_updates += 1
+            return
+
+        # Momentum: update the dirty region with the real gradient, decay
+        # the stale remainder of the ever-touched region, grow the mask.
+        velocity = self._velocity_buffer(index, param)
+        dirty_mask = np.zeros(axis_len, dtype=bool)
+        dirty_mask[idx] = True
+        if ever is not None:
+            stale_idx = np.flatnonzero(ever[1] & ~dirty_mask)
+            new_mask = ever[1] | dirty_mask
+        else:
+            stale_idx = np.zeros(0, dtype=np.intp)
+            new_mask = dirty_mask
+        if int(np.count_nonzero(new_mask)) >= axis_len * DENSE_CUTOVER:
+            # Mostly-dirty ever-region: the dense velocity/parameter pass is
+            # cheaper than three fancy-indexed ones and runs the exact same
+            # float sequence on every touched element (untouched elements see
+            # ``v = 0*m + 0; p -= lr*0`` — the bitwise identity).
+            self._apply_dense(index, param, clip_scale)
+            self._ever[index] = (kind, new_mask)
+            self.sparse_updates += 1
+            self.tracker.notify_update(param.data, kind,
+                                       np.flatnonzero(new_mask))
+            return
+        if idx.size:
+            if kind == "rows":
+                scaled = (grad[idx] * clip_scale if clip_scale != 1.0
+                          else grad[idx])
+                velocity[idx] = velocity[idx] * self.momentum + scaled
+                param.data[idx] -= self.lr * velocity[idx]
+            else:
+                scaled = (grad[:, idx] * clip_scale if clip_scale != 1.0
+                          else grad[:, idx])
+                velocity[:, idx] = velocity[:, idx] * self.momentum + scaled
+                param.data[:, idx] -= self.lr * velocity[:, idx]
+        self._decay_stale(index, param, kind, stale_idx)
+        self._ever[index] = (kind, new_mask)
+        if idx.size or stale_idx.size:
+            self.sparse_updates += 1
+            self.tracker.notify_update(param.data, kind,
+                                       np.flatnonzero(new_mask))
+        else:
+            self.skipped_updates += 1
+
+    def _decay_stale(self, index: int, param: Parameter, kind: str,
+                     stale_idx: np.ndarray) -> None:
+        """Momentum decay of ever-touched rows whose gradient is zero now.
+
+        ``v * m + 0.0`` then ``p -= lr * v`` — the exact float sequence the
+        dense path runs for those elements (the ``+ 0.0`` reproduces its
+        ``-0.0`` normalisation).
+        """
+        if not stale_idx.size:
+            return
+        velocity = self._velocity[index]
+        if velocity is None:
+            return
+        if kind == "rows":
+            decayed = velocity[stale_idx] * self.momentum + 0.0
+            velocity[stale_idx] = decayed
+            param.data[stale_idx] -= self.lr * decayed
+        else:
+            decayed = velocity[:, stale_idx] * self.momentum + 0.0
+            velocity[:, stale_idx] = decayed
+            param.data[:, stale_idx] -= self.lr * decayed
+
+    # ------------------------------------------------------------------
+    # clipping
+    # ------------------------------------------------------------------
+    def _clip_scale(self) -> float:
+        """Dense chunked clip norm, skipping chunks with no dirty row.
+
+        Accumulates in the same parameter order and the same fixed row
+        chunks as :meth:`Optimizer._clip_scale`; every skipped chunk would
+        have contributed exactly ``+0.0``, so the float result is identical.
+        """
+        if self.grad_clip is None:
+            return 1.0
+        total = 0.0
+        for param in self.parameters:
+            grad = param.grad
+            if grad is None:
+                continue
+            region = self.tracker.region_of(grad)
+            if region is None or region[0] in ("full", "cols"):
+                total += _grad_sq_norm(grad)
+            elif region[0] == "rows":
+                total += self._row_region_sq_norm(grad, np.asarray(region[1]))
+            # ("empty",): the whole gradient is exactly zero — every chunk
+            # would contribute +0.0.
+        norm = float(np.sqrt(total))
+        if norm <= self.grad_clip or norm == 0.0:
+            return 1.0
+        return self.grad_clip / norm
+
+    def _row_region_sq_norm(self, grad: np.ndarray, rows: np.ndarray) -> float:
+        if grad.ndim < 2 or grad.shape[0] <= NORM_CHUNK_ROWS:
+            return _grad_sq_norm(grad)
+        num_chunks = -(-grad.shape[0] // NORM_CHUNK_ROWS)
+        chunk_ids = np.unique(rows // NORM_CHUNK_ROWS)
+        self.skipped_norm_chunks += int(num_chunks - chunk_ids.size)
+        total = 0.0
+        for chunk_id in chunk_ids:
+            start = int(chunk_id) * NORM_CHUNK_ROWS
+            chunk = grad[start:start + NORM_CHUNK_ROWS].reshape(-1)
+            total += float(np.dot(chunk, chunk))
+        return total
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters for ``EngineRuntime.stats()["optimizer"]``."""
+        return {
+            "steps": self.step_count,
+            "sparse_updates": self.sparse_updates,
+            "dense_fallbacks": self.dense_fallbacks,
+            "skipped_updates": self.skipped_updates,
+            "skipped_norm_chunks": self.skipped_norm_chunks,
+            "dirty_fraction": (self._dirty_elements / self._total_elements
+                               if self._total_elements else 0.0),
+        }

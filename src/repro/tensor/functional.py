@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.tensor import dirty as _dirty
 from repro.tensor.tensor import Tensor
 
 
@@ -136,7 +137,9 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         # result as np.add.at (which is unbuffered and an order of magnitude
         # slower for embedding-sized scatters), one contiguous reduction per
         # distinct row instead of one scalar add per gathered element.
-        grad_weight = np.zeros_like(weight.data)
+        grad_weight = np.zeros(weight.data.shape, dtype=weight.data.dtype)
+        _dirty.record_reset(grad_weight)
+        _dirty.mark_transferable(grad_weight)
         # Normalize negative indices so aliases of one row (-n+k and k) land
         # in the same segment — fancy assignment below is last-write-wins.
         flat_indices = indices.reshape(-1) % weight.data.shape[0]
@@ -147,11 +150,109 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         sorted_indices = flat_indices[order]
         starts = np.flatnonzero(
             np.r_[True, sorted_indices[1:] != sorted_indices[:-1]])
-        grad_weight[sorted_indices[starts]] = np.add.reduceat(
-            flat_grad[order], starts, axis=0)
+        touched = sorted_indices[starts]
+        grad_weight[touched] = np.add.reduceat(flat_grad[order], starts, axis=0)
+        _dirty.record_rows(grad_weight, touched)
         return grad_weight
 
     return Tensor.from_op(out, [(weight, backward)], "embedding")
+
+
+def lstm_gates(gates: Tensor, c_prev: Tensor) -> tuple[Tensor, Tensor]:
+    """Fused LSTM gate activations and state update.
+
+    ``gates`` holds the four pre-activation blocks ``[i | f | g | o]`` fused
+    along the last axis (shape ``(batch, 4 * hidden)``); returns
+    ``(h_new, c_new)``.  The forward math is bit-identical to the unfused
+    slice/sigmoid/tanh composition (same formulas applied in the same order);
+    fusing replaces the dozen per-timestep autodiff nodes — four zero-padded
+    slice scatters among them — with two nodes whose backward writes the four
+    gate-gradient blocks directly into one buffer.
+    """
+    z = gates.data
+    hs = z.shape[-1] // 4
+    c_data = c_prev.data
+    i_s = 1.0 / (1.0 + np.exp(-z[:, 0 * hs:1 * hs]))
+    f_s = 1.0 / (1.0 + np.exp(-z[:, 1 * hs:2 * hs]))
+    g_t = np.tanh(z[:, 2 * hs:3 * hs])
+    o_s = 1.0 / (1.0 + np.exp(-z[:, 3 * hs:4 * hs]))
+    c_new = f_s * c_data + i_s * g_t
+    tanh_c = np.tanh(c_new)
+    h_new = o_s * tanh_c
+
+    # d loss / d c_new as seen through h_new, shared by the two h edges below.
+    # The one-entry cache holds a reference to the upstream grad array, so a
+    # recycled id can never alias a different array.  Never mutated after
+    # caching.
+    dc_cache: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def _dcell_h(g):
+        if dc_cache and dc_cache[0][0] is g:
+            return dc_cache[0][1]
+        dc = np.multiply(tanh_c, tanh_c)
+        np.subtract(1.0, dc, out=dc)
+        dc *= o_s
+        dc *= g
+        dc_cache[:] = [(g, dc)]
+        return dc
+
+    def h_backward_gates(g):
+        # Each gate block is built in place inside the one output buffer:
+        # derivative factor first, then the chain terms.
+        dc = _dcell_h(g)
+        dz = np.empty_like(z)
+        bi = dz[:, 0 * hs:1 * hs]
+        np.subtract(1.0, i_s, out=bi)
+        bi *= i_s
+        bi *= g_t
+        bi *= dc
+        bf = dz[:, 1 * hs:2 * hs]
+        np.subtract(1.0, f_s, out=bf)
+        bf *= f_s
+        bf *= c_data
+        bf *= dc
+        bg = dz[:, 2 * hs:3 * hs]
+        np.multiply(g_t, g_t, out=bg)
+        np.subtract(1.0, bg, out=bg)
+        bg *= i_s
+        bg *= dc
+        bo = dz[:, 3 * hs:4 * hs]
+        np.subtract(1.0, o_s, out=bo)
+        bo *= o_s
+        bo *= tanh_c
+        bo *= g
+        return dz
+
+    def h_backward_c(g):
+        return _dcell_h(g) * f_s
+
+    def c_backward_gates(g):
+        dz = np.zeros(z.shape, dtype=z.dtype)  # o block stays zero
+        bi = dz[:, 0 * hs:1 * hs]
+        np.subtract(1.0, i_s, out=bi)
+        bi *= i_s
+        bi *= g_t
+        bi *= g
+        bf = dz[:, 1 * hs:2 * hs]
+        np.subtract(1.0, f_s, out=bf)
+        bf *= f_s
+        bf *= c_data
+        bf *= g
+        bg = dz[:, 2 * hs:3 * hs]
+        np.multiply(g_t, g_t, out=bg)
+        np.subtract(1.0, bg, out=bg)
+        bg *= i_s
+        bg *= g
+        return dz
+
+    def c_backward_c(g):
+        return g * f_s
+
+    h_t = Tensor.from_op(h_new, [(gates, h_backward_gates),
+                                 (c_prev, h_backward_c)], "lstm_gates_h")
+    c_t = Tensor.from_op(c_new, [(gates, c_backward_gates),
+                                 (c_prev, c_backward_c)], "lstm_gates_c")
+    return h_t, c_t
 
 
 def apply_mask(x: Tensor, mask: np.ndarray) -> Tensor:
@@ -224,8 +325,10 @@ def cols_select(x: Tensor, col_indices: np.ndarray) -> Tensor:
     out = x.data[..., col_indices]
 
     def backward(g, col_indices=col_indices):
-        full = np.zeros_like(x.data)
+        full = np.zeros(x.data.shape, dtype=x.data.dtype)
         full[..., col_indices] = g
+        _dirty.record_cols(full, col_indices)
+        _dirty.mark_transferable(full)
         return full
 
     return Tensor.from_op(out, [(x, backward)], "cols_select")

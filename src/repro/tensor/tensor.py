@@ -19,6 +19,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.tensor import dirty as _dirty
+
 ArrayLike = "np.ndarray | float | int | Sequence | Tensor"
 
 _GRAD_ENABLED = True
@@ -58,6 +60,31 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def _adopt_or_copy(grad: np.ndarray, walk_owned: bool) -> np.ndarray:
+    """The array to store as a leaf's ``.grad`` for accumulated ``grad``.
+
+    A defensive copy protects against gradient buffers that are refilled
+    later (the compact workspace rings).  It can be skipped when the array
+    is private: either the backward walk allocated it itself
+    (``walk_owned``), or the allocating op marked it as a one-shot fresh
+    buffer (:func:`repro.tensor.dirty.mark_transferable`).  Otherwise, a
+    known dirty-row region turns the full copy into a copy of just the
+    possibly-non-zero rows (the complement is exactly zero, so ``zeros`` +
+    row copy is elementwise identical).
+    """
+    if walk_owned or _dirty.is_transferable(grad):
+        return grad
+    region = _dirty.region_of(grad)
+    if (region is not None and region[0] == "rows" and grad.ndim >= 1
+            and 2 * len(region[1]) <= grad.shape[0]):
+        rows = region[1]
+        # np.zeros over zeros_like: calloc'd pages skip the memset.
+        out = np.zeros(grad.shape, dtype=grad.dtype)
+        out[rows] = grad[rows]
+        return out
+    return grad.copy()
 
 
 def _as_array(value, dtype=np.float64) -> np.ndarray:
@@ -211,16 +238,28 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # Keys whose accumulated array this walk allocated itself (via
+        # ``previous + contribution``): those are private to the walk, so
+        # later contributions may be added in place and a leaf may adopt
+        # the array as ``.grad`` without a defensive copy.
+        owned: set[int] = set()
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
             if not node._parents:
-                # leaf: accumulate into .grad
+                # leaf: accumulate into .grad.  The dirty-region propagation
+                # mirrors the data flow exactly (copy = alias, add = union)
+                # so the sparse optimizer sees the region of the final
+                # ``.grad`` array, not of the scatter buffer it came from.
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    node.grad = _adopt_or_copy(node_grad,
+                                               id(node) in owned)
+                    _dirty.propagate_alias(node.grad, node_grad)
                 else:
+                    previous = node.grad
                     node.grad = node.grad + node_grad
+                    _dirty.propagate_sum(node.grad, previous, node_grad)
                 continue
             for parent, backward_fn in node._parents:
                 contribution = backward_fn(node_grad)
@@ -229,7 +268,19 @@ class Tensor:
                 contribution = np.asarray(contribution)
                 key = id(parent)
                 if key in grads:
-                    grads[key] = grads[key] + contribution
+                    previous = grads[key]
+                    if (key in owned
+                            and previous.shape == contribution.shape
+                            and previous.dtype == contribution.dtype):
+                        # In-place accumulate into the walk-private array
+                        # (bitwise the same ufunc as ``previous +
+                        # contribution``, minus the allocation).
+                        previous += contribution
+                        _dirty.propagate_sum(previous, previous, contribution)
+                    else:
+                        grads[key] = previous + contribution
+                        owned.add(key)
+                        _dirty.propagate_sum(grads[key], previous, contribution)
                 else:
                     grads[key] = contribution
 
@@ -349,9 +400,12 @@ class Tensor:
             or part is None for part in parts)
 
         def backward(g, index=index):
-            full = np.zeros_like(self.data)
+            full = np.zeros(self.data.shape, dtype=self.data.dtype)
             if duplicate_free:
-                full[index] += g
+                # Plain assignment: the buffer is fresh zeros and each
+                # element is selected at most once, so ``=`` equals ``+=``
+                # without the read-modify-write pass.
+                full[index] = g
             else:
                 np.add.at(full, index, g)
             return full

@@ -14,7 +14,7 @@ from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.models.lstm_lm import LSTMLanguageModel
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.metrics import perplexity_from_loss
-from repro.nn.optim import SGD, ExponentialLR
+from repro.nn.optim import ExponentialLR
 from repro.tensor import Tensor, no_grad
 from repro.training.history import TrainingHistory, TrainingResult
 
@@ -74,8 +74,11 @@ class LanguageModelTrainer:
             seed=self.config.seed, pool_size=self.config.pattern_pool_size))
         self.backend = self.runtime.backend
         self.pattern_schedule = self.runtime.bind(model)
-        self.optimizer = SGD(model.parameters(), lr=self.config.learning_rate,
-                             grad_clip=self.config.grad_clip)
+        # Built through the runtime so ExecutionConfig.optimizer selects the
+        # dense or the dirty-region sparse update (identical trajectories).
+        self.optimizer = self.runtime.make_sgd(
+            model.parameters(), lr=self.config.learning_rate,
+            grad_clip=self.config.grad_clip)
         self.schedule = ExponentialLR(self.optimizer, gamma=self.config.lr_decay,
                                       flat_epochs=self.config.lr_flat_epochs)
         self.rng = np.random.default_rng(self.config.seed)

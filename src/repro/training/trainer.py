@@ -14,7 +14,6 @@ from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.models.mlp import MLPClassifier
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.metrics import accuracy
-from repro.nn.optim import SGD
 from repro.tensor import Tensor, no_grad
 from repro.training.history import TrainingHistory, TrainingResult
 
@@ -79,8 +78,11 @@ class ClassifierTrainer:
             seed=self.config.seed, pool_size=self.config.pattern_pool_size))
         self.backend = self.runtime.backend
         self.pattern_schedule = self.runtime.bind(model)
-        self.optimizer = SGD(model.parameters(), lr=self.config.learning_rate,
-                             momentum=self.config.momentum)
+        # Built through the runtime so ExecutionConfig.optimizer selects the
+        # dense or the dirty-region sparse update (identical trajectories).
+        self.optimizer = self.runtime.make_sgd(
+            model.parameters(), lr=self.config.learning_rate,
+            momentum=self.config.momentum)
         self.rng = np.random.default_rng(self.config.seed)
 
         timing_model = model.timing_model(self.config.batch_size, device=device)

@@ -155,6 +155,48 @@ class TestHeadFamily:
         assert report["config"]["loss_head"] == "dense"
 
 
+class TestOptimizerToggle:
+    """The sparse-optimizer toggle of the e2e families and its CLI plumbing."""
+
+    def test_optimizer_validation_and_default(self):
+        with pytest.raises(ValueError, match="optimizer"):
+            BenchmarkConfig(optimizer="adam")
+        assert BenchmarkConfig().optimizer == "sparse"
+
+    def test_e2e_config_records_optimizer(self, tmp_path):
+        config = tiny_config(widths=(32,), batch=8, families=("e2e",),
+                             optimizer="sparse",
+                             output=str(tmp_path / "bench.json"))
+        results = run_benchmark(config)
+        path = write_report(results, config)
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["config"]["optimizer"] == "sparse"
+        for family in ("e2e_mlp", "e2e_lstm"):
+            entry = next(e for e in report["results"] if e["family"] == family)
+            assert entry["optimizer"] == "sparse"
+
+    def test_cli_optimizer_flag(self, tmp_path):
+        output = str(tmp_path / "bench.json")
+        assert bench_main(["--quick", "--families", "e2e",
+                           "--optimizer", "dense", "--output", output]) == 0
+        with open(output) as handle:
+            report = json.load(handle)
+        assert report["config"]["optimizer"] == "dense"
+
+    def test_gate_covers_the_e2e_lstm_case(self):
+        from repro.bench.delta import ACCEPTANCE_CASES, quick_acceptance_config
+
+        assert ("e2e_lstm", 256, 0.7) in ACCEPTANCE_CASES
+        config = quick_acceptance_config()
+        # The quick gate sweep must actually produce that case: the e2e LSTM
+        # hidden size derives as min(max(widths) // 2, 256).
+        assert "e2e" in config.families
+        assert min(max(config.widths) // 2, 256) == 256
+        assert 0.7 in config.rates
+        assert config.optimizer == "sparse"
+
+
 class TestBackendSelection:
     def test_unknown_backend_fails_fast(self):
         with pytest.raises(ValueError, match="unknown execution backend"):
@@ -298,18 +340,22 @@ class TestDeltaCheck:
         from repro.bench import compare_reports
 
         fresh = [self.entry(speedup=3.9), self.entry("tile", speedup=3.5),
-                 self.entry("head", speedup=1.9)]
+                 self.entry("head", speedup=1.9),
+                 self.entry("e2e_lstm", width=256, speedup=2.2)]
         baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6),
-                    self.entry("head", speedup=2.0)]
+                    self.entry("head", speedup=2.0),
+                    self.entry("e2e_lstm", width=256, speedup=2.3)]
         assert compare_reports(fresh, baseline) == []
 
     def test_large_regression_fails(self):
         from repro.bench import compare_reports
 
         fresh = [self.entry(speedup=2.0), self.entry("tile", speedup=3.6),
-                 self.entry("head", speedup=2.0)]
+                 self.entry("head", speedup=2.0),
+                 self.entry("e2e_lstm", width=256, speedup=2.3)]
         baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=3.6),
-                    self.entry("head", speedup=2.0)]
+                    self.entry("head", speedup=2.0),
+                    self.entry("e2e_lstm", width=256, speedup=2.3)]
         failures = compare_reports(fresh, baseline)
         assert len(failures) == 1
         assert "row" in failures[0] and "regressed" in failures[0]
@@ -318,9 +364,11 @@ class TestDeltaCheck:
         from repro.bench import compare_reports
 
         fresh = [self.entry(speedup=3.0), self.entry("tile", speedup=3.0),
-                 self.entry("head", speedup=3.0)]
+                 self.entry("head", speedup=3.0),
+                 self.entry("e2e_lstm", width=256, speedup=3.0)]
         baseline = [self.entry(speedup=4.0), self.entry("tile", speedup=4.0),
-                    self.entry("head", speedup=4.0)]
+                    self.entry("head", speedup=4.0),
+                    self.entry("e2e_lstm", width=256, speedup=4.0)]
         assert compare_reports(fresh, baseline) == []  # 25% < 30%
         assert compare_reports(fresh, baseline, threshold=0.2)
 
@@ -345,10 +393,12 @@ class TestDeltaCheck:
 
         baseline = {"results": [self.entry(speedup=4.0),
                                 self.entry("tile", speedup=3.6),
-                                self.entry("head", speedup=2.0)]}
+                                self.entry("head", speedup=2.0),
+                                self.entry("e2e_lstm", width=256, speedup=2.3)]}
         fresh = {"results": [self.entry(speedup=3.8),
                              self.entry("tile", speedup=3.5),
-                             self.entry("head", speedup=1.9)]}
+                             self.entry("head", speedup=1.9),
+                             self.entry("e2e_lstm", width=256, speedup=2.2)]}
         baseline_path = tmp_path / "baseline.json"
         fresh_path = tmp_path / "fresh.json"
         baseline_path.write_text(json.dumps(baseline))
@@ -381,26 +431,31 @@ class TestDeltaReportMismatches:
     def test_backend_mismatch_fails_with_clear_message(self):
         from repro.bench import compare_reports
 
-        baseline = [self.entry(), self.entry("tile"), self.entry("head")]
+        baseline = [self.entry(), self.entry("tile"), self.entry("head"),
+                    self.entry("e2e_lstm", width=256)]
         fresh = [self.entry(backend="numpy"), self.entry("tile", backend="numpy"),
-                 self.entry("head", backend="numpy")]
+                 self.entry("head", backend="numpy"),
+                 self.entry("e2e_lstm", width=256, backend="numpy")]
         # Gating the fused backend against a fresh report that was actually
         # measured with numpy must fail loudly, not compare silently.
         failures = compare_reports(fresh, baseline, require_backend="fused")
-        assert len(failures) == 3
+        assert len(failures) == 4
         assert all("backend mismatch" in f for f in failures)
         assert compare_reports(fresh, baseline, require_backend="numpy") == []
 
     def test_fresh_entry_without_backend_field_fails_the_gate(self):
         from repro.bench import compare_reports
 
-        baseline = [self.entry(), self.entry("tile"), self.entry("head")]
-        fresh = [{k: v for k, v in self.entry(family).items() if k != "backend"}
-                 for family in ("row", "tile", "head")]
+        baseline = [self.entry(), self.entry("tile"), self.entry("head"),
+                    self.entry("e2e_lstm", width=256)]
+        fresh = [{k: v for k, v in self.entry(family, width=width).items()
+                  if k != "backend"}
+                 for family, width in (("row", 2048), ("tile", 2048),
+                                       ("head", 2048), ("e2e_lstm", 256))]
         # A pre-backend-era report cannot prove which backend it measured:
         # the gate must refuse it rather than compare silently.
         failures = compare_reports(fresh, baseline, require_backend="stacked")
-        assert len(failures) == 3
+        assert len(failures) == 4
         assert all("does not record which backend" in f for f in failures)
         # Without a backend requirement (in-library use) it still compares.
         assert compare_reports(fresh, baseline) == []
@@ -409,8 +464,9 @@ class TestDeltaReportMismatches:
         from repro.bench import compare_reports
 
         failures = compare_reports([], [self.entry(), self.entry("tile"),
-                                        self.entry("head")])
-        assert len(failures) == 3
+                                        self.entry("head"),
+                                        self.entry("e2e_lstm", width=256)])
+        assert len(failures) == 4
         assert all("missing from the fresh run" in f for f in failures)
 
     def test_load_report_rejects_non_report_json(self, tmp_path):

@@ -80,6 +80,40 @@ class TestSGD:
         SGD([p], lr=0.1).step()
         assert np.allclose(p.data, [3.0])
 
+    def test_clip_skips_missing_grads_without_allocating(self, rng, monkeypatch):
+        # Satellite bugfix: _clip_scale must not materialise a zero array per
+        # parameter without a gradient — the norm of a missing gradient is
+        # exactly zero, so those parameters are skipped outright.
+        import repro.nn.optim as optim_module
+
+        with_grad = Parameter(rng.normal(size=(8, 4)))
+        without_grad = Parameter(rng.normal(size=(512, 512)))
+        optimizer = SGD([with_grad, without_grad], lr=0.1, grad_clip=0.5)
+        with_grad.grad = rng.normal(size=(8, 4))
+        expected = 0.5 / np.linalg.norm(with_grad.grad)
+
+        calls = []
+        real_zeros_like = np.zeros_like
+        monkeypatch.setattr(optim_module.np, "zeros_like",
+                            lambda *a, **k: calls.append(a) or real_zeros_like(*a, **k))
+        scale = optimizer._clip_scale()
+        assert scale == pytest.approx(expected)
+        assert calls == []
+
+    def test_clip_norm_matches_over_partial_grads(self, rng):
+        # The clip factor over a mixed present/missing gradient list equals
+        # the one computed with explicit zero gradients in the gaps.
+        params = [Parameter(rng.normal(size=(16, 3))) for _ in range(3)]
+        grads = [rng.normal(size=(16, 3)), None, rng.normal(size=(16, 3))]
+        sparse_list = SGD(params, lr=0.1, grad_clip=1.0)
+        for p, g in zip(params, grads):
+            p.grad = g
+        dense_list = SGD([Parameter(p.data.copy()) for p in params],
+                         lr=0.1, grad_clip=1.0)
+        for p, g in zip(dense_list.parameters, grads):
+            p.grad = g if g is not None else np.zeros_like(p.data)
+        assert sparse_list._clip_scale() == dense_list._clip_scale()
+
     def test_optimizer_trains_linear_layer(self, rng):
         layer = Linear(3, 1, rng=rng)
         optimizer = SGD(layer.parameters(), lr=0.1)
@@ -110,6 +144,30 @@ class TestAdam:
             optimizer.step()
         assert np.all(np.abs(p.data) < 1e-2)
 
+    def test_grad_clip_bounds_update(self):
+        # Satellite bugfix: Adam must accept and apply grad_clip like SGD.
+        clipped = Parameter(np.array([0.0, 0.0]))
+        free = Parameter(np.array([0.0, 0.0]))
+        huge = np.array([1e6, -1e6])
+        clipped_opt = Adam([clipped], lr=0.1, grad_clip=1.0)
+        free_opt = Adam([free], lr=0.1)
+        # A clipped huge gradient behaves like the same direction at norm 1.
+        clipped.grad = huge.copy()
+        clipped_opt.step()
+        free.grad = huge / np.linalg.norm(huge)
+        free_opt.step()
+        assert np.allclose(clipped.data, free.data)
+
+    def test_step_updates_parameter_in_place(self, rng):
+        # Satellite bugfix: the update must mutate param.data (views and the
+        # runtime's dtype-cast arrays rely on the identity), not rebind it.
+        p = quadratic_params(rng)
+        original = p.data
+        optimizer = Adam([p], lr=0.1)
+        p.grad = np.ones_like(p.data)
+        optimizer.step()
+        assert p.data is original
+
 
 class TestSchedules:
     def test_constant(self, rng):
@@ -135,6 +193,39 @@ class TestSchedules:
         optimizer = SGD([quadratic_params(rng)], lr=1.0)
         with pytest.raises(ValueError):
             StepLR(optimizer, step_size=0)
+
+    def test_step_rejects_non_positive_lr(self, rng):
+        # Satellite bugfix: the lr > 0 invariant the optimizer constructor
+        # enforces must also hold across every schedule step.
+        from repro.nn.optim import LRSchedule
+
+        class ToZero(LRSchedule):
+            def lr_at(self, epoch):
+                return 0.0
+
+        schedule = ToZero(SGD([quadratic_params(rng)], lr=1.0))
+        with pytest.raises(ValueError, match="positive and finite"):
+            schedule.step()
+
+    def test_step_rejects_non_finite_lr(self, rng):
+        from repro.nn.optim import LRSchedule
+
+        class ToNan(LRSchedule):
+            def lr_at(self, epoch):
+                return float("nan")
+
+        schedule = ToNan(SGD([quadratic_params(rng)], lr=1.0))
+        with pytest.raises(ValueError, match="positive and finite"):
+            schedule.step()
+
+    def test_step_lr_underflow_to_zero_raises(self, rng):
+        # gamma=0 makes StepLR hit exactly 0.0 at its first boundary: the
+        # step that crosses it must fail loudly, not silently freeze training.
+        optimizer = SGD([quadratic_params(rng)], lr=1.0)
+        schedule = StepLR(optimizer, step_size=1, gamma=0.0)
+        with pytest.raises(ValueError, match="positive and finite"):
+            schedule.step()
+        assert optimizer.lr == 1.0  # the optimizer never saw the bad value
 
 
 class TestLossesAndMetrics:
