@@ -31,10 +31,11 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="untimed warm-up steps per repeat")
     parser.add_argument("--tile", type=int, default=32, help="TDP tile edge")
     parser.add_argument("--families", nargs="+",
-                        default=["row", "tile", "e2e", "head"],
+                        default=["row", "tile", "e2e", "head", "e2e_dist"],
                         help="benchmark families to time (lstm_rec = one "
                              "recurrent projection, head = one loss-head "
-                             "step, e2e = whole trainer steps)")
+                             "step, e2e = whole trainer steps, e2e_dist = "
+                             "data-parallel scaling of one MLP trainer step)")
     parser.add_argument("--e2e-dtype", default="float64",
                         choices=["float64", "float32"],
                         help="floating dtype of the e2e trainer-step cases")
@@ -61,6 +62,9 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument("--shards", type=int, default=1,
                         help="worker processes to shard the cases across "
                              "(one BLAS thread domain each)")
+    parser.add_argument("--dist-shards", type=int, default=2,
+                        help="data-parallel worker count of the e2e_dist "
+                             "scaling case")
     parser.add_argument("--output", default="BENCH_compact_engine.json",
                         help="path of the JSON report")
     parser.add_argument("--quick", action="store_true",
@@ -97,7 +101,9 @@ def main(argv: list[str] | None = None) -> int:
                                  recurrent=args.recurrent,
                                  loss_head=args.loss_head,
                                  optimizer=args.optimizer,
-                                 shards=args.shards, output=args.output)
+                                 shards=args.shards,
+                                 dist_shards=args.dist_shards,
+                                 output=args.output)
     else:
         config = BenchmarkConfig(widths=tuple(args.widths), rates=tuple(args.rates),
                                  batch=args.batch, steps=args.steps,
@@ -107,7 +113,9 @@ def main(argv: list[str] | None = None) -> int:
                                  recurrent=args.recurrent,
                                  loss_head=args.loss_head,
                                  optimizer=args.optimizer,
-                                 shards=args.shards, output=args.output)
+                                 shards=args.shards,
+                                 dist_shards=args.dist_shards,
+                                 output=args.output)
     print("repro.bench — compact pattern-execution engine vs mask-based dropout")
     print(f"batch={config.batch} steps={config.steps} repeats={config.repeats} "
           f"backend={config.backend} shards={config.shards} "

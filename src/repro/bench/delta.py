@@ -1,12 +1,21 @@
 """Benchmark-regression gate: compare a fresh run against a committed report.
 
 ``python -m repro.bench.delta`` runs a quick benchmark at the acceptance case
-(width 2048, rate 0.7; the row, tile, e2e and head families — the e2e LSTM
-trainer-step case derives hidden size 256 from that sweep), loads the
-committed ``BENCH_compact_engine.json`` and **fails (exit code 1) when the
-freshly measured ``speedup_pooled`` regresses by more than 30%** relative to
-the committed value.  This is the CI hook that keeps the pooled engine's headline
+(width 2048, rate 0.7; the row, tile, e2e, head and e2e_dist families — the
+e2e LSTM trainer-step case derives hidden size 256 from that sweep), loads
+the committed ``BENCH_compact_engine.json`` and **fails (exit code 1) when
+the freshly measured ``speedup_pooled`` regresses by more than 30%** relative
+to the committed value.  This is the CI hook that keeps the pooled engine's headline
 speedup honest across PRs without re-running the full sweep.
+
+The ``e2e_dist`` data-parallel scaling case is gated on an *absolute* bar
+instead (:func:`scaling_failures`): the sharded trainer must beat the
+single-process step by at least ``DEFAULT_MIN_SCALING`` (1.5x at 2 shards).
+Scaling beyond 1x is physically impossible when the workers plus the
+coordinator outnumber the CPU cores, so the bar is enforced only when the
+entry's recorded ``cpu_count >= shards + 1`` — the case is still *measured*
+everywhere (catching determinism or crash regressions), but the absolute
+bar reports a skip, not a failure, on machines too small to scale.
 
 Usage::
 
@@ -41,6 +50,17 @@ ACCEPTANCE_CASES: tuple[tuple[str, int, float], ...] = (
 
 #: Maximum tolerated relative drop in ``speedup_pooled`` (0.3 = 30%).
 DEFAULT_THRESHOLD = 0.3
+
+#: Data-parallel scaling cases gated on an absolute bar: (family, width,
+#: rate).  The width is the e2e_dist case's derived hidden size,
+#: ``min(max(widths), 512)``.
+SCALING_CASES: tuple[tuple[str, int, float], ...] = (
+    ("e2e_dist", 512, 0.7),
+)
+
+#: Minimum single-process / sharded step-time ratio the e2e_dist case must
+#: reach at 2 shards (enforced only on machines with enough cores).
+DEFAULT_MIN_SCALING = 1.5
 
 
 def load_report(path: str) -> dict:
@@ -141,6 +161,59 @@ def compare_reports(fresh: list[dict], baseline: list[dict],
     return failures
 
 
+def scaling_failures(entries: list[dict],
+                     min_scaling: float = DEFAULT_MIN_SCALING,
+                     cases: tuple[tuple[str, int, float], ...] = SCALING_CASES,
+                     ) -> tuple[list[str], list[str]]:
+    """Absolute data-parallel scaling gate; returns ``(failures, skips)``.
+
+    For each gated ``(family, width, rate)`` case, the fresh entry's
+    ``speedup_pooled`` (single-process / sharded step time for ``e2e_dist``)
+    must reach ``min_scaling``.  A machine whose recorded ``cpu_count`` is
+    below ``shards + 1`` (workers plus coordinator) cannot scale past 1x no
+    matter how good the all-reduce is, so such entries produce a *skip*
+    message instead of a failure — honest on a 1-core dev box, enforced on
+    multi-core CI.  A gated case missing from ``entries``, or one that never
+    recorded its ``shards``/``cpu_count``, fails: the gate must not rot
+    silently.
+    """
+    if min_scaling <= 0:
+        raise ValueError(f"min_scaling must be positive, got {min_scaling}")
+    indexed = _case_entries(entries, "fresh")
+    failures: list[str] = []
+    skips: list[str] = []
+    for case in cases:
+        family, width, rate = case
+        label = f"{family} width={width} rate={rate}"
+        entry = indexed.get(case)
+        if entry is None:
+            failures.append(f"{label}: missing from the fresh run "
+                            f"(data-parallel scaling case not measured)")
+            continue
+        shards = entry.get("shards")
+        cpu_count = entry.get("cpu_count")
+        if not shards or not cpu_count:
+            failures.append(
+                f"{label}: entry does not record shards/cpu_count, so the "
+                f"scaling gate cannot tell a regression from a too-small "
+                f"machine (regenerate the report with `python -m repro.bench`)")
+            continue
+        measured = float(entry["speedup_pooled"])
+        if int(cpu_count) < int(shards) + 1:
+            skips.append(
+                f"{label}: measured {measured:.2f}x at {shards} shards, but "
+                f"only {cpu_count} CPU core(s) — the {min_scaling:.1f}x bar "
+                f"needs at least {int(shards) + 1} cores (workers + "
+                f"coordinator) to be physically reachable; not enforced")
+            continue
+        if measured < min_scaling:
+            failures.append(
+                f"{label}: data-parallel scaling {measured:.2f}x at {shards} "
+                f"shards is below the {min_scaling:.1f}x bar "
+                f"(cpu_count={cpu_count})")
+    return failures, skips
+
+
 def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     """A reduced configuration that still measures the acceptance case.
 
@@ -156,7 +229,7 @@ def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     return BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=full.batch,
                            steps=full.steps, repeats=full.repeats,
                            warmup=full.warmup,
-                           families=("row", "tile", "e2e", "head"),
+                           families=("row", "tile", "e2e", "head", "e2e_dist"),
                            backend=backend)
 
 
@@ -172,6 +245,10 @@ def main(argv: list[str] | None = None) -> int:
                              "a quick benchmark of the acceptance case is run")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="maximum tolerated relative regression (default 0.3)")
+    parser.add_argument("--min-scaling", type=float, default=DEFAULT_MIN_SCALING,
+                        help="absolute data-parallel scaling bar of the "
+                             "e2e_dist case (default 1.5; only enforced when "
+                             "the entry's recorded cpu_count >= shards + 1)")
     parser.add_argument("--backend", default="numpy",
                         help="execution backend of the fresh measurement "
                              "(gate an accelerated backend against the "
@@ -207,6 +284,11 @@ def main(argv: list[str] | None = None) -> int:
     failures = compare_reports(fresh_entries, baseline["results"],
                                threshold=args.threshold,
                                require_backend=args.backend)
+    scaling, skips = scaling_failures(fresh_entries,
+                                      min_scaling=args.min_scaling)
+    for skip in skips:
+        print(f"\nscaling gate skipped — {skip}")
+    failures += scaling
     if failures:
         print("\nBENCHMARK REGRESSION:")
         for failure in failures:

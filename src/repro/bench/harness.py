@@ -52,6 +52,16 @@ through (``--backend fused`` on the CLI), so every family compares the
 conventional ``masked`` baseline against the chosen backend — run the
 harness once per backend to compare ``numpy`` vs ``fused`` per mode.
 
+The ``e2e_dist`` family measures *data-parallel scaling*: it times one MLP
+trainer step ``single`` (in-process, ``shards=1``) against ``sharded`` (the
+:class:`~repro.distributed.DistributedTrainer` coordinator driving
+``BenchmarkConfig.dist_shards`` worker processes through the shared-memory
+all-reduce).  Both modes run the same pooled engine configuration, so
+``speedup_pooled`` reports pure multi-process scaling efficiency; the
+entry additionally records ``shards`` and ``cpu_count`` so the delta gate
+can skip the absolute scaling bar on machines with fewer cores than
+workers (where a >1x speedup is physically impossible).
+
 Sharding: ``BenchmarkConfig.shards`` splits the (family, width, rate) cases
 across that many worker *processes*, each pinned to its own BLAS thread
 domain (``OMP_NUM_THREADS`` & friends set to ``cpu_count // shards`` before
@@ -107,7 +117,7 @@ class BenchmarkConfig:
     tile: int = 32
     max_period: int = 16
     seed: int = 0
-    families: tuple[str, ...] = ("row", "tile", "e2e", "head")
+    families: tuple[str, ...] = ("row", "tile", "e2e", "head", "e2e_dist")
     #: Floating dtype of the e2e trainer-step cases ("float64" or "float32").
     e2e_dtype: str = "float64"
     #: Execution backend of the compact/pooled modes (registry name).
@@ -126,11 +136,15 @@ class BenchmarkConfig:
     optimizer: str = "sparse"
     #: Worker processes the cases are sharded across (1 = run in-process).
     shards: int = 1
+    #: Shard count of the ``e2e_dist`` data-parallel scaling case (the
+    #: worker processes of *one* distributed trainer, not case sharding).
+    dist_shards: int = 2
     output: str = "BENCH_compact_engine.json"
 
     #: Valid benchmark family names (``lstm_rec`` = one recurrent projection,
-    #: ``head`` = one loss-head step: vocab projection + cross-entropy).
-    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head")
+    #: ``head`` = one loss-head step: vocab projection + cross-entropy,
+    #: ``e2e_dist`` = data-parallel scaling of one MLP trainer step).
+    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head", "e2e_dist")
 
     def __post_init__(self):
         if self.batch <= 0 or self.steps <= 0 or self.repeats <= 0:
@@ -139,6 +153,10 @@ class BenchmarkConfig:
             raise ValueError("warmup must be >= 0")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.dist_shards < 2:
+            raise ValueError("dist_shards must be >= 2 (the e2e_dist case "
+                             "compares single-process against that many "
+                             "data-parallel workers)")
         if self.backend not in available_backends():
             raise ValueError(
                 f"unknown execution backend {self.backend!r}; "
@@ -187,22 +205,38 @@ class BenchmarkResult:
     loss_head: str | None = None
     #: Optimizer execution of the case (None = not applicable).
     optimizer: str | None = None
+    #: Data-parallel worker count of the ``e2e_dist`` case (None otherwise).
+    shards: int | None = None
+    #: CPU cores the case was measured on (recorded for ``e2e_dist`` so the
+    #: scaling gate can tell "regressed" from "machine too small to scale").
+    cpu_count: int | None = None
     mode_ms: dict[str, float] = field(default_factory=dict)
     #: Mean fraction of the dense GEMM the compact modes execute over the
     #: case's shared pattern sequence (kept rows / kept tile area).
     keep_fraction: float | None = None
 
     @property
-    def speedup_compact(self) -> float:
-        """masked / compact per-step time (plain compact ops)."""
+    def speedup_compact(self) -> float | None:
+        """masked / compact per-step time (None for cases without the mode)."""
+        if "compact" not in self.mode_ms:
+            return None
         return self.mode_ms["masked"] / self.mode_ms["compact"]
 
     @property
     def speedup_pooled(self) -> float:
-        """masked / pooled per-step time (the full cached engine)."""
-        return self.mode_ms["masked"] / self.mode_ms["pooled"]
+        """masked / pooled per-step time (the full cached engine).
+
+        The ``e2e_dist`` family has no masked baseline — there the headline
+        ratio is single-process / sharded per-step time, i.e. the
+        data-parallel scaling factor, kept under the same key so every
+        report entry gates through one field.
+        """
+        if "pooled" in self.mode_ms:
+            return self.mode_ms["masked"] / self.mode_ms["pooled"]
+        return self.mode_ms["single"] / self.mode_ms["sharded"]
 
     def to_dict(self) -> dict:
+        compact = self.speedup_compact
         return {
             "family": self.family,
             "width": self.width,
@@ -215,10 +249,12 @@ class BenchmarkResult:
             "recurrent": self.recurrent,
             "loss_head": self.loss_head,
             "optimizer": self.optimizer,
+            "shards": self.shards,
+            "cpu_count": self.cpu_count,
             "mode_ms": {mode: round(ms, 4) for mode, ms in self.mode_ms.items()},
             "keep_fraction": (round(self.keep_fraction, 4)
                               if self.keep_fraction is not None else None),
-            "speedup_compact": round(self.speedup_compact, 3),
+            "speedup_compact": round(compact, 3) if compact is not None else None,
             "speedup_pooled": round(self.speedup_pooled, 3),
         }
 
@@ -665,6 +701,68 @@ def _bench_e2e_lstm_case(config: BenchmarkConfig,
     return result
 
 
+def _bench_e2e_dist_case(config: BenchmarkConfig,
+                         rng: np.random.Generator) -> BenchmarkResult:
+    """Data-parallel scaling of one MLP trainer step.
+
+    ``single`` times ``ClassifierTrainer.train_step`` in-process;
+    ``sharded`` times one :meth:`_Cluster.step` of the distributed
+    coordinator — publish params, release ``dist_shards`` workers on their
+    strided batch slices, shared-memory tree reduce, one optimizer step.
+    Both modes run the same pooled-engine configuration, so the ratio is
+    pure multi-process scaling (workers idle at the params barrier while
+    the single mode is timed, so the interleaved repeats stay fair).
+    """
+    from repro.data.synthetic_mnist import make_synthetic_mnist
+    from repro.distributed import DistributedTrainer
+    from repro.execution import EngineRuntime, ExecutionConfig
+    from repro.models.mlp import MLPClassifier, MLPConfig
+    from repro.training.trainer import ClassifierTrainer, ClassifierTrainingConfig
+
+    hidden = min(max(config.widths), 512)
+    rate = max(config.rates)
+    batch = config.batch
+    # Enough training data that every shard's strided slice of the epoch
+    # schedule stays non-empty, and the step loop cycles a few batches.
+    data = make_synthetic_mnist(num_train=max(batch * 4, 256), num_test=32,
+                                seed=config.seed)
+    train_config = ClassifierTrainingConfig(batch_size=batch, epochs=1,
+                                            seed=config.seed)
+
+    def build(shards: int):
+        model = MLPClassifier(MLPConfig(
+            input_size=data.num_features, hidden_sizes=(hidden, hidden),
+            num_classes=data.num_classes, drop_rates=(rate, rate),
+            strategy="row", seed=config.seed))
+        runtime = EngineRuntime(ExecutionConfig(
+            mode="pooled", dtype=config.e2e_dtype, backend=config.backend,
+            optimizer=config.optimizer, seed=config.seed, shards=shards))
+        return model, runtime
+
+    model, runtime = build(1)
+    single = ClassifierTrainer(model, data, train_config, runtime=runtime)
+    images = data.train_images[:batch]
+    labels = data.train_labels[:batch]
+
+    dist_model, dist_runtime = build(config.dist_shards)
+    dist = DistributedTrainer(dist_model, data, train_config,
+                              runtime=dist_runtime)
+
+    result = BenchmarkResult(family="e2e_dist", width=hidden,
+                             in_features=data.num_features, batch=batch,
+                             rate=rate, steps=config.steps,
+                             repeats=config.repeats, backend=config.backend,
+                             optimizer=config.optimizer,
+                             shards=config.dist_shards,
+                             cpu_count=os.cpu_count())
+    with dist.session() as cluster:
+        result.mode_ms = _timed_modes(
+            {"single": lambda: single.train_step(images, labels),
+             "sharded": cluster.step},
+            config.steps, config.warmup, config.repeats)
+    return result
+
+
 # ----------------------------------------------------------------------
 # case scheduling (in-process or sharded across worker processes)
 # ----------------------------------------------------------------------
@@ -681,6 +779,9 @@ def case_descriptors(config: BenchmarkConfig) -> list[tuple[str, int | None, flo
         if family == "e2e":
             cases.append(("e2e_mlp", None, None))
             cases.append(("e2e_lstm", None, None))
+            continue
+        if family == "e2e_dist":
+            cases.append(("e2e_dist", None, None))
             continue
         for width in config.widths:
             for rate in config.rates:
@@ -702,39 +803,28 @@ def run_case(config: BenchmarkConfig, index: int,
         return _bench_e2e_mlp_case(config, rng)
     if kind == "e2e_lstm":
         return _bench_e2e_lstm_case(config, rng)
+    if kind == "e2e_dist":
+        return _bench_e2e_dist_case(config, rng)
     bench = {"row": _bench_row_case, "tile": _bench_tile_case,
              "lstm_rec": _bench_lstm_rec_case, "head": _bench_head_case}[kind]
     return bench(config, width, rate, rng)
 
 
-#: Environment variables that bound a process's BLAS/threading domain.
-_BLAS_THREAD_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
-                     "MKL_NUM_THREADS", "VECLIB_MAXIMUM_THREADS",
-                     "NUMEXPR_NUM_THREADS")
-
-
 def _run_sharded(config: BenchmarkConfig,
                  cases: list[tuple[str, int | None, float | None]],
                  verbose: bool) -> list[BenchmarkResult]:
-    import multiprocessing as mp
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
+    from repro.distributed.procs import pinned_blas_env, spawn_context
+
     shards = min(config.shards, len(cases))
-    threads = max(1, (os.cpu_count() or 1) // shards)
     results: list[BenchmarkResult | None] = [None] * len(cases)
-    # Pin each worker's BLAS domain by exporting the thread caps in the
-    # *parent* before the spawn-context workers are forked off: the children
-    # inherit the environment at exec time, so their numpy/BLAS reads the
-    # caps on first import.  (An in-worker initializer would be too late —
-    # resolving the initializer reference already imports this module, and
-    # with it numpy.)  The parent's own, already-initialized BLAS pool is
-    # unaffected; the previous values are restored once every case finished.
-    saved = {var: os.environ.get(var) for var in _BLAS_THREAD_VARS}
-    for var in _BLAS_THREAD_VARS:
-        os.environ[var] = str(threads)
-    try:
+    # Each worker gets its own BLAS thread domain: the caps are exported in
+    # the parent for the duration of the pool (spawn-context children
+    # snapshot the environment at exec time), see repro.distributed.procs.
+    with pinned_blas_env(shards):
         with ProcessPoolExecutor(max_workers=shards,
-                                 mp_context=mp.get_context("spawn")) as pool:
+                                 mp_context=spawn_context()) as pool:
             futures = {pool.submit(run_case, config, index, case): index
                        for index, case in enumerate(cases)}
             for future in as_completed(futures):
@@ -742,12 +832,6 @@ def _run_sharded(config: BenchmarkConfig,
                 results[index] = future.result()
                 if verbose:
                     print(_format_row(results[index]))
-    finally:
-        for var, value in saved.items():
-            if value is None:
-                os.environ.pop(var, None)
-            else:
-                os.environ[var] = value
     return list(results)
 
 
@@ -808,6 +892,7 @@ def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
             "loss_head": config.loss_head,
             "optimizer": config.optimizer,
             "shards": config.shards,
+            "dist_shards": config.dist_shards,
             "seed": config.seed,
         },
         "results": [result.to_dict() for result in results],

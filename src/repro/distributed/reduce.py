@@ -1,0 +1,34 @@
+"""Deterministic in-place tree reduce over the workers' gradient blocks.
+
+The coordinator sums the per-worker flat gradient blocks pairwise in a fixed
+binary-tree order — ``((g0+g1)+(g2+g3))+...`` — so the floating-point
+rounding of the reduced gradient depends only on the shard count, never on
+worker completion order.  That fixed association is what makes *same seed +
+same shard count -> bit-identical histories* hold through the optimizer.
+
+The reduce runs between the grads-ready and the params-ready barriers, when
+no worker touches its block, and accumulates *into* the workers' blocks
+(worker ``w`` absorbs worker ``w + stride``); every block is fully
+overwritten by the workers' next backward pass, so the mutation is safe and
+saves a full-size scratch buffer.  No scaling is applied here: each shard
+pre-scales its loss by its share of the global batch, so the tree sum *is*
+the global-batch-mean gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def tree_reduce(grads: np.ndarray) -> np.ndarray:
+    """Sum the rows of ``grads`` (shape ``(workers, n)``) into row 0.
+
+    Fixed pairwise-tree order, in place; returns the reduced row-0 view.
+    """
+    workers = grads.shape[0]
+    stride = 1
+    while stride < workers:
+        for w in range(0, workers - stride, 2 * stride):
+            grads[w] += grads[w + stride]
+        stride *= 2
+    return grads[0]

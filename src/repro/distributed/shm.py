@@ -1,0 +1,340 @@
+"""Flat-parameter shared-memory layout for the data-parallel all-reduce.
+
+One :class:`SharedArena` is allocated per training run (not per step): a
+single ``multiprocessing.shared_memory`` segment holding
+
+* the **parameter block** — every model parameter flattened into one
+  contiguous vector in deterministic ``model.parameters()`` order, written by
+  the coordinator after each optimizer step and read by every worker;
+* one **gradient block per worker** — the same flat layout, written by the
+  worker after its shard's backward pass and tree-reduced by the coordinator;
+* per-worker **loss / weight slots** — each shard's unscaled batch loss and
+  its share of the global batch, combined by the coordinator into the
+  recorded global loss;
+* per-worker **dirty-region blocks** — the sparse optimizer's per-parameter
+  dirty regions (:mod:`repro.tensor.dirty`), encoded as fixed-size ``int64``
+  records so the coordinator can union them across shards without pickling.
+
+Nothing on the hot path is pickled: every step is a handful of
+``np.copyto`` calls into preallocated views plus two barrier waits.
+
+Region encoding: per worker and parameter, ``[kind, count, idx...]`` with
+kind one of ``NONE`` (no gradient), ``EMPTY``, ``ROWS``, ``COLS`` or ``FULL``
+(present but dense/unknown); ``idx`` are the dirty first-axis/last-axis
+indices for ``ROWS``/``COLS``.  The block is sized for the worst case
+(every index dirty), so encoding can never overflow.
+
+Python < 3.13 note: attaching workers unregister their segment handle from
+the ``multiprocessing.resource_tracker`` (:func:`attach`), otherwise the
+tracker of the *first exiting worker* would unlink the segment under the
+coordinator (bpo-38119); the coordinator alone owns the unlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+# Dirty-region kind codes (one int64 per parameter per worker, plus count).
+KIND_NONE = 0    #: the shard produced no gradient for this parameter
+KIND_EMPTY = 1   #: gradient allocated but never written (all exact +0.0)
+KIND_ROWS = 2    #: only first-axis indices ``idx`` may be non-zero
+KIND_COLS = 3    #: only last-axis indices ``idx`` may be non-zero
+KIND_FULL = 4    #: dense / unknown — anything may be non-zero
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """Placement of one parameter inside the flat blocks."""
+
+    offset: int         #: element offset into the flat parameter vector
+    size: int           #: number of elements
+    shape: tuple        #: original array shape
+    region_offset: int  #: int64 offset of this parameter's region record
+    region_slots: int   #: record length: 2 header slots + max index count
+
+
+class ParameterLayout:
+    """Deterministic flat mapping of a parameter list.
+
+    Built from ``model.parameters()`` (whose order is deterministic module
+    traversal), so the coordinator and every worker — each holding its own
+    rebuilt copy of the model — agree on the layout without communicating.
+    """
+
+    def __init__(self, shapes: list[tuple], dtype: np.dtype):
+        self.dtype = np.dtype(dtype)
+        self.slots: list[_Slot] = []
+        offset = 0
+        region_offset = 0
+        for shape in shapes:
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            if len(shape) >= 2:
+                cap = max(int(shape[0]), int(shape[-1]))
+            elif len(shape) == 1:
+                cap = int(shape[0])
+            else:
+                cap = 1
+            slots = 2 + cap
+            self.slots.append(_Slot(offset, size, tuple(shape),
+                                    region_offset, slots))
+            offset += size
+            region_offset += slots
+        self.total_size = offset
+        self.region_size = region_offset
+
+    @classmethod
+    def from_parameters(cls, parameters) -> "ParameterLayout":
+        params = list(parameters)
+        if not params:
+            raise ValueError("model has no parameters to lay out")
+        dtypes = {param.data.dtype for param in params}
+        if len(dtypes) != 1:
+            raise ValueError(
+                f"parameters must share one dtype for the flat layout, "
+                f"got {sorted(str(d) for d in dtypes)} (bind the model "
+                f"through an EngineRuntime first)")
+        return cls([param.data.shape for param in params], dtypes.pop())
+
+    # ------------------------------------------------------------------
+    # parameter block
+    # ------------------------------------------------------------------
+    def write_params(self, parameters, flat: np.ndarray) -> None:
+        """Gather every parameter into the flat vector (coordinator side)."""
+        for param, slot in zip(parameters, self.slots):
+            flat[slot.offset:slot.offset + slot.size] = param.data.ravel()
+
+    def read_params(self, flat: np.ndarray, parameters) -> None:
+        """Scatter the flat vector into the parameters *in place* (worker side).
+
+        In-place ``copyto`` keeps each parameter's array identity, so
+        momentum buffers, cached views and the dirty tracker's ``id()`` keys
+        stay valid across steps.
+        """
+        for param, slot in zip(parameters, self.slots):
+            np.copyto(param.data,
+                      flat[slot.offset:slot.offset + slot.size].reshape(slot.shape))
+
+    # ------------------------------------------------------------------
+    # gradient block
+    # ------------------------------------------------------------------
+    def write_grads(self, parameters, flat: np.ndarray) -> None:
+        """Gather every parameter's gradient into one worker's flat block.
+
+        A missing gradient writes zeros — the reduce then treats the shard
+        as contributing nothing for that parameter (exact ``+0.0``).
+        """
+        for param, slot in zip(parameters, self.slots):
+            view = flat[slot.offset:slot.offset + slot.size]
+            if param.grad is None:
+                view[:] = 0.0
+            else:
+                view[:] = param.grad.ravel()
+
+    def grad_view(self, flat: np.ndarray, index: int) -> np.ndarray:
+        """Parameter ``index``'s gradient slice of a flat block, reshaped."""
+        slot = self.slots[index]
+        return flat[slot.offset:slot.offset + slot.size].reshape(slot.shape)
+
+    # ------------------------------------------------------------------
+    # dirty-region records
+    # ------------------------------------------------------------------
+    def encode_regions(self, parameters, tracker, block: np.ndarray) -> None:
+        """Write one worker's per-parameter dirty regions (worker side).
+
+        ``tracker`` is the worker runtime's
+        :class:`~repro.tensor.dirty.DirtyTracker` (``None`` under the dense
+        optimizer: every present gradient encodes as ``FULL``).
+        """
+        for param, slot in zip(parameters, self.slots):
+            record = block[slot.region_offset:
+                           slot.region_offset + slot.region_slots]
+            grad = param.grad
+            if grad is None:
+                record[0] = KIND_NONE
+                record[1] = 0
+                continue
+            region = tracker.region_of(grad) if tracker is not None else None
+            if region is None or region[0] == "full":
+                record[0] = KIND_FULL
+                record[1] = 0
+            elif region[0] == "empty":
+                record[0] = KIND_EMPTY
+                record[1] = 0
+            else:
+                idx = np.asarray(region[1], dtype=np.int64)
+                record[0] = KIND_ROWS if region[0] == "rows" else KIND_COLS
+                record[1] = idx.size
+                record[2:2 + idx.size] = idx
+
+    def decode_region(self, block: np.ndarray, index: int) -> tuple:
+        """One worker's region record for parameter ``index``.
+
+        Returns ``("none",)``, ``("empty",)``, ``("rows", idx)``,
+        ``("cols", idx)`` or ``("full",)``.
+        """
+        slot = self.slots[index]
+        record = block[slot.region_offset:
+                       slot.region_offset + slot.region_slots]
+        kind = int(record[0])
+        if kind == KIND_NONE:
+            return ("none",)
+        if kind == KIND_EMPTY:
+            return ("empty",)
+        if kind == KIND_FULL:
+            return ("full",)
+        count = int(record[1])
+        idx = np.array(record[2:2 + count])
+        return ("rows" if kind == KIND_ROWS else "cols", idx)
+
+
+def merge_regions(regions: list[tuple]) -> tuple:
+    """Union of per-shard regions, with the same semantics as the tracker.
+
+    A shard that produced no gradient (``("none",)``) contributes exact
+    zeros to the reduce, so it behaves like ``("empty",)`` — unless *every*
+    shard is ``none``, in which case the merged result is ``("none",)`` and
+    the coordinator skips the parameter entirely.  Mismatched kinds promote
+    to ``("full",)`` (always a sound overapproximation).
+    """
+    if all(region[0] == "none" for region in regions):
+        return ("none",)
+    merged: tuple = ("empty",)
+    for region in regions:
+        if region[0] in ("none", "empty"):
+            continue
+        if merged[0] == "empty":
+            merged = region
+        elif merged[0] == "full" or region[0] == "full" or merged[0] != region[0]:
+            merged = ("full",)
+        else:
+            merged = (merged[0], np.union1d(merged[1], region[1]))
+    return merged
+
+
+class SharedArena:
+    """The run-lifetime shared segment plus typed numpy views into it.
+
+    The coordinator constructs it with ``create=True`` and is the only
+    process that ever calls :meth:`unlink`; workers attach by name via
+    :meth:`attach` and only :meth:`close` their mapping.
+    """
+
+    _LOSS_DTYPE = np.dtype(np.float64)
+    _REGION_DTYPE = np.dtype(np.int64)
+
+    def __init__(self, layout: ParameterLayout, workers: int, *,
+                 name: str | None = None, create: bool = True):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.layout = layout
+        self.workers = workers
+        item = layout.dtype.itemsize
+
+        def _align(offset: int) -> int:
+            return (offset + 15) // 16 * 16
+
+        self._param_bytes = 0
+        self._grad_bytes = _align(self._param_bytes
+                                  + layout.total_size * item)
+        self._loss_bytes = _align(self._grad_bytes
+                                  + workers * layout.total_size * item)
+        self._region_bytes = _align(self._loss_bytes
+                                    + 2 * workers * self._LOSS_DTYPE.itemsize)
+        total = (self._region_bytes
+                 + workers * layout.region_size * self._REGION_DTYPE.itemsize)
+        if create:
+            self._shm = shared_memory.SharedMemory(name=name, create=True,
+                                                   size=max(total, 1))
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            if self._shm.size < total:
+                raise ValueError(
+                    f"shared segment {name!r} is {self._shm.size} bytes but "
+                    f"the layout needs {total} — coordinator/worker layout "
+                    f"mismatch")
+        self._owner = create
+        self._build_views()
+
+    def _build_views(self) -> None:
+        layout, workers = self.layout, self.workers
+        buf = self._shm.buf
+        #: Flat parameter vector (coordinator writes, workers read).
+        self.params = np.frombuffer(buf, dtype=layout.dtype,
+                                    count=layout.total_size,
+                                    offset=self._param_bytes)
+        #: Per-worker flat gradient blocks, shape ``(workers, total_size)``.
+        self.grads = np.frombuffer(buf, dtype=layout.dtype,
+                                   count=workers * layout.total_size,
+                                   offset=self._grad_bytes
+                                   ).reshape(workers, layout.total_size)
+        losses = np.frombuffer(buf, dtype=self._LOSS_DTYPE, count=2 * workers,
+                               offset=self._loss_bytes)
+        #: Per-worker unscaled shard loss / share of the global batch.
+        self.losses = losses[:workers]
+        self.weights = losses[workers:]
+        #: Per-worker dirty-region records, shape ``(workers, region_size)``.
+        self.regions = np.frombuffer(buf, dtype=self._REGION_DTYPE,
+                                     count=workers * layout.region_size,
+                                     offset=self._region_bytes
+                                     ).reshape(workers, layout.region_size)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def attach(cls, name: str, layout: ParameterLayout,
+               workers: int) -> "SharedArena":
+        """Attach to the coordinator's segment from a worker process.
+
+        The attachment is kept *out* of the resource tracker: the coordinator
+        owns the segment's lifetime, and a worker registration would either
+        unlink the segment under the survivors when the first worker exits or
+        (spawn children share the coordinator's tracker process) cancel the
+        coordinator's own registration (Python < 3.13 has no ``track=False``;
+        see bpo-38119).  Registration is suppressed around the attach instead
+        of unregistered after it, which keeps the shared tracker's books
+        exactly as the coordinator wrote them.
+        """
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(rname, rtype):
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return cls(layout, workers, name=name, create=False)
+        finally:
+            resource_tracker.register = original
+
+    def close(self) -> None:
+        """Drop this process's mapping (safe to call twice)."""
+        if self._shm is None:
+            return
+        # The numpy views hold exports of the segment's buffer; release them
+        # before close() or the memoryview teardown raises BufferError.
+        self.params = self.grads = self.losses = self.weights = None
+        self.regions = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            pass
+        self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (coordinator only; safe to call twice)."""
+        shm = self._shm
+        if shm is None:
+            return
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self.close()

@@ -1,0 +1,401 @@
+"""The data-parallel coordinator: shard batches out, all-reduce grads, step once.
+
+:class:`DistributedTrainer` wraps the two single-process trainers
+(:class:`~repro.training.trainer.ClassifierTrainer` and
+:class:`~repro.training.lm_trainer.LanguageModelTrainer`) behind the same
+``train() -> TrainingResult`` surface and splits every global batch across
+``ExecutionConfig.shards`` spawn-context worker processes:
+
+* ``shards=1`` **delegates in-process** to the wrapped trainer — bit-exact
+  with single-process training by construction;
+* ``shards=N`` runs the coordinator loop: per step, publish the flat
+  parameters to the :class:`~repro.distributed.shm.SharedArena`, release the
+  workers (params-ready barrier), wait for their shard gradients
+  (grads-ready barrier), tree-reduce the flat blocks in fixed order, union
+  the shards' dirty regions into the runtime's tracker (so
+  ``optimizer="sparse"`` still skips untouched tiles), apply **one**
+  optimizer step on the coordinator's model, and record the size-weighted
+  global loss.  Evaluation, history recording, LR scheduling and the result
+  record all reuse the wrapped trainer, so the distributed path cannot
+  drift from the single-process semantics.
+
+Determinism: the global batch order comes from the training seed (identical
+in every process), each shard's pattern pools come from its own
+``SeedSequence`` spawn of the execution seed
+(:func:`repro.distributed.shard_seed`), the reduce order is a fixed pairwise
+tree, and the single optimizer step runs on the coordinator — so *same seed
++ same shard count* replays bit-identical training histories.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.data.batching import BatchIterator, BPTTBatcher
+from repro.distributed.procs import pinned_blas_env, spawn_context
+from repro.distributed.reduce import tree_reduce
+from repro.distributed.shm import ParameterLayout, SharedArena, merge_regions
+from repro.distributed.worker import (
+    BARRIER_TIMEOUT_S,
+    WorkerSpec,
+    worker_main,
+)
+from repro.execution import EngineRuntime, ExecutionConfig
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.training.history import TrainingHistory, TrainingResult
+
+
+class DistributedTrainer:
+    """Sharded data-parallel training behind the single-trainer interface.
+
+    Parameters
+    ----------
+    model:
+        An :class:`~repro.models.mlp.MLPClassifier` or
+        :class:`~repro.models.lstm_lm.LSTMLanguageModel`.  Workers rebuild
+        their replica as ``type(model)(model.config)``, so the model must be
+        reconstructible from its config (custom strategy *instances* are
+        not; use a registered strategy name).
+    data:
+        The matching dataset (:class:`SyntheticMNIST`) or corpus
+        (:class:`SyntheticCorpus`).
+    config:
+        The wrapped trainer's training config (defaults like the wrapped
+        trainer's).
+    runtime:
+        The execution runtime; ``runtime.config.shards`` selects the worker
+        count.  Defaults to a single-process pooled runtime seeded from the
+        training config, exactly like the wrapped trainers.
+    """
+
+    def __init__(self, model, data, config=None, device: DeviceSpec = GTX_1080TI,
+                 runtime: EngineRuntime | None = None):
+        kind = _workload_kind(model)
+        if kind == "classifier":
+            from repro.training.trainer import (
+                ClassifierTrainer,
+                ClassifierTrainingConfig,
+            )
+            config = config or ClassifierTrainingConfig()
+            inner_type: Any = ClassifierTrainer
+        else:
+            from repro.training.lm_trainer import (
+                LanguageModelTrainer,
+                LanguageModelTrainingConfig,
+            )
+            config = config or LanguageModelTrainingConfig()
+            inner_type = LanguageModelTrainer
+        self.kind = kind
+        self.runtime = runtime or EngineRuntime(ExecutionConfig(
+            seed=config.seed, pool_size=config.pattern_pool_size))
+        self.shards = self.runtime.config.shards
+        self.inner = inner_type(model, data, config, device=device,
+                                runtime=self.runtime)
+        self.model = model
+        self.data = data
+        self.config = config
+        self._fail_at_step: int | None = None  # test hook, forwarded to workers
+        if self.shards > 1:
+            if self.runtime.config.seed is None:
+                raise ValueError(
+                    "distributed training with shards > 1 requires an "
+                    "ExecutionConfig.seed: the per-shard pattern streams are "
+                    "SeedSequence spawns of it (seed=None cannot be "
+                    "replicated deterministically across processes)")
+            if config.batch_size < self.shards:
+                raise ValueError(
+                    f"batch_size ({config.batch_size}) must be >= shards "
+                    f"({self.shards}): every shard takes a strided slice of "
+                    f"each global batch")
+            if getattr(model, "config", None) is None:
+                raise ValueError(
+                    "distributed training needs a model reconstructible from "
+                    "model.config (workers rebuild their own replica)")
+
+    # ------------------------------------------------------------------
+    # the step cluster
+    # ------------------------------------------------------------------
+    @contextmanager
+    def session(self) -> Iterator["_Cluster"]:
+        """Spawn the worker cluster and yield its per-step interface.
+
+        The benchmark harness drives :meth:`_Cluster.step` directly for
+        per-step timing; :meth:`train` runs its epoch loop through the same
+        object.  The shared segment is unlinked and the workers stopped on
+        exit — including on error.
+        """
+        if self.shards < 2:
+            raise ValueError("session() needs shards >= 2; shards=1 training "
+                             "delegates to the wrapped single-process trainer")
+        cluster = _Cluster(self)
+        try:
+            cluster.start()
+            yield cluster
+        finally:
+            cluster.close()
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train(self) -> TrainingResult:
+        """Run the configured epochs and return the wrapped-trainer result."""
+        if self.shards == 1:
+            return self.inner.train()
+        with self.session() as cluster:
+            if self.kind == "classifier":
+                result = self._train_classifier(cluster)
+            else:
+                result = self._train_lm(cluster)
+        stats = result.engine_stats or {}
+        stats["distributed"] = {"shards": self.shards,
+                                "steps": cluster.steps,
+                                "reduce_ms": round(cluster.reduce_ms, 3)}
+        return result
+
+    def _train_classifier(self, cluster: "_Cluster") -> TrainingResult:
+        inner, config = self.inner, self.config
+        steps_per_epoch = len(BatchIterator(
+            self.data.train_images, self.data.train_labels, config.batch_size,
+            rng=inner.rng))
+        history = TrainingHistory()
+        start = time.perf_counter()
+        iteration = 0
+        last_loss = float("nan")
+        for _ in range(config.epochs):
+            for _ in range(steps_per_epoch):
+                if config.max_iterations is not None and iteration >= config.max_iterations:
+                    break
+                last_loss = cluster.step()
+                iteration += 1
+                if config.eval_every and iteration % config.eval_every == 0:
+                    inner._record(history, iteration, last_loss, start)
+            if config.max_iterations is not None and iteration >= config.max_iterations:
+                break
+            if not config.eval_every:
+                inner._record(history, iteration, last_loss, start)
+        if not history.iterations or history.iterations[-1] != iteration:
+            inner._record(history, iteration, last_loss, start)
+        return self._result(history, iteration, start, higher_is_better=True)
+
+    def _train_lm(self, cluster: "_Cluster") -> TrainingResult:
+        inner, config = self.inner, self.config
+        steps_per_epoch = len(BPTTBatcher(self.data.train, config.batch_size,
+                                          config.seq_len))
+        history = TrainingHistory()
+        start = time.perf_counter()
+        iteration = 0
+        last_loss = float("nan")
+        for _ in range(config.epochs):
+            for _ in range(steps_per_epoch):
+                if config.max_iterations is not None and iteration >= config.max_iterations:
+                    break
+                last_loss = cluster.step()
+                iteration += 1
+            if config.max_iterations is not None and iteration >= config.max_iterations:
+                break
+            inner.schedule.step()
+            inner._record(history, iteration, last_loss, start)
+        if not history.iterations or history.iterations[-1] != iteration:
+            inner._record(history, iteration, last_loss, start)
+        return self._result(history, iteration, start,
+                            higher_is_better=config.eval_metric == "accuracy")
+
+    def _result(self, history: TrainingHistory, iteration: int, start: float,
+                higher_is_better: bool) -> TrainingResult:
+        inner = self.inner
+        return TrainingResult(
+            strategy=self.model.strategy.name,
+            final_metric=history.eval_metric[-1],
+            best_metric=history.best_metric(higher_is_better=higher_is_better),
+            iterations=iteration,
+            simulated_time_ms=iteration * inner.iteration_time_ms,
+            simulated_baseline_time_ms=iteration * inner.baseline_iteration_time_ms,
+            wall_time_s=time.perf_counter() - start,
+            history=history,
+            engine_stats=self.runtime.stats(model=self.model),
+        )
+
+
+def _workload_kind(model) -> str:
+    from repro.models.lstm_lm import LSTMLanguageModel
+    from repro.models.mlp import MLPClassifier
+
+    if isinstance(model, MLPClassifier):
+        return "classifier"
+    if isinstance(model, LSTMLanguageModel):
+        return "lm"
+    raise TypeError(
+        f"DistributedTrainer supports MLPClassifier and LSTMLanguageModel, "
+        f"got {type(model).__name__}")
+
+
+class _Cluster:
+    """The live worker processes plus the coordinator side of one step."""
+
+    def __init__(self, trainer: DistributedTrainer):
+        self.trainer = trainer
+        self.workers = trainer.shards
+        self.params = list(trainer.model.parameters())
+        self.layout = ParameterLayout.from_parameters(self.params)
+        self.sparse = trainer.runtime.config.optimizer == "sparse"
+        # Persistent full-size gradient buffers: the reduced flat slices are
+        # copied into these (stable array identities, so the dirty tracker's
+        # id() keys and the optimizer's region lookups line up every step).
+        self._grad_buffers = [np.empty(slot.shape, dtype=self.layout.dtype)
+                              for slot in self.layout.slots]
+        self.arena: SharedArena | None = None
+        self._procs: list = []
+        self._monitor: threading.Thread | None = None
+        self.steps = 0
+        self.reduce_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        from repro.distributed import shard_seed
+
+        trainer = self.trainer
+        ctx = spawn_context()
+        self.arena = SharedArena(self.layout, self.workers)
+        self._barrier_params = ctx.Barrier(self.workers + 1)
+        self._barrier_grads = ctx.Barrier(self.workers + 1)
+        self._stop_event = ctx.Event()
+        self._errors = ctx.SimpleQueue()
+        exec_config = trainer.runtime.config
+        with pinned_blas_env(self.workers):
+            for index in range(self.workers):
+                spec = WorkerSpec(
+                    kind=trainer.kind,
+                    shard_index=index,
+                    shard_count=self.workers,
+                    model_type=type(trainer.model),
+                    model_config=trainer.model.config,
+                    data=trainer.data,
+                    train_config=trainer.config,
+                    exec_config=replace(
+                        exec_config, shards=1,
+                        seed=shard_seed(exec_config.seed, index, self.workers)),
+                    arena_name=self.arena.name,
+                    fail_at_step=trainer._fail_at_step,
+                )
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(spec, self._barrier_params, self._barrier_grads,
+                          self._stop_event, self._errors),
+                    daemon=True, name=f"repro-shard-{index}")
+                proc.start()
+                self._procs.append(proc)
+        # Liveness monitor: a worker that dies *before* reaching a barrier
+        # (e.g. an import failure in the spawned interpreter) can't abort it,
+        # and the coordinator would sit out the full barrier timeout.  The
+        # monitor converts "a worker exited while the run is live" into an
+        # immediate barrier break instead.
+        self._monitor = threading.Thread(target=self._watch_workers,
+                                         daemon=True, name="repro-dist-monitor")
+        self._monitor.start()
+
+    def _watch_workers(self) -> None:
+        while not self._stop_event.is_set():
+            dead = [proc for proc in self._procs if proc.exitcode is not None]
+            if dead:
+                if not self._stop_event.is_set():
+                    self._barrier_params.abort()
+                    self._barrier_grads.abort()
+                return
+            time.sleep(0.2)
+
+    def close(self) -> None:
+        """Stop the workers and destroy the shared segment (idempotent)."""
+        if self.arena is None:
+            return
+        self._stop_event.set()
+        self._barrier_params.abort()
+        self._barrier_grads.abort()
+        for proc in self._procs:
+            proc.join(timeout=30.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker backstop
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs = []
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        self.arena.unlink()
+        self.arena = None
+
+    # ------------------------------------------------------------------
+    # one global step
+    # ------------------------------------------------------------------
+    def step(self) -> float:
+        """One data-parallel step; returns the global-batch mean loss."""
+        arena, layout = self.arena, self.layout
+        layout.write_params(self.params, arena.params)
+        self._wait(self._barrier_params)
+        # ... the workers run their shard forward/backward here ...
+        self._wait(self._barrier_grads)
+        reduce_start = time.perf_counter()
+        reduced = tree_reduce(arena.grads)
+        tracker = self.trainer.runtime.dirty_tracker
+        optimizer = self.trainer.inner.optimizer
+        # zero_grad first: the sparse optimizer's zero_grad clears the
+        # tracker, so the merged regions recorded below are this step's only.
+        optimizer.zero_grad()
+        for index, param in enumerate(self.params):
+            region = merge_regions(
+                [layout.decode_region(arena.regions[w], index)
+                 for w in range(self.workers)])
+            if region[0] == "none":
+                param.grad = None
+                continue
+            buffer = self._grad_buffers[index]
+            np.copyto(buffer, layout.grad_view(reduced, index))
+            param.grad = buffer
+            if self.sparse:
+                if region[0] == "empty":
+                    tracker.record_reset(buffer)
+                elif region[0] == "rows":
+                    tracker.record_rows(buffer, region[1])
+                elif region[0] == "cols":
+                    tracker.record_cols(buffer, region[1])
+                else:
+                    tracker.record_full(buffer)
+        self.reduce_ms += (time.perf_counter() - reduce_start) * 1000.0
+        optimizer.step()
+        loss = float(sum(arena.losses[w] * arena.weights[w]
+                         for w in range(self.workers)))
+        self.steps += 1
+        return loss
+
+    def _wait(self, barrier) -> None:
+        try:
+            barrier.wait(timeout=BARRIER_TIMEOUT_S)
+        except threading.BrokenBarrierError:
+            self._raise_worker_failure()
+
+    def _raise_worker_failure(self) -> None:
+        # Give a just-died worker a moment to flush its traceback.
+        deadline = time.monotonic() + 5.0
+        while self._errors.empty() and time.monotonic() < deadline:
+            if all(proc.exitcode is None for proc in self._procs):
+                break
+            time.sleep(0.1)
+        failures = []
+        while not self._errors.empty():
+            shard, trace = self._errors.get()
+            failures.append(f"shard {shard} failed:\n{trace}")
+        if not failures:
+            dead = [f"shard {i} exited with code {proc.exitcode}"
+                    for i, proc in enumerate(self._procs)
+                    if proc.exitcode is not None]
+            failures = dead or ["a worker process stopped responding "
+                                "(barrier wait timed out)"]
+        raise RuntimeError("distributed training aborted — "
+                           + "\n".join(failures))

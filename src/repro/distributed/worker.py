@@ -1,0 +1,184 @@
+"""Spawn-side shard loop of the data-parallel trainer.
+
+Each worker rebuilds the model from its config (spawn-context children share
+nothing), binds it to a shard-local :class:`~repro.execution.EngineRuntime`
+whose pattern pools are seeded from the shard's own ``SeedSequence`` spawn,
+and then runs the step loop in lock-step with the coordinator:
+
+1. wait at the *params-ready* barrier, then copy the coordinator's flat
+   parameter vector into the local model (in place — array identities are
+   stable across the whole run);
+2. forward/backward on the shard's strided slice of the global batch, with
+   the local loss pre-scaled by the shard's share of the global batch, so
+   the coordinator's tree-sum of shard gradients *is* the global-batch-mean
+   gradient;
+3. publish the flat gradients, the unscaled shard loss/weight and the dirty
+   regions the sparse tracker recorded, then wait at the *grads-ready*
+   barrier.
+
+The worker deliberately has no notion of "how many steps the run takes": it
+loops over epochs forever (its sharded batch iterator replays the *global*
+shuffle order, so every shard agrees on batch boundaries) and exits when the
+coordinator sets the stop event and breaks the barriers.  A worker that dies
+instead aborts both barriers, which surfaces at the coordinator as a broken
+barrier plus a traceback on the error queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any
+
+#: Generous per-wait timeout: a healthy coordinator releases a barrier within
+#: one step; a wait this long means a peer died without aborting.
+BARRIER_TIMEOUT_S = 300.0
+
+
+@dataclass
+class WorkerSpec:
+    """Everything one worker needs, pickled once at spawn (not per step)."""
+
+    kind: str              #: "classifier" or "lm"
+    shard_index: int
+    shard_count: int
+    model_type: type       #: rebuilt in the worker as ``model_type(model_config)``
+    model_config: Any
+    data: Any              #: SyntheticMNIST dataset or SyntheticCorpus
+    train_config: Any
+    exec_config: Any       #: shard-local ExecutionConfig (per-shard seed)
+    arena_name: str        #: coordinator's SharedArena segment
+    fail_at_step: int | None = None  #: test hook: raise at this step index
+
+
+def wait_on(barrier, stop_event) -> bool:
+    """One barrier wait; ``False`` means the coordinator asked us to stop."""
+    try:
+        barrier.wait(timeout=BARRIER_TIMEOUT_S)
+        return True
+    except threading.BrokenBarrierError:
+        if stop_event.is_set():
+            return False
+        raise RuntimeError(
+            "synchronization barrier broken without a shutdown signal "
+            "(a peer process died)") from None
+
+
+class _ClassifierShard:
+    """Shard-local workload: MLP classifier forward/backward."""
+
+    def __init__(self, spec: WorkerSpec, runtime):
+        from repro.data.batching import BatchIterator
+        from repro.training.trainer import ClassifierTrainer
+
+        model = spec.model_type(spec.model_config)
+        self.trainer = ClassifierTrainer(model, spec.data, spec.train_config,
+                                         runtime=runtime)
+        self.iterator = BatchIterator(
+            spec.data.train_images, spec.data.train_labels,
+            spec.train_config.batch_size, rng=self.trainer.rng,
+            shard_index=spec.shard_index, shard_count=spec.shard_count)
+        self.global_batch = spec.train_config.batch_size
+
+    def begin_epoch(self):
+        self.trainer.pattern_schedule.plan(len(self.iterator))
+        return iter(self.iterator)
+
+    def forward_backward(self, batch) -> tuple[float, float]:
+        images, labels = batch
+        weight = images.shape[0] / self.global_batch
+        loss = self.trainer.forward_backward(images, labels, loss_scale=weight)
+        return loss, weight
+
+
+class _LanguageModelShard:
+    """Shard-local workload: LSTM truncated-BPTT forward/backward."""
+
+    def __init__(self, spec: WorkerSpec, runtime):
+        from repro.data.batching import BPTTBatcher
+        from repro.training.lm_trainer import LanguageModelTrainer
+
+        model = spec.model_type(spec.model_config)
+        self.trainer = LanguageModelTrainer(model, spec.data, spec.train_config,
+                                            runtime=runtime)
+        config = spec.train_config
+        self.batcher = BPTTBatcher(spec.data.train, config.batch_size,
+                                   config.seq_len,
+                                   shard_index=spec.shard_index,
+                                   shard_count=spec.shard_count)
+        self.global_batch = config.batch_size
+        self.state = None
+
+    def begin_epoch(self):
+        self.trainer.pattern_schedule.plan(len(self.batcher))
+        # BPTT state restarts each epoch, exactly like the in-process trainer.
+        self.state = self.trainer.model.init_state(self.batcher.shard_batch_size)
+        return iter(self.batcher)
+
+    def forward_backward(self, batch) -> tuple[float, float]:
+        inputs, targets = batch
+        weight = inputs.shape[1] / self.global_batch
+        loss, self.state = self.trainer.forward_backward(
+            inputs, targets, self.state, loss_scale=weight)
+        return loss, weight
+
+
+_WORKLOADS = {"classifier": _ClassifierShard, "lm": _LanguageModelShard}
+
+
+def worker_main(spec: WorkerSpec, barrier_params, barrier_grads,
+                stop_event, error_queue) -> None:
+    """Process entry point of one shard (spawn target)."""
+    arena = None
+    try:
+        from repro.distributed.shm import ParameterLayout, SharedArena
+        from repro.execution import EngineRuntime
+        from repro.tensor import dirty as _dirty
+
+        runtime = EngineRuntime(spec.exec_config)
+        workload = _WORKLOADS[spec.kind](spec, runtime)
+        trainer = workload.trainer
+        params = list(trainer.model.parameters())
+        layout = ParameterLayout.from_parameters(params)
+        arena = SharedArena.attach(spec.arena_name, layout, spec.shard_count)
+        tracker = (runtime.dirty_tracker
+                   if spec.exec_config.optimizer == "sparse" else None)
+        w = spec.shard_index
+
+        step = 0
+        for _ in itertools.count():
+            batches = workload.begin_epoch()
+            for batch in batches:
+                if not wait_on(barrier_params, stop_event):
+                    return
+                layout.read_params(arena.params, params)
+                trainer.optimizer.zero_grad()
+                if spec.fail_at_step is not None and step == spec.fail_at_step:
+                    raise RuntimeError(
+                        f"injected worker failure at step {step}")
+                loss, weight = workload.forward_backward(batch)
+                layout.write_grads(params, arena.grads[w])
+                layout.encode_regions(params, tracker, arena.regions[w])
+                arena.losses[w] = loss
+                arena.weights[w] = weight
+                if tracker is not None:
+                    # The recording window the optimizer's zero_grad opened
+                    # stays shut while we idle at the barrier.
+                    _dirty.deactivate(tracker)
+                if not wait_on(barrier_grads, stop_event):
+                    return
+                step += 1
+    except BaseException:
+        try:
+            error_queue.put((spec.shard_index, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+        # Wake the coordinator (and the sibling shards) immediately instead
+        # of letting them run into the barrier timeout.
+        barrier_params.abort()
+        barrier_grads.abort()
+    finally:
+        if arena is not None:
+            arena.close()

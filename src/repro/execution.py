@@ -150,6 +150,14 @@ class ExecutionConfig:
         Pool-wide pattern seed.  A single integer deterministically fixes the
         pattern streams of *every* dropout site; ``None`` leaves each layer's
         own generator untouched.
+    shards:
+        Data-parallel worker processes a
+        :class:`~repro.distributed.trainer.DistributedTrainer` splits each
+        batch across (1 = single-process, the default; the plain trainers
+        ignore the field).  Each shard's runtime is reseeded from a per-shard
+        ``SeedSequence`` spawn of ``seed`` (see
+        :func:`repro.distributed.shard_seed`), so the same seed + shard count
+        replays bit-identical training histories.
     pool_size:
         Patterns per batched pool draw for pooled sites.
     workspace_slots:
@@ -164,6 +172,7 @@ class ExecutionConfig:
     loss_head_rate: float = 0.5
     optimizer: str = "dense"
     seed: int | None = 0
+    shards: int = 1
     pool_size: int = 1024
     workspace_slots: int = 2
 
@@ -203,6 +212,8 @@ class ExecutionConfig:
             raise ValueError(
                 f"unknown optimizer execution {self.optimizer!r}; "
                 f"available: {OPTIMIZER_MODES}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if self.workspace_slots < 1:
@@ -216,9 +227,10 @@ class ExecutionConfig:
     def describe(self) -> str:
         """One-line human-readable summary (used in formatted table output)."""
         seed = "-" if self.seed is None else self.seed
+        shards = f" shards={self.shards}" if self.shards != 1 else ""
         return (f"mode={self.mode} dtype={self.dtype} backend={self.backend} "
                 f"recurrent={self.recurrent} head={self.loss_head} "
-                f"opt={self.optimizer} seed={seed} pool={self.pool_size}")
+                f"opt={self.optimizer} seed={seed}{shards} pool={self.pool_size}")
 
 
 def _pattern_sites(model) -> list:
@@ -528,6 +540,7 @@ class EngineRuntime:
                           "tracker": self.dirty_tracker.stats()},
             "backend_calls": backend_calls,
             "seed": config.seed,
+            "shards": config.shards,
             "runs": self.runs,
             "steps": steps,
             "tile_plan_cache": {

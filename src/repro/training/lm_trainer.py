@@ -139,13 +139,29 @@ class LanguageModelTrainer:
         materialises full-vocabulary logits.  Evaluation (:meth:`evaluate`)
         always goes through the exact dense logits.
         """
+        self.optimizer.zero_grad()
+        loss, new_state = self.forward_backward(inputs, targets, state)
+        self.optimizer.step()
+        return loss, new_state
+
+    def forward_backward(self, inputs: np.ndarray, targets: np.ndarray,
+                         state: list, loss_scale: float = 1.0) -> tuple[float, list]:
+        """Pattern resample + forward + backward; no parameter update.
+
+        The shard workers of :mod:`repro.distributed` drive this directly:
+        each computes its local gradients (scaled by its share of the global
+        batch via ``loss_scale``) and the coordinator applies the one
+        optimizer step.  Returns the *unscaled* window loss and the detached
+        next state.
+        """
         self.model.train()
         self.pattern_schedule.step()
-        self.optimizer.zero_grad()
         loss, new_state = self.model.loss(inputs, targets.reshape(-1), state)
+        value = float(loss.data)
+        if loss_scale != 1.0:
+            loss = loss * loss_scale
         loss.backward()
-        self.optimizer.step()
-        return float(loss.data), self.model.detach_state(new_state)
+        return value, self.model.detach_state(new_state)
 
     # ------------------------------------------------------------------
     # evaluation

@@ -134,14 +134,29 @@ class ClassifierTrainer:
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
         """One SGD step; returns the batch loss."""
+        self.optimizer.zero_grad()
+        loss = self.forward_backward(images, labels)
+        self.optimizer.step()
+        return loss
+
+    def forward_backward(self, images: np.ndarray, labels: np.ndarray,
+                         loss_scale: float = 1.0) -> float:
+        """Pattern resample + forward + backward; no parameter update.
+
+        The shard workers of :mod:`repro.distributed` drive this directly:
+        each computes its local gradients (scaled by its share of the global
+        batch via ``loss_scale``) and the coordinator applies the one
+        optimizer step.  Returns the *unscaled* batch loss.
+        """
         self.model.train()
         self.pattern_schedule.step()
-        self.optimizer.zero_grad()
         logits = self.model(Tensor(images, dtype=self.runtime.np_dtype))
         loss = self.loss_fn(logits, labels)
+        value = float(loss.data)
+        if loss_scale != 1.0:
+            loss = loss * loss_scale
         loss.backward()
-        self.optimizer.step()
-        return float(loss.data)
+        return value
 
     # ------------------------------------------------------------------
     # evaluation

@@ -395,10 +395,15 @@ class TestDeltaCheck:
                                 self.entry("tile", speedup=3.6),
                                 self.entry("head", speedup=2.0),
                                 self.entry("e2e_lstm", width=256, speedup=2.3)]}
+        # The fresh run also carries the e2e_dist scaling case: the CLI gate
+        # additionally enforces the absolute scaling bar on fresh entries.
         fresh = {"results": [self.entry(speedup=3.8),
                              self.entry("tile", speedup=3.5),
                              self.entry("head", speedup=1.9),
-                             self.entry("e2e_lstm", width=256, speedup=2.2)]}
+                             self.entry("e2e_lstm", width=256, speedup=2.2),
+                             dict(self.entry("e2e_dist", width=512,
+                                             speedup=1.8),
+                                  shards=2, cpu_count=4)]}
         baseline_path = tmp_path / "baseline.json"
         fresh_path = tmp_path / "fresh.json"
         baseline_path.write_text(json.dumps(baseline))
@@ -511,3 +516,141 @@ class TestDeltaReportMismatches:
                         "--write-fresh", str(tmp_path / "out.json")])
         assert excinfo.value.code == 2
         assert "--write-fresh" in capsys.readouterr().err
+
+
+class TestDistFamily:
+    """The e2e_dist data-parallel scaling case and its report fields."""
+
+    def test_in_family_registry_defaults_and_cli(self):
+        assert "e2e_dist" in BenchmarkConfig.FAMILIES
+        assert "e2e_dist" in BenchmarkConfig().families
+        args = parse_args([])
+        assert "e2e_dist" in args.families
+        assert args.dist_shards == 2
+
+    def test_dist_shards_validation(self):
+        with pytest.raises(ValueError, match="dist_shards"):
+            BenchmarkConfig(dist_shards=1)
+
+    def test_case_descriptor(self):
+        from repro.bench.harness import case_descriptors
+
+        cases = case_descriptors(tiny_config(families=("e2e_dist",)))
+        assert cases == [("e2e_dist", None, None)]
+
+    def test_speedup_pooled_falls_back_to_scaling_ratio(self):
+        from repro.bench.harness import BenchmarkResult
+
+        result = BenchmarkResult(family="e2e_dist", width=512, in_features=784,
+                                 batch=16, rate=0.7, steps=2, repeats=1,
+                                 shards=2, cpu_count=4,
+                                 mode_ms={"single": 4.0, "sharded": 2.0})
+        assert result.speedup_pooled == 2.0
+        assert result.speedup_compact is None
+        entry = result.to_dict()
+        assert entry["speedup_compact"] is None
+        assert entry["speedup_pooled"] == 2.0
+        assert entry["shards"] == 2 and entry["cpu_count"] == 4
+
+    def test_case_runs_and_records_environment(self):
+        # Spawns a real two-worker cluster (a couple of seconds).
+        import os
+
+        config = tiny_config(widths=(32,), batch=8, families=("e2e_dist",))
+        (result,) = run_benchmark(config)
+        assert set(result.mode_ms) == {"single", "sharded"}
+        assert all(ms > 0 for ms in result.mode_ms.values())
+        assert result.shards == 2
+        assert result.cpu_count == os.cpu_count()
+        assert result.speedup_pooled > 0
+
+    def test_gate_covers_the_scaling_case(self):
+        from repro.bench.delta import SCALING_CASES, quick_acceptance_config
+
+        assert ("e2e_dist", 512, 0.7) in SCALING_CASES
+        config = quick_acceptance_config()
+        # The quick gate sweep must produce that exact case: the e2e_dist
+        # hidden size derives as min(max(widths), 512).
+        assert "e2e_dist" in config.families
+        assert min(max(config.widths), 512) == 512
+        assert 0.7 in config.rates
+
+
+class TestScalingGate:
+    """The absolute data-parallel scaling bar of the delta gate."""
+
+    @staticmethod
+    def entry(speedup=1.8, shards=2, cpu_count=4, **overrides):
+        record = {"family": "e2e_dist", "width": 512, "rate": 0.7,
+                  "speedup_pooled": speedup, "shards": shards,
+                  "cpu_count": cpu_count}
+        record.update(overrides)
+        return record
+
+    def test_passes_when_bar_met(self):
+        from repro.bench.delta import scaling_failures
+
+        failures, skips = scaling_failures([self.entry(speedup=1.8)])
+        assert failures == [] and skips == []
+
+    def test_fails_below_bar_with_enough_cores(self):
+        from repro.bench.delta import scaling_failures
+
+        failures, skips = scaling_failures([self.entry(speedup=1.1)])
+        assert skips == []
+        assert len(failures) == 1
+        assert "below the 1.5x bar" in failures[0]
+
+    def test_skips_when_machine_cannot_scale(self):
+        from repro.bench.delta import scaling_failures
+
+        # 2 workers + 1 coordinator on 1 core: sub-1x is physics, not a bug.
+        failures, skips = scaling_failures([self.entry(speedup=0.4,
+                                                       cpu_count=1)])
+        assert failures == []
+        assert len(skips) == 1
+        assert "not enforced" in skips[0] and "1 CPU core" in skips[0]
+
+    def test_missing_case_fails(self):
+        from repro.bench.delta import scaling_failures
+
+        failures, _ = scaling_failures([])
+        assert len(failures) == 1
+        assert "missing from the fresh run" in failures[0]
+
+    def test_entry_without_environment_fields_fails(self):
+        from repro.bench.delta import scaling_failures
+
+        entry = {"family": "e2e_dist", "width": 512, "rate": 0.7,
+                 "speedup_pooled": 2.0}
+        failures, _ = scaling_failures([entry])
+        assert len(failures) == 1
+        assert "shards/cpu_count" in failures[0]
+
+    def test_min_scaling_validation(self):
+        from repro.bench.delta import scaling_failures
+
+        with pytest.raises(ValueError, match="min_scaling"):
+            scaling_failures([self.entry()], min_scaling=0.0)
+
+    def test_cli_skip_path_on_small_machine(self, tmp_path, capsys):
+        from repro.bench.delta import main as delta_main
+
+        def base(family, width=2048):
+            return {"family": family, "width": width, "rate": 0.7,
+                    "speedup_pooled": 4.0, "backend": "numpy"}
+
+        baseline = {"results": [base("row"), base("tile"), base("head"),
+                                base("e2e_lstm", width=256)]}
+        fresh = {"results": [base("row"), base("tile"), base("head"),
+                             base("e2e_lstm", width=256),
+                             dict(self.entry(speedup=0.4, cpu_count=1),
+                                  backend="numpy")]}
+        baseline_path = tmp_path / "baseline.json"
+        fresh_path = tmp_path / "fresh.json"
+        baseline_path.write_text(json.dumps(baseline))
+        fresh_path.write_text(json.dumps(fresh))
+        assert delta_main(["--baseline", str(baseline_path),
+                           "--fresh", str(fresh_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scaling gate skipped" in out

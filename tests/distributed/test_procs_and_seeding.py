@@ -1,0 +1,84 @@
+"""Unit tests for the worker-environment helpers and per-shard seeding."""
+
+import os
+
+import pytest
+
+from repro.distributed import shard_seed
+from repro.distributed.procs import (
+    BLAS_THREAD_VARS,
+    pinned_blas_env,
+    thread_domain,
+)
+from repro.execution import EngineRuntime, ExecutionConfig
+
+
+class TestThreadDomain:
+    def test_splits_cores_across_workers(self):
+        cores = os.cpu_count() or 1
+        assert thread_domain(1) == max(1, cores)
+        assert thread_domain(cores * 2) == 1  # never below one thread
+
+    def test_rejects_non_positive_worker_count(self):
+        with pytest.raises(ValueError):
+            thread_domain(0)
+
+
+class TestPinnedBlasEnv:
+    def test_exports_caps_and_restores_previous_values(self, monkeypatch):
+        first, second = BLAS_THREAD_VARS[0], BLAS_THREAD_VARS[1]
+        monkeypatch.setenv(first, "99")
+        monkeypatch.delenv(second, raising=False)
+        domain = str(thread_domain(2))
+        with pinned_blas_env(2):
+            assert all(os.environ[var] == domain for var in BLAS_THREAD_VARS)
+        assert os.environ[first] == "99"      # previous value restored
+        assert second not in os.environ      # previously unset stays unset
+
+    def test_restores_on_exception(self, monkeypatch):
+        first = BLAS_THREAD_VARS[0]
+        monkeypatch.setenv(first, "7")
+        with pytest.raises(RuntimeError):
+            with pinned_blas_env(2):
+                raise RuntimeError("boom")
+        assert os.environ[first] == "7"
+
+
+class TestShardSeed:
+    def test_deterministic_and_distinct_across_shards(self):
+        seeds = [shard_seed(9, index, 4) for index in range(4)]
+        assert seeds == [shard_seed(9, index, 4) for index in range(4)]
+        assert len(set(seeds)) == 4
+
+    def test_depends_on_shard_count_and_base_seed(self):
+        assert shard_seed(9, 0, 2) != shard_seed(9, 0, 3)
+        assert shard_seed(9, 0, 2) != shard_seed(10, 0, 2)
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            shard_seed(9, 2, 2)
+        with pytest.raises(ValueError):
+            shard_seed(9, -1, 2)
+
+
+class TestExecutionConfigShards:
+    def test_default_and_validation(self):
+        assert ExecutionConfig().shards == 1
+        with pytest.raises(ValueError, match="shards"):
+            ExecutionConfig(shards=0)
+
+    def test_describe_mentions_shards_only_when_distributed(self):
+        assert "shards" not in ExecutionConfig().describe()
+        assert "shards=3" in ExecutionConfig(shards=3).describe()
+
+    def test_runtime_stats_record_shards(self):
+        runtime = EngineRuntime(ExecutionConfig(shards=2))
+        assert runtime.stats()["shards"] == 2
+
+    def test_engine_record_line_includes_shards(self):
+        from repro.experiments.records import format_engine_stats
+
+        sharded = EngineRuntime(ExecutionConfig(shards=2)).stats()
+        single = EngineRuntime(ExecutionConfig()).stats()
+        assert "shards=2" in format_engine_stats(sharded)
+        assert "shards" not in format_engine_stats(single)

@@ -1,0 +1,188 @@
+"""Unit tests for the shared-memory layout, region codec and tree reduce."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.reduce import tree_reduce
+from repro.distributed.shm import (
+    KIND_FULL,
+    KIND_NONE,
+    ParameterLayout,
+    SharedArena,
+    merge_regions,
+)
+from repro.tensor import Tensor
+
+
+def make_params(dtype=np.float64):
+    rng = np.random.default_rng(0)
+    shapes = [(4, 3), (3,), (2, 5)]
+    params = []
+    for shape in shapes:
+        param = Tensor(rng.normal(size=shape).astype(dtype), requires_grad=True)
+        params.append(param)
+    return params
+
+
+class TestParameterLayout:
+    def test_flat_offsets_and_sizes(self):
+        params = make_params()
+        layout = ParameterLayout.from_parameters(params)
+        assert layout.total_size == 12 + 3 + 10
+        assert [slot.offset for slot in layout.slots] == [0, 12, 15]
+        # Region records: 2 header slots + max(first, last) axis length.
+        assert [slot.region_slots for slot in layout.slots] == [6, 5, 7]
+        assert layout.region_size == 18
+
+    def test_mixed_dtypes_rejected_with_runtime_hint(self):
+        params = make_params()
+        params[1] = Tensor(np.zeros(3), dtype=np.float32, requires_grad=True)
+        with pytest.raises(ValueError, match="EngineRuntime"):
+            ParameterLayout.from_parameters(params)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            ParameterLayout.from_parameters([])
+
+    def test_params_roundtrip_preserves_identity(self):
+        params = make_params()
+        layout = ParameterLayout.from_parameters(params)
+        flat = np.zeros(layout.total_size)
+        layout.write_params(params, flat)
+        replica = make_params()
+        before = [p.data for p in replica]
+        layout.read_params(flat, replica)
+        for param, original, array in zip(params, replica, before):
+            assert original.data is array  # in-place scatter
+            np.testing.assert_array_equal(original.data, param.data)
+
+    def test_write_grads_zero_fills_missing(self):
+        params = make_params()
+        layout = ParameterLayout.from_parameters(params)
+        params[0].grad = np.ones((4, 3))
+        params[1].grad = None
+        params[2].grad = np.full((2, 5), 2.0)
+        flat = np.full(layout.total_size, -1.0)
+        layout.write_grads(params, flat)
+        np.testing.assert_array_equal(layout.grad_view(flat, 0), np.ones((4, 3)))
+        np.testing.assert_array_equal(layout.grad_view(flat, 1), np.zeros(3))
+        np.testing.assert_array_equal(layout.grad_view(flat, 2),
+                                      np.full((2, 5), 2.0))
+
+
+class _FakeTracker:
+    """Minimal stand-in for DirtyTracker.region_of keyed by array identity."""
+
+    def __init__(self):
+        self.regions = {}
+
+    def region_of(self, grad):
+        return self.regions.get(id(grad))
+
+
+class TestRegionCodec:
+    def test_dense_tracker_none_encodes_full_or_none(self):
+        params = make_params()
+        layout = ParameterLayout.from_parameters(params)
+        params[0].grad = np.ones((4, 3))
+        params[1].grad = None
+        params[2].grad = np.ones((2, 5))
+        block = np.zeros(layout.region_size, dtype=np.int64)
+        layout.encode_regions(params, None, block)
+        assert layout.decode_region(block, 0) == ("full",)
+        assert layout.decode_region(block, 1) == ("none",)
+        assert layout.decode_region(block, 2) == ("full",)
+        assert block[layout.slots[0].region_offset] == KIND_FULL
+        assert block[layout.slots[1].region_offset] == KIND_NONE
+
+    def test_tracked_regions_roundtrip(self):
+        params = make_params()
+        layout = ParameterLayout.from_parameters(params)
+        tracker = _FakeTracker()
+        for param in params:
+            param.grad = np.zeros(param.data.shape)
+        tracker.regions[id(params[0].grad)] = ("rows", np.array([0, 3]))
+        tracker.regions[id(params[1].grad)] = ("empty",)
+        tracker.regions[id(params[2].grad)] = ("cols", np.array([1, 2, 4]))
+        block = np.zeros(layout.region_size, dtype=np.int64)
+        layout.encode_regions(params, tracker, block)
+        kind, idx = layout.decode_region(block, 0)
+        assert kind == "rows" and list(idx) == [0, 3]
+        assert layout.decode_region(block, 1) == ("empty",)
+        kind, idx = layout.decode_region(block, 2)
+        assert kind == "cols" and list(idx) == [1, 2, 4]
+
+
+class TestMergeRegions:
+    def test_all_none_stays_none(self):
+        assert merge_regions([("none",), ("none",)]) == ("none",)
+
+    def test_none_with_anything_acts_like_empty(self):
+        merged = merge_regions([("none",), ("rows", np.array([1]))])
+        assert merged[0] == "rows" and list(merged[1]) == [1]
+        assert merge_regions([("none",), ("empty",)]) == ("empty",)
+
+    def test_same_kind_unions_indices(self):
+        merged = merge_regions([("rows", np.array([0, 2])),
+                                ("rows", np.array([2, 3]))])
+        assert merged[0] == "rows" and list(merged[1]) == [0, 2, 3]
+
+    def test_mismatched_kinds_promote_to_full(self):
+        merged = merge_regions([("rows", np.array([0])),
+                                ("cols", np.array([1]))])
+        assert merged == ("full",)
+        assert merge_regions([("full",), ("rows", np.array([0]))]) == ("full",)
+
+
+class TestTreeReduce:
+    def test_matches_fixed_pairwise_association(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(size=(4, 7))
+        expected = (blocks[0] + blocks[1]) + (blocks[2] + blocks[3])
+        reduced = tree_reduce(blocks.copy())
+        np.testing.assert_array_equal(reduced, expected)
+
+    def test_odd_worker_count(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.normal(size=(3, 5))
+        expected = (blocks[0] + blocks[1]) + blocks[2]
+        np.testing.assert_array_equal(tree_reduce(blocks.copy()), expected)
+
+    def test_single_worker_is_identity(self):
+        blocks = np.arange(6.0).reshape(1, 6)
+        np.testing.assert_array_equal(tree_reduce(blocks.copy()), blocks[0])
+
+
+class TestSharedArena:
+    def test_create_attach_share_and_cleanup(self):
+        layout = ParameterLayout([(4, 3), (3,)], np.float64)
+        owner = SharedArena(layout, workers=2)
+        name = owner.name
+        try:
+            attached = SharedArena.attach(name, layout, workers=2)
+            attached.grads[1, :] = 7.0
+            attached.losses[1] = 0.25
+            attached.close()
+            assert owner.grads[1, 0] == 7.0
+            assert owner.losses[1] == 0.25
+        finally:
+            owner.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArena.attach(name, layout, workers=2)
+
+    def test_attach_rejects_undersized_segment(self):
+        small = ParameterLayout([(2,)], np.float64)
+        big = ParameterLayout([(64, 64)], np.float64)
+        owner = SharedArena(small, workers=1)
+        try:
+            with pytest.raises(ValueError, match="layout mismatch"):
+                SharedArena.attach(owner.name, big, workers=1)
+        finally:
+            owner.unlink()
+
+    def test_close_and_unlink_are_idempotent(self):
+        layout = ParameterLayout([(2, 2)], np.float64)
+        arena = SharedArena(layout, workers=1)
+        arena.unlink()
+        arena.unlink()
+        arena.close()
