@@ -1,8 +1,9 @@
 """Benchmark-regression gate: compare a fresh run against a committed report.
 
 ``python -m repro.bench.delta`` runs a quick benchmark at the acceptance case
-(width 2048, rate 0.7; the row, tile, e2e, head and e2e_dist families — the
-e2e LSTM trainer-step case derives hidden size 256 from that sweep), loads
+(width 2048, rate 0.7; the row, tile, e2e, head, e2e_dist and e2e_elastic
+families — the e2e LSTM trainer-step case derives hidden size 256 from that
+sweep), loads
 the committed ``BENCH_compact_engine.json`` and **fails (exit code 1) when
 the freshly measured ``speedup_pooled`` regresses by more than 30%** relative
 to the committed value.  This is the CI hook that keeps the pooled engine's headline
@@ -16,6 +17,13 @@ coordinator outnumber the CPU cores, so the bar is enforced only when the
 entry's recorded ``cpu_count >= shards + 1`` — the case is still *measured*
 everywhere (catching determinism or crash regressions), but the absolute
 bar reports a skip, not a failure, on machines too small to scale.
+
+The ``e2e_elastic`` case is gated the same way (:func:`elastic_failures`):
+one full worker-recovery cycle (teardown, respawn, fast-forward, replay)
+must finish within ``DEFAULT_MAX_RECOVERY_S``, a missing case always fails,
+and a CPU-starved box (``cpu_count < shards + 1``) skips the budget with a
+printed note — there the respawn runs oversubscribed, so the wall-clock
+bound would measure the machine, not the recovery path.
 
 Usage::
 
@@ -61,6 +69,19 @@ SCALING_CASES: tuple[tuple[str, int, float], ...] = (
 #: Minimum single-process / sharded step-time ratio the e2e_dist case must
 #: reach at 2 shards (enforced only on machines with enough cores).
 DEFAULT_MIN_SCALING = 1.5
+
+#: Elastic-recovery cases gated on an absolute wall-clock budget: (family,
+#: width, rate).  The width is the e2e_elastic case's derived hidden size,
+#: ``min(max(widths), 512)``.
+ELASTIC_CASES: tuple[tuple[str, int, float], ...] = (
+    ("e2e_elastic", 512, 0.7),
+)
+
+#: Maximum tolerated wall-clock of one full worker-recovery cycle (teardown,
+#: respawn, fast-forward, replay).  Respawning a couple of workers costs
+#: single-digit seconds; a cycle this long means the recovery path regressed
+#: into a hang (e.g. a barrier that waits out its full timeout).
+DEFAULT_MAX_RECOVERY_S = 30.0
 
 
 def load_report(path: str) -> dict:
@@ -214,6 +235,68 @@ def scaling_failures(entries: list[dict],
     return failures, skips
 
 
+def elastic_failures(entries: list[dict],
+                     max_recovery_s: float = DEFAULT_MAX_RECOVERY_S,
+                     cases: tuple[tuple[str, int, float], ...] = ELASTIC_CASES,
+                     ) -> tuple[list[str], list[str]]:
+    """Elastic-recovery gate; returns ``(failures, skips)``.
+
+    For each gated ``(family, width, rate)`` case, the fresh entry's
+    ``recover`` mode (one full teardown -> respawn -> replay cycle of the
+    distributed trainer) must complete within ``max_recovery_s``.  On a
+    machine whose recorded ``cpu_count`` is below ``shards + 1`` the respawn
+    runs oversubscribed and can legitimately blow the budget, so such
+    entries produce a *skip* message instead of a failure — the case is
+    still measured there, which is what exercises the recovery machinery.
+    A gated case missing from ``entries``, or one without recorded
+    ``recover``/``step`` timings or ``shards``/``cpu_count``, fails: the
+    gate must not rot silently.
+    """
+    if max_recovery_s <= 0:
+        raise ValueError(
+            f"max_recovery_s must be positive, got {max_recovery_s}")
+    indexed = _case_entries(entries, "fresh")
+    failures: list[str] = []
+    skips: list[str] = []
+    for case in cases:
+        family, width, rate = case
+        label = f"{family} width={width} rate={rate}"
+        entry = indexed.get(case)
+        if entry is None:
+            failures.append(f"{label}: missing from the fresh run "
+                            f"(elastic recovery case not measured)")
+            continue
+        mode_ms = entry.get("mode_ms") or {}
+        if "recover" not in mode_ms or "step" not in mode_ms:
+            failures.append(
+                f"{label}: entry does not record recover/step timings "
+                f"(regenerate the report with `python -m repro.bench`)")
+            continue
+        shards = entry.get("shards")
+        cpu_count = entry.get("cpu_count")
+        if not shards or not cpu_count:
+            failures.append(
+                f"{label}: entry does not record shards/cpu_count, so the "
+                f"recovery gate cannot tell a regression from a too-small "
+                f"machine (regenerate the report with `python -m repro.bench`)")
+            continue
+        recover_s = float(mode_ms["recover"]) / 1000.0
+        if int(cpu_count) < int(shards) + 1:
+            skips.append(
+                f"{label}: recovery cycle measured {recover_s:.1f}s at "
+                f"{shards} shards, but only {cpu_count} CPU core(s) — the "
+                f"respawn runs oversubscribed, so the "
+                f"{max_recovery_s:.0f}s budget is not enforced")
+            continue
+        if recover_s > max_recovery_s:
+            failures.append(
+                f"{label}: one worker-recovery cycle took {recover_s:.1f}s "
+                f"at {shards} shards, over the {max_recovery_s:.0f}s budget "
+                f"(cpu_count={cpu_count}) — the elastic respawn path "
+                f"regressed")
+    return failures, skips
+
+
 def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     """A reduced configuration that still measures the acceptance case.
 
@@ -229,7 +312,8 @@ def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     return BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=full.batch,
                            steps=full.steps, repeats=full.repeats,
                            warmup=full.warmup,
-                           families=("row", "tile", "e2e", "head", "e2e_dist"),
+                           families=("row", "tile", "e2e", "head", "e2e_dist",
+                                     "e2e_elastic"),
                            backend=backend)
 
 
@@ -249,6 +333,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="absolute data-parallel scaling bar of the "
                              "e2e_dist case (default 1.5; only enforced when "
                              "the entry's recorded cpu_count >= shards + 1)")
+    parser.add_argument("--max-recovery-s", type=float,
+                        default=DEFAULT_MAX_RECOVERY_S,
+                        help="wall-clock budget of one e2e_elastic worker-"
+                             "recovery cycle (default 30s; only enforced "
+                             "when the entry's recorded cpu_count >= "
+                             "shards + 1)")
     parser.add_argument("--backend", default="numpy",
                         help="execution backend of the fresh measurement "
                              "(gate an accelerated backend against the "
@@ -289,6 +379,11 @@ def main(argv: list[str] | None = None) -> int:
     for skip in skips:
         print(f"\nscaling gate skipped — {skip}")
     failures += scaling
+    elastic, elastic_skips = elastic_failures(
+        fresh_entries, max_recovery_s=args.max_recovery_s)
+    for skip in elastic_skips:
+        print(f"\nelastic gate skipped — {skip}")
+    failures += elastic
     if failures:
         print("\nBENCHMARK REGRESSION:")
         for failure in failures:

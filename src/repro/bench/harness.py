@@ -62,6 +62,15 @@ entry additionally records ``shards`` and ``cpu_count`` so the delta gate
 can skip the absolute scaling bar on machines with fewer cores than
 workers (where a >1x speedup is physically impossible).
 
+The ``e2e_elastic`` family measures the *elastic recovery* machinery: its
+``step`` mode times one coordinator step of the same distributed MLP trainer
+(dirty-region gradient compression active under the sparse optimizer), and
+its ``recover`` mode times one full recovery cycle — tear the cluster down,
+respawn every worker at the current step, deterministically fast-forward,
+and replay the in-flight step.  Recovery is dominated by process spawn, so
+it gets its own best-of-``_RECOVER_CYCLES`` protocol instead of being
+amortised over ``steps`` iterations.
+
 Sharding: ``BenchmarkConfig.shards`` splits the (family, width, rate) cases
 across that many worker *processes*, each pinned to its own BLAS thread
 domain (``OMP_NUM_THREADS`` & friends set to ``cpu_count // shards`` before
@@ -117,7 +126,8 @@ class BenchmarkConfig:
     tile: int = 32
     max_period: int = 16
     seed: int = 0
-    families: tuple[str, ...] = ("row", "tile", "e2e", "head", "e2e_dist")
+    families: tuple[str, ...] = ("row", "tile", "e2e", "head", "e2e_dist",
+                                 "e2e_elastic")
     #: Floating dtype of the e2e trainer-step cases ("float64" or "float32").
     e2e_dtype: str = "float64"
     #: Execution backend of the compact/pooled modes (registry name).
@@ -143,8 +153,10 @@ class BenchmarkConfig:
 
     #: Valid benchmark family names (``lstm_rec`` = one recurrent projection,
     #: ``head`` = one loss-head step: vocab projection + cross-entropy,
-    #: ``e2e_dist`` = data-parallel scaling of one MLP trainer step).
-    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head", "e2e_dist")
+    #: ``e2e_dist`` = data-parallel scaling of one MLP trainer step,
+    #: ``e2e_elastic`` = distributed step + full worker-recovery cycle).
+    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head", "e2e_dist",
+                "e2e_elastic")
 
     def __post_init__(self):
         if self.batch <= 0 or self.steps <= 0 or self.repeats <= 0:
@@ -229,10 +241,15 @@ class BenchmarkResult:
         The ``e2e_dist`` family has no masked baseline — there the headline
         ratio is single-process / sharded per-step time, i.e. the
         data-parallel scaling factor, kept under the same key so every
-        report entry gates through one field.
+        report entry gates through one field.  The ``e2e_elastic`` family's
+        headline is recovery / step time: how many ordinary steps one full
+        worker-recovery cycle costs (lower is better there; the elastic
+        gate bounds the absolute recovery time instead).
         """
         if "pooled" in self.mode_ms:
             return self.mode_ms["masked"] / self.mode_ms["pooled"]
+        if "recover" in self.mode_ms:
+            return self.mode_ms["recover"] / self.mode_ms["step"]
         return self.mode_ms["single"] / self.mode_ms["sharded"]
 
     def to_dict(self) -> dict:
@@ -763,6 +780,79 @@ def _bench_e2e_dist_case(config: BenchmarkConfig,
     return result
 
 
+#: Full teardown -> respawn -> replay cycles timed by the ``e2e_elastic``
+#: case's ``recover`` mode (best cycle reported).  Each cycle respawns every
+#: worker process, so this is deliberately far below ``repeats``.
+_RECOVER_CYCLES = 2
+
+
+def _bench_e2e_elastic_case(config: BenchmarkConfig,
+                            rng: np.random.Generator) -> BenchmarkResult:
+    """Distributed step plus one full elastic recovery cycle.
+
+    ``step`` times one :meth:`_Cluster.step` of the distributed MLP trainer
+    (with dirty-region gradient compression active whenever
+    ``config.optimizer == "sparse"``); ``recover`` times what the elastic
+    retry loop pays per failure once the fault is detected — tear the whole
+    cluster down, respawn every worker with ``start_step`` at the current
+    step, let them deterministically fast-forward, and replay the in-flight
+    step.  The carry-state snapshot is threaded through the respawn exactly
+    like :meth:`DistributedTrainer._run` does (a no-op for the stateless
+    classifier, but the cycle being timed is the real recovery path).
+    """
+    from repro.data.synthetic_mnist import make_synthetic_mnist
+    from repro.distributed import DistributedTrainer
+    from repro.distributed.trainer import _Cluster
+    from repro.execution import EngineRuntime, ExecutionConfig
+    from repro.models.mlp import MLPClassifier, MLPConfig
+    from repro.training.trainer import ClassifierTrainingConfig
+
+    hidden = min(max(config.widths), 512)
+    rate = max(config.rates)
+    batch = config.batch
+    data = make_synthetic_mnist(num_train=max(batch * 4, 256), num_test=32,
+                                seed=config.seed)
+    train_config = ClassifierTrainingConfig(batch_size=batch, epochs=1,
+                                            seed=config.seed)
+    model = MLPClassifier(MLPConfig(
+        input_size=data.num_features, hidden_sizes=(hidden, hidden),
+        num_classes=data.num_classes, drop_rates=(rate, rate),
+        strategy="row", seed=config.seed))
+    runtime = EngineRuntime(ExecutionConfig(
+        mode="pooled", dtype=config.e2e_dtype, backend=config.backend,
+        optimizer=config.optimizer, seed=config.seed,
+        shards=config.dist_shards))
+    trainer = DistributedTrainer(model, data, train_config, runtime=runtime)
+
+    result = BenchmarkResult(family="e2e_elastic", width=hidden,
+                             in_features=data.num_features, batch=batch,
+                             rate=rate, steps=config.steps,
+                             repeats=config.repeats, backend=config.backend,
+                             optimizer=config.optimizer,
+                             shards=config.dist_shards,
+                             cpu_count=os.cpu_count())
+    cluster = _Cluster(trainer)
+    try:
+        cluster.start()
+        result.mode_ms = _timed_modes({"step": cluster.step}, config.steps,
+                                      config.warmup, config.repeats)
+        best = float("inf")
+        for _ in range(_RECOVER_CYCLES):
+            resume_step = cluster.start_step + cluster.steps
+            states = cluster.states_snapshot()
+            start = time.perf_counter()
+            cluster.close(join_timeout=10.0)
+            cluster = _Cluster(trainer, start_step=resume_step,
+                               resume_states=states)
+            cluster.start()
+            cluster.step()
+            best = min(best, time.perf_counter() - start)
+        result.mode_ms["recover"] = best * 1000.0
+    finally:
+        cluster.close()
+    return result
+
+
 # ----------------------------------------------------------------------
 # case scheduling (in-process or sharded across worker processes)
 # ----------------------------------------------------------------------
@@ -780,8 +870,8 @@ def case_descriptors(config: BenchmarkConfig) -> list[tuple[str, int | None, flo
             cases.append(("e2e_mlp", None, None))
             cases.append(("e2e_lstm", None, None))
             continue
-        if family == "e2e_dist":
-            cases.append(("e2e_dist", None, None))
+        if family in ("e2e_dist", "e2e_elastic"):
+            cases.append((family, None, None))
             continue
         for width in config.widths:
             for rate in config.rates:
@@ -805,6 +895,8 @@ def run_case(config: BenchmarkConfig, index: int,
         return _bench_e2e_lstm_case(config, rng)
     if kind == "e2e_dist":
         return _bench_e2e_dist_case(config, rng)
+    if kind == "e2e_elastic":
+        return _bench_e2e_elastic_case(config, rng)
     bench = {"row": _bench_row_case, "tile": _bench_tile_case,
              "lstm_rec": _bench_lstm_rec_case, "head": _bench_head_case}[kind]
     return bench(config, width, rate, rng)

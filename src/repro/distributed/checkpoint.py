@@ -1,0 +1,142 @@
+"""Atomic coordinator-side checkpoints for the elastic distributed trainer.
+
+A checkpoint is one ``.npz`` file holding the coordinator's complete state at
+a step boundary: the flat parameter block (in :class:`ParameterLayout`
+order), the optimizer state (velocity buffers plus the sparse optimizer's
+ever-dirty masks), the ``(seed, shard_count, step)`` triple that fully
+describes every shard's RNG/batch streams, the LM schedule epoch, and the
+recorded training history.  Almost nothing worker-side needs saving: a
+replacement worker reconstructs its pattern pools and batch order by
+deterministically fast-forwarding from ``(seed, shard_count)`` to ``step``.
+The one exception is the LM workers' mid-epoch BPTT carry — it depends on
+parameter vectors that no longer exist — so the coordinator's per-step
+snapshot of the arena's state rows rides along as ``worker_states`` (see
+:mod:`repro.distributed.worker`).
+
+Writes are atomic and crash-safe: the file is written to a temporary name in
+the same directory, flushed and fsynced, then :func:`os.replace`'d into
+place, so a crash mid-write leaves at worst a stray ``.tmp`` file and never a
+truncated checkpoint under the real name.  :func:`load_latest` walks the
+directory newest-step-first and silently skips files that fail to *read*
+(truncated/corrupt zip), falling back to the previous checkpoint; files that
+read fine but are *incompatible* (version or metadata mismatch) raise
+:class:`CheckpointError` — silently resuming from the wrong world would be
+worse than stopping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: Checkpoints kept per directory (older ones are pruned after each write).
+KEEP_CHECKPOINTS = 3
+
+_NAME_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing or incompatible with the resuming trainer."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file exists but cannot be read (truncated / corrupt)."""
+
+
+def checkpoint_path(directory: str | os.PathLike, step: int) -> Path:
+    return Path(directory) / f"ckpt-{step:08d}.npz"
+
+
+def save_checkpoint(directory: str | os.PathLike, step: int, meta: dict,
+                    arrays: dict[str, np.ndarray],
+                    keep: int = KEEP_CHECKPOINTS) -> Path:
+    """Atomically write one checkpoint and prune old ones.
+
+    ``meta`` is JSON-serialised (the version stamp is added here); ``arrays``
+    are stored verbatim.  Returns the final path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = checkpoint_path(directory, step)
+    tmp = final.with_suffix(".npz.tmp")
+    payload = dict(meta, version=CHECKPOINT_VERSION, step=int(step))
+    with open(tmp, "wb") as handle:
+        np.savez(handle, __meta__=np.array(json.dumps(payload)), **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)
+    # fsync the directory so the rename itself survives a crash.
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    for old_step, old_path in list_checkpoints(directory)[max(keep, 1):]:
+        try:
+            old_path.unlink()
+        except OSError:
+            pass
+    return final
+
+
+def list_checkpoints(directory: str | os.PathLike) -> list[tuple[int, Path]]:
+    """``(step, path)`` pairs in the directory, newest step first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        match = _NAME_RE.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    found.sort(key=lambda pair: pair[0], reverse=True)
+    return found
+
+
+def load_checkpoint(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read one checkpoint file → ``(meta, arrays)``.
+
+    Raises :class:`CheckpointCorruptError` when the file cannot be read and
+    :class:`CheckpointError` when it reads but carries the wrong version.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            raw = str(archive["__meta__"][()])
+            arrays = {name: archive[name] for name in archive.files
+                      if name != "__meta__"}
+        meta = json.loads(raw)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+            json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is unreadable (truncated or corrupt): {exc}"
+        ) from exc
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {meta.get('version')!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}")
+    return meta, arrays
+
+
+def load_latest(directory: str | os.PathLike
+                ) -> tuple[dict, dict[str, np.ndarray], Path] | None:
+    """The newest *readable* checkpoint in ``directory``, or ``None``.
+
+    A truncated newest file (crash mid-write of a non-atomic copy, disk
+    corruption) is skipped with a fallback to the previous step; an
+    incompatible-but-readable file propagates its :class:`CheckpointError`.
+    """
+    for step, path in list_checkpoints(directory):
+        try:
+            meta, arrays = load_checkpoint(path)
+        except CheckpointCorruptError:
+            continue
+        return meta, arrays, path
+    return None

@@ -1,0 +1,219 @@
+"""Dirty-region gradient compression for the shared-memory arena.
+
+The PR-6 region records already bound exactly which rows/cols of each
+parameter's gradient a shard touched; everything outside a recorded region is
+exact ``+0.0`` (the tracker's soundness invariant).  So when a shard's dirty
+fraction is below :attr:`ExecutionConfig.compress_cutover`, the worker
+transmits only the dirty rows/cols into its arena block — and the coordinator
+reduces only the merged dirty region — while the arithmetic stays
+bit-identical to the dense reduce (the skipped complement would only ever add
+``+0.0`` in the same fixed tree order).
+
+Both sides maintain one invariant: **a flat block (or the coordinator's
+gradient buffer) always equals the full dense gradient bit-for-bit.**  A
+sparse write therefore first zeroes the *stale* part of the previous step's
+footprint (rows that were dirty last step but not this one), then writes the
+current dirty slices; the untouched remainder is ``+0.0`` from the segment's
+zero-fill (fresh ``shared_memory`` segments and ``np.zeros`` buffers start
+zeroed).  Because the coordinator can no longer reduce *into* the workers'
+blocks without breaking their footprint bookkeeping, compression switches to
+a per-parameter non-mutating tree reduce (:class:`RegionReducer`) with the
+same pairwise association; ``compress_cutover=0`` keeps PR 7's single
+in-place :func:`~repro.distributed.reduce.tree_reduce`.
+
+Compression requires the region records to be *tight*, which only the sparse
+optimizer's :class:`~repro.tensor.dirty.DirtyTracker` provides — under the
+dense optimizer every present gradient encodes as ``FULL`` and nothing would
+ever compress, so the trainer enables this path only for
+``optimizer="sparse"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.shm import ParameterLayout
+
+
+def _reduce_readonly(views: list[np.ndarray], out: np.ndarray) -> np.ndarray:
+    """Pairwise-tree sum of read-only views into ``out``.
+
+    Exactly :func:`~repro.distributed.reduce.tree_reduce`'s association —
+    ``((v0+v1)+(v2+v3))+...`` — but without mutating the sources (the arena
+    blocks must stay bit-equal to the workers' gradients) and without
+    stacking them into one scratch copy first: index 0's chain accumulates
+    straight into ``out``, other chains materialise a temp on first use (for
+    two workers this is a single ``np.add``).
+    """
+    workers = len(views)
+    acc = list(views)
+    owned = [False] * workers
+    stride = 1
+    while stride < workers:
+        for w in range(0, workers - stride, 2 * stride):
+            src = acc[w + stride]
+            if owned[w]:
+                acc[w] += src
+            elif w == 0:
+                np.add(acc[0], src, out=out)
+                acc[0] = out
+                owned[0] = True
+            else:
+                acc[w] = acc[w] + src
+                owned[w] = True
+        stride *= 2
+    if not owned[0]:
+        np.copyto(out, views[0])
+    return out
+
+
+def _reduce_owned(arrays: list[np.ndarray]) -> np.ndarray:
+    """In-place pairwise-tree sum over caller-owned arrays (same association)."""
+    workers = len(arrays)
+    stride = 1
+    while stride < workers:
+        for w in range(0, workers - stride, 2 * stride):
+            arrays[w] += arrays[w + stride]
+        stride *= 2
+    return arrays[0]
+
+
+def compressible(region: tuple, shape: tuple, cutover: float) -> bool:
+    """Whether a ``("rows"|"cols", idx)`` region is worth (and safe) slicing.
+
+    Strictly below the cutover: a dirty fraction *at* the cutover falls back
+    to the dense write, mirroring the sparse optimizer's own cutover.
+    """
+    if cutover <= 0.0:
+        return False
+    kind = region[0]
+    if kind == "rows" and len(shape) >= 1:
+        return len(region[1]) < shape[0] * cutover
+    if kind == "cols" and len(shape) == 2:
+        return len(region[1]) < shape[-1] * cutover
+    return False
+
+
+def _zero_footprint(view: np.ndarray, prev: tuple) -> None:
+    """Zero everything the previous step's footprint may have written."""
+    if prev[0] == "empty":
+        return
+    if prev[0] == "full":
+        view[...] = 0.0
+    elif prev[0] == "rows":
+        view[prev[1]] = 0.0
+    else:
+        view[:, prev[1]] = 0.0
+
+
+def _zero_stale(view: np.ndarray, prev: tuple, kind: str,
+                idx: np.ndarray) -> None:
+    """Zero the part of ``prev``'s footprint not covered by ``(kind, idx)``."""
+    if prev[0] == "empty":
+        return
+    if prev[0] == "full" or prev[0] != kind:
+        _zero_footprint(view, prev)
+        return
+    stale = np.setdiff1d(prev[1], idx)
+    if stale.size:
+        if kind == "rows":
+            view[stale] = 0.0
+        else:
+            view[:, stale] = 0.0
+
+
+class CompressedGradWriter:
+    """Worker-side sparse writes into one flat gradient block.
+
+    One instance per worker process; its per-parameter footprint survives
+    across steps so stale rows of the (persistent) arena block are zeroed
+    before each sparse write.  The block starts zero-filled, so the initial
+    footprint is ``("empty",)``.
+    """
+
+    def __init__(self, layout: ParameterLayout, cutover: float):
+        self.layout = layout
+        self.cutover = cutover
+        self._prev: list[tuple] = [("empty",)] * len(layout.slots)
+
+    def write(self, parameters, tracker, flat: np.ndarray) -> None:
+        """Like :meth:`ParameterLayout.write_grads`, but region-sliced."""
+        for index, (param, slot) in enumerate(zip(parameters,
+                                                  self.layout.slots)):
+            view = flat[slot.offset:slot.offset + slot.size
+                        ].reshape(slot.shape)
+            prev = self._prev[index]
+            grad = param.grad
+            region = (tracker.region_of(grad)
+                      if grad is not None and tracker is not None else None)
+            if grad is None or (region is not None and region[0] == "empty"):
+                # The dense gradient is all +0.0 — the sparse equivalent of
+                # write_grads' zero fill is zeroing the stale footprint.
+                _zero_footprint(view, prev)
+                self._prev[index] = ("empty",)
+            elif region is not None and compressible(region, slot.shape,
+                                                     self.cutover):
+                kind = region[0]
+                idx = np.asarray(region[1], dtype=np.int64)
+                _zero_stale(view, prev, kind, idx)
+                if kind == "rows":
+                    view[idx] = grad[idx]
+                else:
+                    view[:, idx] = grad[:, idx]
+                self._prev[index] = (kind, idx)
+            else:
+                np.copyto(view, grad)
+                self._prev[index] = ("full",)
+
+
+class RegionReducer:
+    """Coordinator-side region-restricted tree reduce.
+
+    Replaces the in-place whole-block tree reduce when compression is
+    active: per parameter, the workers' views restricted to the *merged*
+    dirty region are pairwise-tree-summed — the same elementwise association
+    as the dense reduce, hence bit-identical sums — and written into the
+    caller's persistent gradient buffer under the same footprint bookkeeping
+    as the workers' blocks (buffers must start zeroed).
+    """
+
+    def __init__(self, layout: ParameterLayout, cutover: float):
+        self.layout = layout
+        self.cutover = cutover
+        self._prev: list[tuple] = [("empty",)] * len(layout.slots)
+        self.compressed_params = 0
+        self.dense_params = 0
+
+    def reduce_into(self, buffer: np.ndarray, grads: np.ndarray, index: int,
+                    region: tuple) -> None:
+        """Reduce parameter ``index`` across all workers into ``buffer``.
+
+        ``grads`` is the arena's ``(workers, total_size)`` block (read-only
+        here); ``region`` is the merged region (never ``("none",)`` — the
+        caller skips those parameters entirely, leaving the buffer behind a
+        ``grad=None`` unchanged exactly like the dense path).
+        """
+        slot = self.layout.slots[index]
+        prev = self._prev[index]
+        if region[0] == "empty":
+            _zero_footprint(buffer, prev)
+            self._prev[index] = ("empty",)
+            return
+        views = [self.layout.grad_view(grads[w], index)
+                 for w in range(grads.shape[0])]
+        if compressible(region, slot.shape, self.cutover):
+            kind = region[0]
+            idx = np.asarray(region[1], dtype=np.int64)
+            _zero_stale(buffer, prev, kind, idx)
+            if kind == "rows":
+                # Fancy indexing copies, so the slices are ours to mutate.
+                buffer[idx] = _reduce_owned([view[idx] for view in views])
+            else:
+                buffer[:, idx] = _reduce_owned(
+                    [view[:, idx] for view in views])
+            self._prev[index] = (kind, idx)
+            self.compressed_params += 1
+        else:
+            _reduce_readonly(views, buffer)
+            self._prev[index] = ("full",)
+            self.dense_params += 1

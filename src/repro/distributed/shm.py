@@ -226,11 +226,15 @@ class SharedArena:
     _REGION_DTYPE = np.dtype(np.int64)
 
     def __init__(self, layout: ParameterLayout, workers: int, *,
-                 name: str | None = None, create: bool = True):
+                 state_slots: int = 0, name: str | None = None,
+                 create: bool = True):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if state_slots < 0:
+            raise ValueError(f"state_slots must be >= 0, got {state_slots}")
         self.layout = layout
         self.workers = workers
+        self.state_slots = state_slots
         item = layout.dtype.itemsize
 
         def _align(offset: int) -> int:
@@ -243,8 +247,10 @@ class SharedArena:
                                   + workers * layout.total_size * item)
         self._region_bytes = _align(self._loss_bytes
                                     + 2 * workers * self._LOSS_DTYPE.itemsize)
-        total = (self._region_bytes
-                 + workers * layout.region_size * self._REGION_DTYPE.itemsize)
+        self._state_bytes = _align(
+            self._region_bytes
+            + workers * layout.region_size * self._REGION_DTYPE.itemsize)
+        total = self._state_bytes + workers * state_slots * item
         if create:
             self._shm = shared_memory.SharedMemory(name=name, create=True,
                                                    size=max(total, 1))
@@ -280,6 +286,17 @@ class SharedArena:
                                      count=workers * layout.region_size,
                                      offset=self._region_bytes
                                      ).reshape(workers, layout.region_size)
+        #: Per-worker recurrent-state rows, shape ``(workers, state_slots)``
+        #: (zero-width for stateless workloads).  Each LM worker publishes
+        #: its flattened BPTT carry state here after every forward, so the
+        #: coordinator can snapshot "state at the start of step N+1" — the
+        #: piece of shard state a respawned worker cannot recompute (it
+        #: depends on the parameter values of every step since the epoch
+        #: started, which only existed in the arena at the time).
+        self.states = np.frombuffer(buf, dtype=layout.dtype,
+                                    count=workers * self.state_slots,
+                                    offset=self._state_bytes
+                                    ).reshape(workers, self.state_slots)
 
     @property
     def name(self) -> str:
@@ -287,7 +304,7 @@ class SharedArena:
 
     @classmethod
     def attach(cls, name: str, layout: ParameterLayout,
-               workers: int) -> "SharedArena":
+               workers: int, state_slots: int = 0) -> "SharedArena":
         """Attach to the coordinator's segment from a worker process.
 
         The attachment is kept *out* of the resource tracker: the coordinator
@@ -309,7 +326,8 @@ class SharedArena:
 
         resource_tracker.register = _skip_shared_memory
         try:
-            return cls(layout, workers, name=name, create=False)
+            return cls(layout, workers, state_slots=state_slots, name=name,
+                       create=False)
         finally:
             resource_tracker.register = original
 
@@ -320,7 +338,7 @@ class SharedArena:
         # The numpy views hold exports of the segment's buffer; release them
         # before close() or the memoryview teardown raises BufferError.
         self.params = self.grads = self.losses = self.weights = None
-        self.regions = None
+        self.regions = self.states = None
         try:
             self._shm.close()
         except BufferError:  # pragma: no cover - stray external view

@@ -12,9 +12,9 @@ and then runs the step loop in lock-step with the coordinator:
    the local loss pre-scaled by the shard's share of the global batch, so
    the coordinator's tree-sum of shard gradients *is* the global-batch-mean
    gradient;
-3. publish the flat gradients, the unscaled shard loss/weight and the dirty
-   regions the sparse tracker recorded, then wait at the *grads-ready*
-   barrier.
+3. publish the flat gradients (region-sliced when dirty-region compression
+   is active), the unscaled shard loss/weight and the dirty regions the
+   sparse tracker recorded, then wait at the *grads-ready* barrier.
 
 The worker deliberately has no notion of "how many steps the run takes": it
 loops over epochs forever (its sharded batch iterator replays the *global*
@@ -22,6 +22,26 @@ shuffle order, so every shard agrees on batch boundaries) and exits when the
 coordinator sets the stop event and breaks the barriers.  A worker that dies
 instead aborts both barriers, which surfaces at the coordinator as a broken
 barrier plus a traceback on the error queue.
+
+Fast-forward (elastic recovery)
+-------------------------------
+
+A replacement worker spawned after a failure at global step N receives
+``start_step=N`` and replays its RNG/batch streams *without* touching the
+arena: for every step below ``start_step`` it consumes exactly the draws the
+live path would have (the epoch's pooled pattern plan, the per-step schedule
+advance, and the per-forward Bernoulli draws of conventional-dropout models)
+and then joins the barriers at step N with bit-identical shard state.
+
+The one piece of shard state that *cannot* be recomputed this way is the
+LSTM's mid-epoch BPTT carry: its value depends on the parameter vector of
+every step since the epoch started, and those vectors existed only in the
+arena at the time.  LM workers therefore publish their flattened carry state
+into ``arena.states`` after every forward; the coordinator snapshots the rows
+of each *successful* step and hands them back through
+``WorkerSpec.resume_state``, which the replacement worker installs at its
+first live step (unless that step opens an epoch, where ``begin_epoch``'s
+fresh state is already correct).
 """
 
 from __future__ import annotations
@@ -32,8 +52,13 @@ import traceback
 from dataclasses import dataclass
 from typing import Any
 
-#: Generous per-wait timeout: a healthy coordinator releases a barrier within
-#: one step; a wait this long means a peer died without aborting.
+import numpy as np
+
+#: Generous default per-wait timeout: a healthy coordinator releases a
+#: barrier within one step; a wait this long means a peer died without
+#: aborting.  The effective timeout comes from
+#: ``FaultPolicy.barrier_timeout_s`` (workers add a margin so the
+#: coordinator always times out first and owns the recovery).
 BARRIER_TIMEOUT_S = 300.0
 
 
@@ -51,12 +76,18 @@ class WorkerSpec:
     exec_config: Any       #: shard-local ExecutionConfig (per-shard seed)
     arena_name: str        #: coordinator's SharedArena segment
     fail_at_step: int | None = None  #: test hook: raise at this step index
+    start_step: int = 0    #: fast-forward the shard state to this global step
+    faults: tuple = ()     #: one-shot :class:`~repro.distributed.faults.FaultSpec`s
+    barrier_timeout_s: float = BARRIER_TIMEOUT_S
+    state_slots: int = 0   #: width of the arena's per-worker state rows
+    resume_state: Any = None  #: flattened carry state at ``start_step``
 
 
-def wait_on(barrier, stop_event) -> bool:
+def wait_on(barrier, stop_event,
+            timeout: float = BARRIER_TIMEOUT_S) -> bool:
     """One barrier wait; ``False`` means the coordinator asked us to stop."""
     try:
-        barrier.wait(timeout=BARRIER_TIMEOUT_S)
+        barrier.wait(timeout=timeout)
         return True
     except threading.BrokenBarrierError:
         if stop_event.is_set():
@@ -64,6 +95,53 @@ def wait_on(barrier, stop_event) -> bool:
         raise RuntimeError(
             "synchronization barrier broken without a shutdown signal "
             "(a peer process died)") from None
+
+
+def state_size(state) -> int:
+    """Flat element count of one BPTT carry state (list of ``(h, c)``)."""
+    return sum(h.data.size + c.data.size for h, c in state)
+
+
+def flatten_state(state, row: np.ndarray) -> None:
+    """Serialise the carry state into (a prefix of) one arena state row."""
+    offset = 0
+    for pair in state:
+        for part in pair:
+            data = part.data
+            row[offset:offset + data.size] = data.ravel()
+            offset += data.size
+
+
+def unflatten_state(template, row: np.ndarray):
+    """Rebuild a carry state shaped like ``template`` from a flat row."""
+    from repro.tensor import Tensor
+
+    offset = 0
+    rebuilt = []
+    for pair in template:
+        parts = []
+        for part in pair:
+            shape = part.data.shape
+            size = part.data.size
+            values = np.asarray(row[offset:offset + size]
+                                ).reshape(shape).copy()
+            parts.append(Tensor(values, dtype=part.data.dtype))
+            offset += size
+        rebuilt.append((parts[0], parts[1]))
+    return rebuilt
+
+
+def _draws_rng_at_forward(model) -> bool:
+    """Whether any module redraws randomness inside ``forward`` itself.
+
+    The pattern machinery consumes all of its randomness in ``plan()`` /
+    ``step()``, but the conventional-dropout baseline layers
+    (:mod:`repro.nn.dropout`) draw a fresh Bernoulli mask per forward call —
+    fast-forward must then actually run the forward to keep the stream
+    aligned.
+    """
+    return any(type(module).__module__ == "repro.nn.dropout"
+               for module in model.modules())
 
 
 class _ClassifierShard:
@@ -81,6 +159,8 @@ class _ClassifierShard:
             spec.train_config.batch_size, rng=self.trainer.rng,
             shard_index=spec.shard_index, shard_count=spec.shard_count)
         self.global_batch = spec.train_config.batch_size
+        self._forward_draws = _draws_rng_at_forward(model)
+        self.state_slots = 0  # stateless between steps
 
     def begin_epoch(self):
         self.trainer.pattern_schedule.plan(len(self.iterator))
@@ -91,6 +171,24 @@ class _ClassifierShard:
         weight = images.shape[0] / self.global_batch
         loss = self.trainer.forward_backward(images, labels, loss_scale=weight)
         return loss, weight
+
+    def fast_forward(self, batch) -> None:
+        """Consume one step's randomness without touching parameters."""
+        from repro.tensor import Tensor, no_grad
+
+        trainer = self.trainer
+        trainer.model.train()
+        trainer.pattern_schedule.step()
+        if self._forward_draws:
+            images, _ = batch
+            with no_grad():
+                trainer.model(Tensor(images, dtype=trainer.runtime.np_dtype))
+
+    def publish_state(self, row: np.ndarray) -> None:
+        pass
+
+    def restore_state(self, row: np.ndarray) -> None:
+        pass
 
 
 class _LanguageModelShard:
@@ -110,6 +208,9 @@ class _LanguageModelShard:
                                    shard_count=spec.shard_count)
         self.global_batch = config.batch_size
         self.state = None
+        self._forward_draws = _draws_rng_at_forward(model)
+        self.state_slots = state_size(
+            model.init_state(self.batcher.shard_batch_size))
 
     def begin_epoch(self):
         self.trainer.pattern_schedule.plan(len(self.batcher))
@@ -124,6 +225,32 @@ class _LanguageModelShard:
             inputs, targets, self.state, loss_scale=weight)
         return loss, weight
 
+    def fast_forward(self, batch) -> None:
+        """Consume one step's randomness without touching parameters.
+
+        Deliberately does NOT propagate the BPTT carry: a replayed forward
+        would run against the *initial* parameters, not the vectors the live
+        run trained with, so its state values are wrong anyway — the correct
+        mid-epoch carry arrives via ``WorkerSpec.resume_state``.  A forward
+        still runs for conventional-dropout models, whose per-call Bernoulli
+        draws (shape-dependent, value-independent) must stay stream-aligned.
+        """
+        from repro.tensor import no_grad
+
+        trainer = self.trainer
+        trainer.model.train()
+        trainer.pattern_schedule.step()
+        if self._forward_draws:
+            inputs, targets = batch
+            with no_grad():
+                trainer.model.loss(inputs, targets.reshape(-1), self.state)
+
+    def publish_state(self, row: np.ndarray) -> None:
+        flatten_state(self.state, row)
+
+    def restore_state(self, row: np.ndarray) -> None:
+        self.state = unflatten_state(self.state, row)
+
 
 _WORKLOADS = {"classifier": _ClassifierShard, "lm": _LanguageModelShard}
 
@@ -133,6 +260,9 @@ def worker_main(spec: WorkerSpec, barrier_params, barrier_grads,
     """Process entry point of one shard (spawn target)."""
     arena = None
     try:
+        from repro.distributed.compress import CompressedGradWriter
+        from repro.distributed.faults import (corrupt_shard_block, fault_for,
+                                              hang_until_stopped)
         from repro.distributed.shm import ParameterLayout, SharedArena
         from repro.execution import EngineRuntime
         from repro.tensor import dirty as _dirty
@@ -142,34 +272,68 @@ def worker_main(spec: WorkerSpec, barrier_params, barrier_grads,
         trainer = workload.trainer
         params = list(trainer.model.parameters())
         layout = ParameterLayout.from_parameters(params)
-        arena = SharedArena.attach(spec.arena_name, layout, spec.shard_count)
+        arena = SharedArena.attach(spec.arena_name, layout, spec.shard_count,
+                                   state_slots=spec.state_slots)
         tracker = (runtime.dirty_tracker
                    if spec.exec_config.optimizer == "sparse" else None)
+        writer = None
+        if tracker is not None and spec.exec_config.compress_cutover > 0:
+            writer = CompressedGradWriter(layout,
+                                          spec.exec_config.compress_cutover)
         w = spec.shard_index
+        timeout = spec.barrier_timeout_s
 
         step = 0
         for _ in itertools.count():
             batches = workload.begin_epoch()
+            epoch_step = 0
             for batch in batches:
-                if not wait_on(barrier_params, stop_event):
+                if step < spec.start_step:
+                    workload.fast_forward(batch)
+                    step += 1
+                    epoch_step += 1
+                    continue
+                if (step == spec.start_step and epoch_step > 0
+                        and spec.resume_state is not None):
+                    # Install the coordinator's mid-epoch carry snapshot; at
+                    # an epoch boundary (epoch_step == 0) begin_epoch's
+                    # fresh state is already the correct one.
+                    workload.restore_state(spec.resume_state)
+                if not wait_on(barrier_params, stop_event, timeout):
                     return
                 layout.read_params(arena.params, params)
                 trainer.optimizer.zero_grad()
-                if spec.fail_at_step is not None and step == spec.fail_at_step:
+                fault = fault_for(spec.faults, w, step)
+                if ((spec.fail_at_step is not None
+                     and step == spec.fail_at_step)
+                        or (fault is not None and fault.kind == "kill")):
                     raise RuntimeError(
                         f"injected worker failure at step {step}")
+                if fault is not None and fault.kind == "hang":
+                    # Stop participating without dying: the coordinator's
+                    # barrier timeout must fire, never a deadlock.
+                    hang_until_stopped(stop_event)
+                    return
                 loss, weight = workload.forward_backward(batch)
-                layout.write_grads(params, arena.grads[w])
+                if writer is not None:
+                    writer.write(params, tracker, arena.grads[w])
+                else:
+                    layout.write_grads(params, arena.grads[w])
                 layout.encode_regions(params, tracker, arena.regions[w])
+                if workload.state_slots:
+                    workload.publish_state(arena.states[w])
                 arena.losses[w] = loss
                 arena.weights[w] = weight
+                if fault is not None and fault.kind == "corrupt":
+                    corrupt_shard_block(arena, w)
                 if tracker is not None:
                     # The recording window the optimizer's zero_grad opened
                     # stays shut while we idle at the barrier.
                     _dirty.deactivate(tracker)
-                if not wait_on(barrier_grads, stop_event):
+                if not wait_on(barrier_grads, stop_event, timeout):
                     return
                 step += 1
+                epoch_step += 1
     except BaseException:
         try:
             error_queue.put((spec.shard_index, traceback.format_exc()))

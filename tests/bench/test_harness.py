@@ -395,15 +395,20 @@ class TestDeltaCheck:
                                 self.entry("tile", speedup=3.6),
                                 self.entry("head", speedup=2.0),
                                 self.entry("e2e_lstm", width=256, speedup=2.3)]}
-        # The fresh run also carries the e2e_dist scaling case: the CLI gate
-        # additionally enforces the absolute scaling bar on fresh entries.
+        # The fresh run also carries the e2e_dist scaling case and the
+        # e2e_elastic recovery case: the CLI gate additionally enforces the
+        # absolute scaling bar and the recovery budget on fresh entries.
         fresh = {"results": [self.entry(speedup=3.8),
                              self.entry("tile", speedup=3.5),
                              self.entry("head", speedup=1.9),
                              self.entry("e2e_lstm", width=256, speedup=2.2),
                              dict(self.entry("e2e_dist", width=512,
                                              speedup=1.8),
-                                  shards=2, cpu_count=4)]}
+                                  shards=2, cpu_count=4),
+                             dict(self.entry("e2e_elastic", width=512,
+                                             speedup=40.0),
+                                  shards=2, cpu_count=4,
+                                  mode_ms={"step": 50.0, "recover": 2000.0})]}
         baseline_path = tmp_path / "baseline.json"
         fresh_path = tmp_path / "fresh.json"
         baseline_path.write_text(json.dumps(baseline))
@@ -645,7 +650,11 @@ class TestScalingGate:
         fresh = {"results": [base("row"), base("tile"), base("head"),
                              base("e2e_lstm", width=256),
                              dict(self.entry(speedup=0.4, cpu_count=1),
-                                  backend="numpy")]}
+                                  backend="numpy"),
+                             dict(base("e2e_elastic", width=512),
+                                  shards=2, cpu_count=1,
+                                  mode_ms={"step": 50.0,
+                                           "recover": 90000.0})]}
         baseline_path = tmp_path / "baseline.json"
         fresh_path = tmp_path / "fresh.json"
         baseline_path.write_text(json.dumps(baseline))
@@ -654,3 +663,126 @@ class TestScalingGate:
                            "--fresh", str(fresh_path)]) == 0
         out = capsys.readouterr().out
         assert "scaling gate skipped" in out
+        # The over-budget recovery cycle is also excused on the 1-core box.
+        assert "elastic gate skipped" in out
+
+
+class TestElasticFamily:
+    """The e2e_elastic distributed step + worker-recovery benchmark case."""
+
+    def test_in_family_registry_defaults_and_cli(self):
+        assert "e2e_elastic" in BenchmarkConfig.FAMILIES
+        assert "e2e_elastic" in BenchmarkConfig().families
+        args = parse_args([])
+        assert "e2e_elastic" in args.families
+
+    def test_case_descriptor(self):
+        from repro.bench.harness import case_descriptors
+
+        cases = case_descriptors(tiny_config(families=("e2e_elastic",)))
+        assert cases == [("e2e_elastic", None, None)]
+
+    def test_speedup_pooled_is_recovery_cost_in_steps(self):
+        from repro.bench.harness import BenchmarkResult
+
+        result = BenchmarkResult(family="e2e_elastic", width=512,
+                                 in_features=784, batch=16, rate=0.7, steps=2,
+                                 repeats=1, shards=2, cpu_count=4,
+                                 mode_ms={"step": 50.0, "recover": 2000.0})
+        assert result.speedup_pooled == 40.0
+        assert result.speedup_compact is None
+        entry = result.to_dict()
+        assert entry["mode_ms"] == {"step": 50.0, "recover": 2000.0}
+        assert entry["speedup_pooled"] == 40.0
+
+    def test_case_runs_and_records_environment(self):
+        # Spawns a real two-worker cluster and runs two full recovery
+        # cycles (respawn included), so this takes tens of seconds.
+        import os
+
+        config = tiny_config(widths=(32,), batch=8,
+                             families=("e2e_elastic",))
+        (result,) = run_benchmark(config)
+        assert set(result.mode_ms) == {"step", "recover"}
+        assert all(ms > 0 for ms in result.mode_ms.values())
+        assert result.shards == 2
+        assert result.cpu_count == os.cpu_count()
+
+    def test_gate_covers_the_elastic_case(self):
+        from repro.bench.delta import ELASTIC_CASES, quick_acceptance_config
+
+        assert ("e2e_elastic", 512, 0.7) in ELASTIC_CASES
+        config = quick_acceptance_config()
+        # The quick gate sweep must produce that exact case: the e2e_elastic
+        # hidden size derives as min(max(widths), 512).
+        assert "e2e_elastic" in config.families
+        assert min(max(config.widths), 512) == 512
+        assert 0.7 in config.rates
+
+
+class TestElasticGate:
+    """The absolute recovery-time budget of the delta gate."""
+
+    @staticmethod
+    def entry(recover_ms=2000.0, shards=2, cpu_count=4, **overrides):
+        record = {"family": "e2e_elastic", "width": 512, "rate": 0.7,
+                  "speedup_pooled": recover_ms / 50.0, "shards": shards,
+                  "cpu_count": cpu_count,
+                  "mode_ms": {"step": 50.0, "recover": recover_ms}}
+        record.update(overrides)
+        return record
+
+    def test_passes_within_budget(self):
+        from repro.bench.delta import elastic_failures
+
+        failures, skips = elastic_failures([self.entry()])
+        assert failures == [] and skips == []
+
+    def test_fails_over_budget_with_enough_cores(self):
+        from repro.bench.delta import elastic_failures
+
+        failures, skips = elastic_failures([self.entry(recover_ms=45000.0)])
+        assert skips == []
+        assert len(failures) == 1
+        assert "over the 30s budget" in failures[0]
+
+    def test_skips_on_cpu_starved_machine(self):
+        from repro.bench.delta import elastic_failures
+
+        # 2 respawning workers + coordinator on 1 core: slow is physics.
+        failures, skips = elastic_failures([self.entry(recover_ms=45000.0,
+                                                       cpu_count=1)])
+        assert failures == []
+        assert len(skips) == 1
+        assert "not enforced" in skips[0] and "1 CPU core" in skips[0]
+
+    def test_missing_case_fails(self):
+        from repro.bench.delta import elastic_failures
+
+        failures, _ = elastic_failures([])
+        assert len(failures) == 1
+        assert "missing from the fresh run" in failures[0]
+
+    def test_entry_without_timings_fails(self):
+        from repro.bench.delta import elastic_failures
+
+        entry = {"family": "e2e_elastic", "width": 512, "rate": 0.7,
+                 "speedup_pooled": 40.0, "shards": 2, "cpu_count": 4}
+        failures, _ = elastic_failures([entry])
+        assert len(failures) == 1
+        assert "recover/step timings" in failures[0]
+
+    def test_entry_without_environment_fields_fails(self):
+        from repro.bench.delta import elastic_failures
+
+        entry = self.entry()
+        del entry["shards"], entry["cpu_count"]
+        failures, _ = elastic_failures([entry])
+        assert len(failures) == 1
+        assert "shards/cpu_count" in failures[0]
+
+    def test_budget_validation(self):
+        from repro.bench.delta import elastic_failures
+
+        with pytest.raises(ValueError, match="max_recovery_s"):
+            elastic_failures([self.entry()], max_recovery_s=0.0)

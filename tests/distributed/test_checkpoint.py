@@ -1,0 +1,166 @@
+"""Coordinator checkpoint tests: round-trip fidelity, crash safety, fail-fast.
+
+Everything here runs in-process (capture/restore are coordinator-side), so
+these tests are cheap; the end-to-end resume path is covered by
+``test_faults.py``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedTrainer
+from repro.distributed import checkpoint as checkpoint_module
+from repro.distributed.checkpoint import (
+    KEEP_CHECKPOINTS,
+    CheckpointCorruptError,
+    CheckpointError,
+    checkpoint_path,
+    list_checkpoints,
+    load_checkpoint,
+    load_latest,
+    save_checkpoint,
+)
+from repro.execution import EngineRuntime, ExecutionConfig
+from repro.models.mlp import MLPClassifier, MLPConfig
+from repro.training.trainer import ClassifierTrainingConfig
+
+
+def make_trainer(tiny_mnist, *, exec_seed=11, optimizer="dense",
+                 hidden=(24, 24)):
+    model = MLPClassifier(MLPConfig(
+        input_size=tiny_mnist.num_features, hidden_sizes=hidden,
+        num_classes=tiny_mnist.num_classes,
+        drop_rates=(0.5,) * len(hidden), strategy="row", seed=0))
+    runtime = EngineRuntime(ExecutionConfig(
+        mode="pooled", seed=exec_seed, shards=2, optimizer=optimizer))
+    config = ClassifierTrainingConfig(batch_size=64, epochs=1, seed=3,
+                                      max_iterations=3)
+    return DistributedTrainer(model, tiny_mnist, config, runtime=runtime)
+
+
+def trained_trainer(tiny_mnist, **kwargs):
+    """A trainer whose model/optimizer carry real (non-initial) state.
+
+    The inner trainer runs in-process for a few steps, which materializes
+    momentum buffers and advances ``step_count`` — shards only matter to the
+    distributed step loop, not to the state being checkpointed.
+    """
+    trainer = make_trainer(tiny_mnist, **kwargs)
+    trainer.inner.train()
+    return trainer
+
+
+class TestFileFormat:
+    def test_round_trip_bits_and_meta(self, tmp_path):
+        rng = np.random.default_rng(0)
+        arrays = {"a": rng.normal(size=(5, 3)).astype(np.float32),
+                  "b": np.array([1, 2, 3], dtype=np.int64)}
+        path = save_checkpoint(str(tmp_path), 7, {"note": "x"}, arrays)
+        assert path == checkpoint_path(str(tmp_path), 7)
+        meta, loaded = load_checkpoint(path)
+        assert meta["step"] == 7
+        assert meta["note"] == "x"
+        assert meta["version"] == checkpoint_module.CHECKPOINT_VERSION
+        for name, array in arrays.items():
+            assert loaded[name].dtype == array.dtype
+            assert np.array_equal(loaded[name], array)
+
+    def test_old_checkpoints_are_pruned(self, tmp_path):
+        for step in range(KEEP_CHECKPOINTS + 3):
+            save_checkpoint(str(tmp_path), step, {}, {"x": np.zeros(1)})
+        kept = list_checkpoints(str(tmp_path))
+        assert [step for step, _ in kept] == list(
+            range(KEEP_CHECKPOINTS + 2, 2, -1))
+
+    def test_truncated_newest_falls_back_to_previous(self, tmp_path):
+        save_checkpoint(str(tmp_path), 1, {}, {"x": np.full(4, 1.0)})
+        newest = save_checkpoint(str(tmp_path), 2, {}, {"x": np.full(4, 2.0)})
+        # Simulate a crash mid-write that still managed the rename.
+        with open(newest, "r+b") as handle:
+            handle.truncate(os.path.getsize(newest) // 2)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(newest)
+        loaded = load_latest(str(tmp_path))
+        assert loaded is not None
+        meta, arrays, path = loaded
+        assert meta["step"] == 1
+        assert np.array_equal(arrays["x"], np.full(4, 1.0))
+        assert path == checkpoint_path(str(tmp_path), 1)
+
+    def test_all_corrupt_means_none(self, tmp_path):
+        path = save_checkpoint(str(tmp_path), 1, {}, {"x": np.zeros(2)})
+        with open(path, "wb") as handle:
+            handle.write(b"not a zip")
+        assert load_latest(str(tmp_path)) is None
+
+    def test_version_mismatch_fails_fast(self, tmp_path, monkeypatch):
+        with monkeypatch.context() as patch:
+            patch.setattr(checkpoint_module, "CHECKPOINT_VERSION", 999)
+            path = save_checkpoint(str(tmp_path), 1, {}, {"x": np.zeros(2)})
+        # A format bump must not be silently skipped like corruption is.
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+        with pytest.raises(CheckpointError, match="version"):
+            load_latest(str(tmp_path))
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert list_checkpoints(str(tmp_path / "nope")) == []
+        assert load_latest(str(tmp_path / "nope")) is None
+
+
+class TestStateRoundTrip:
+    def test_capture_restore_is_bit_exact(self, tiny_mnist, tmp_path):
+        trainer = trained_trainer(tiny_mnist, optimizer="sparse")
+        result = trainer.inner.train()  # a second leg varies the state more
+        history = result.history
+        saved_params = [param.data.copy()
+                        for param in trainer.model.parameters()]
+        optimizer = trainer.inner.optimizer
+        saved_velocity = [None if vel is None else vel.copy()
+                          for vel in optimizer._velocity]
+        saved_step_count = optimizer.step_count
+
+        trainer._save_checkpoint(str(tmp_path), 5, history, 0.25)
+
+        # Restore into a *fresh* trainer (new arrays, initial optimizer).
+        fresh = make_trainer(tiny_mnist, optimizer="sparse")
+        meta, arrays, _ = load_latest(str(tmp_path))
+        step, restored_history, last_loss, worker_states = \
+            fresh._restore_state(meta, arrays)
+
+        assert step == 5
+        assert last_loss == 0.25
+        assert worker_states is None  # classifier workers are stateless
+        assert restored_history.iterations == history.iterations
+        assert restored_history.train_loss == history.train_loss
+        assert restored_history.eval_metric == history.eval_metric
+        for param, saved in zip(fresh.model.parameters(), saved_params):
+            assert np.array_equal(param.data, saved)
+        fresh_opt = fresh.inner.optimizer
+        assert fresh_opt.step_count == saved_step_count
+        for restored, saved in zip(fresh_opt._velocity, saved_velocity):
+            if saved is None:
+                assert restored is None
+            else:
+                assert np.array_equal(restored, saved)
+        assert [ever if ever is None else ever[0]
+                for ever in fresh_opt._ever] == \
+               [ever if ever is None else ever[0]
+                for ever in optimizer._ever]
+
+    @pytest.mark.parametrize("variant, match", [
+        (dict(exec_seed=12), "seed"),
+        (dict(optimizer="sparse"), "optimizer"),
+        (dict(hidden=(16, 16)), "param_shapes"),
+    ])
+    def test_incompatible_run_fails_fast(self, tiny_mnist, tmp_path,
+                                         variant, match):
+        trainer = trained_trainer(tiny_mnist)
+        trainer._save_checkpoint(str(tmp_path), 3,
+                                 trainer.inner.train().history, 0.5)
+        other = make_trainer(tiny_mnist, **variant)
+        meta, arrays, _ = load_latest(str(tmp_path))
+        with pytest.raises(CheckpointError, match=match):
+            other._restore_state(meta, arrays)

@@ -1,0 +1,232 @@
+"""Dirty-region gradient compression codec tests (pure numpy, no spawning).
+
+The contract under test is the bit-identity invariant both sides maintain:
+a worker's arena block — and the coordinator's reduced gradient buffer —
+always equals the full dense gradient bit-for-bit, no matter which region
+kinds (empty/rows/cols/full) each step produces or how footprints shift
+between steps.  Every scenario therefore compares against the dense
+reference path (``write_grads`` + in-place ``tree_reduce``) with
+``np.array_equal``, not ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed.compress import (
+    CompressedGradWriter,
+    RegionReducer,
+    _reduce_owned,
+    _reduce_readonly,
+    compressible,
+)
+from repro.distributed.reduce import tree_reduce
+from repro.distributed.shm import ParameterLayout, merge_regions
+
+SHAPES = [(6,), (4, 6), (5, 3)]
+CUTOVER = 0.5
+
+
+class FakeParam:
+    def __init__(self, shape):
+        self.data = np.zeros(shape, dtype=np.float32)
+        self.grad = None
+
+
+class FakeTracker:
+    """region_of keyed by array identity, like the real DirtyTracker."""
+
+    def __init__(self):
+        self.regions = {}
+
+    def set(self, array, region):
+        self.regions[id(array)] = region
+
+    def region_of(self, array):
+        return self.regions.get(id(array))
+
+
+def masked_grad(rng, shape, region):
+    """A full dense gradient whose complement of ``region`` is exact +0.0.
+
+    This is the tracker's soundness invariant (everything outside a recorded
+    region was never written), which is exactly what licenses skipping the
+    complement in the sparse transport.
+    """
+    grad = rng.normal(size=shape).astype(np.float32)
+    if region[0] == "empty":
+        return np.zeros(shape, dtype=np.float32)
+    if region[0] == "rows":
+        mask = np.zeros(shape, dtype=bool)
+        mask[np.asarray(region[1])] = True
+        grad[~mask] = 0.0
+    elif region[0] == "cols":
+        mask = np.zeros(shape, dtype=bool)
+        mask[:, np.asarray(region[1])] = True
+        grad[~mask] = 0.0
+    return grad
+
+
+def rows(*idx):
+    return ("rows", np.asarray(idx, dtype=np.int64))
+
+
+def cols(*idx):
+    return ("cols", np.asarray(idx, dtype=np.int64))
+
+
+class TestTreeReduceVariants:
+    """The non-mutating reduces must match tree_reduce bit for bit."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 5, 6])
+    def test_readonly_matches_and_preserves_sources(self, workers):
+        rng = np.random.default_rng(workers)
+        blocks = rng.normal(size=(workers, 7, 3)).astype(np.float32)
+        reference = tree_reduce(blocks.copy()).copy()
+        views = [blocks[w] for w in range(workers)]
+        snapshot = blocks.copy()
+        out = np.empty((7, 3), dtype=np.float32)
+        _reduce_readonly(views, out)
+        assert np.array_equal(out, reference)
+        assert np.array_equal(blocks, snapshot)  # sources untouched
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 5])
+    def test_owned_matches(self, workers):
+        rng = np.random.default_rng(100 + workers)
+        blocks = rng.normal(size=(workers, 4, 4)).astype(np.float32)
+        reference = tree_reduce(blocks.copy()).copy()
+        result = _reduce_owned([blocks[w].copy() for w in range(workers)])
+        assert np.array_equal(result, reference)
+
+
+class TestCompressible:
+    def test_cutover_boundary_is_strict(self):
+        # 2 of 4 rows at cutover 0.5: exactly *at* the cutover -> dense.
+        assert not compressible(rows(0, 1), (4, 6), 0.5)
+        assert compressible(rows(0), (4, 6), 0.5)
+        # 3 of 6 cols at cutover 0.5 -> dense; just below -> compressed.
+        assert not compressible(cols(0, 1, 2), (4, 6), 0.5)
+        assert compressible(cols(0, 1), (4, 6), 0.5)
+
+    def test_disabled_and_inapplicable(self):
+        assert not compressible(rows(0), (4, 6), 0.0)
+        assert not compressible(cols(0), (6,), 0.5)  # cols need 2-D
+
+
+class Harness:
+    """Drives worker writers + the region reducer against the dense path."""
+
+    def __init__(self, workers, cutover=CUTOVER, seed=0):
+        self.rng = np.random.default_rng(seed)
+        self.workers = workers
+        self.params = [FakeParam(shape) for shape in SHAPES]
+        self.layout = ParameterLayout.from_parameters(self.params)
+        self.writers = [CompressedGradWriter(self.layout, cutover)
+                        for _ in range(workers)]
+        self.reducer = RegionReducer(self.layout, cutover)
+        # Arena blocks and the coordinator buffers start zero-filled, like
+        # fresh shared-memory segments and the trainer's np.zeros buffers.
+        self.blocks = np.zeros((workers, self.layout.total_size),
+                               dtype=np.float32)
+        self.buffers = [np.zeros(shape, dtype=np.float32)
+                        for shape in SHAPES]
+
+    def step(self, per_worker_regions):
+        """One step: ``per_worker_regions[w][p]`` is a region or None (=no grad)."""
+        dense_blocks = np.zeros_like(self.blocks)
+        for w in range(self.workers):
+            tracker = FakeTracker()
+            for param, region in zip(self.params, per_worker_regions[w]):
+                if region is None:
+                    param.grad = None
+                else:
+                    param.grad = masked_grad(self.rng, param.data.shape,
+                                             region)
+                    tracker.set(param.grad, region)
+            self.writers[w].write(self.params, tracker, self.blocks[w])
+            self.layout.write_grads(self.params, dense_blocks[w])
+        # Invariant: every sparse-written block equals the dense block.
+        assert np.array_equal(self.blocks, dense_blocks), \
+            "sparse write left a block diverging from the dense gradient"
+        reduced = tree_reduce(dense_blocks)
+        for index in range(len(self.params)):
+            merged = merge_regions(
+                [per_worker_regions[w][index] or ("none",)
+                 for w in range(self.workers)])
+            if merged[0] == "none":
+                continue  # the coordinator skips the parameter entirely
+            self.reducer.reduce_into(self.buffers[index], self.blocks,
+                                     index, merged)
+            assert np.array_equal(
+                self.buffers[index],
+                self.layout.grad_view(reduced, index)), \
+                f"region reduce diverged from dense reduce on param {index}"
+
+
+class TestCodecBitIdentity:
+    def test_region_kinds_and_footprint_shifts(self):
+        harness = Harness(workers=3)
+        full, empty = ("full",), ("empty",)
+        # 1: everything dense (full regions).
+        harness.step([[full, full, full]] * 3)
+        # 2: compressed rows on p0, mixed worker-compressed/coordinator-dense
+        #    cols on p1 (merged {0,1,2} of 6 sits *at* the cutover), p2 absent.
+        harness.step([[rows(0), cols(0, 2), None],
+                      [rows(1), cols(1), None],
+                      [empty,   cols(1), None]])
+        # 3: footprint shift rows{0}->rows{4,5} (stale row zeroed), merged
+        #    full on p0 via worker1; p1 back to full; p2 reappears.
+        harness.step([[rows(4, 5), full, rows(0)],
+                      [full,       full, rows(1)],
+                      [rows(1),    full, empty]])
+        # 4: kind switch full->cols on p1 (forces full-footprint zeroing);
+        #    p0 and p2 go empty, collapsing their footprints to zero.
+        harness.step([[empty, cols(0), empty]] * 3)
+        # 5: kind switch cols->rows on p1 (mismatched kinds zero the whole
+        #    previous footprint); p0 footprints shift again.
+        harness.step([[rows(3), rows(1), full],
+                      [rows(4), rows(1), full],
+                      [empty,   rows(1), full]])
+        # 6: p2 vanishes right after full (buffer keeps stale data but the
+        #    coordinator skips it); p0 shrinks inside its old footprint.
+        harness.step([[rows(3), empty, None]] * 3)
+        # 7: everything empty -> buffers and blocks must collapse to zero.
+        harness.step([[empty, empty, empty]] * 3)
+        counters = (harness.reducer.compressed_params,
+                    harness.reducer.dense_params)
+        assert counters[0] > 0 and counters[1] > 0
+
+    def test_two_worker_sequences_match_dense(self):
+        harness = Harness(workers=2, seed=42)
+        for _ in range(4):
+            regions = []
+            for _w in range(2):
+                picks = []
+                for shape in SHAPES:
+                    choice = harness.rng.integers(0, 5)
+                    if choice == 0:
+                        picks.append(None)
+                    elif choice == 1:
+                        picks.append(("empty",))
+                    elif choice == 2:
+                        picks.append(("full",))
+                    elif choice == 3:
+                        count = int(harness.rng.integers(1, shape[0] + 1))
+                        idx = harness.rng.choice(shape[0], size=count,
+                                                 replace=False)
+                        picks.append(("rows", np.sort(idx)))
+                    else:
+                        if len(shape) == 2:
+                            count = int(harness.rng.integers(1, shape[1] + 1))
+                            idx = harness.rng.choice(shape[1], size=count,
+                                                     replace=False)
+                            picks.append(("cols", np.sort(idx)))
+                        else:
+                            picks.append(("full",))
+                regions.append(picks)
+            harness.step(regions)
+
+    def test_cutover_zero_always_dense(self):
+        harness = Harness(workers=2, cutover=0.0)
+        harness.step([[rows(0), cols(1), ("full",)]] * 2)
+        assert harness.reducer.compressed_params == 0
+        assert harness.reducer.dense_params == 3

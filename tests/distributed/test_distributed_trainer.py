@@ -10,7 +10,7 @@ import os
 import pytest
 
 from repro.distributed import DistributedTrainer
-from repro.execution import EngineRuntime, ExecutionConfig
+from repro.execution import EngineRuntime, ExecutionConfig, FaultPolicy
 from repro.models.lstm_lm import LSTMConfig, LSTMLanguageModel
 from repro.models.mlp import MLPClassifier, MLPConfig
 from repro.training.lm_trainer import (
@@ -137,8 +137,12 @@ class TestFailureAndCleanup:
             input_size=tiny_mnist.num_features, hidden_sizes=(24,),
             num_classes=tiny_mnist.num_classes, drop_rates=(0.5,),
             strategy="row", seed=0))
-        runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=11,
-                                                shards=2))
+        # max_retries=0: the injected failure is persistent, so letting the
+        # elastic default retry it would just burn spawn time before the
+        # same abort (retry exhaustion itself is covered in test_faults.py).
+        runtime = EngineRuntime(ExecutionConfig(
+            mode="pooled", seed=11, shards=2,
+            fault_policy=FaultPolicy(max_retries=0)))
         trainer = DistributedTrainer(
             model, tiny_mnist,
             ClassifierTrainingConfig(batch_size=64, epochs=1, seed=3),
