@@ -31,11 +31,13 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="untimed warm-up steps per repeat")
     parser.add_argument("--tile", type=int, default=32, help="TDP tile edge")
     parser.add_argument("--families", nargs="+",
-                        default=["row", "tile", "e2e", "head", "e2e_dist",
-                                 "e2e_elastic"],
+                        default=["row", "tile", "e2e", "head", "serve",
+                                 "e2e_dist", "e2e_elastic"],
                         help="benchmark families to time (lstm_rec = one "
                              "recurrent projection, head = one loss-head "
-                             "step, e2e = whole trainer steps, e2e_dist = "
+                             "step, e2e = whole trainer steps, serve = "
+                             "per-request dense inference vs the "
+                             "micro-batched frozen engine, e2e_dist = "
                              "data-parallel scaling of one MLP trainer step, "
                              "e2e_elastic = distributed step + full "
                              "worker-recovery cycle)")
@@ -68,6 +70,12 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument("--dist-shards", type=int, default=2,
                         help="data-parallel worker count of the e2e_dist "
                              "scaling case")
+    parser.add_argument("--serve-requests", type=int, default=10000,
+                        help="requests the serve family's MLP case drives "
+                             "through each mode (the LSTM case runs a tenth)")
+    parser.add_argument("--serve-concurrency", type=int, default=8,
+                        help="in-flight requests of the serve family's "
+                             "closed-loop driver (and its micro-batch bound)")
     parser.add_argument("--output", default="BENCH_compact_engine.json",
                         help="path of the JSON report")
     parser.add_argument("--quick", action="store_true",
@@ -106,6 +114,8 @@ def main(argv: list[str] | None = None) -> int:
                                  optimizer=args.optimizer,
                                  shards=args.shards,
                                  dist_shards=args.dist_shards,
+                                 serve_requests=min(args.serve_requests, 300),
+                                 serve_concurrency=min(args.serve_concurrency, 4),
                                  output=args.output)
     else:
         config = BenchmarkConfig(widths=tuple(args.widths), rates=tuple(args.rates),
@@ -118,6 +128,8 @@ def main(argv: list[str] | None = None) -> int:
                                  optimizer=args.optimizer,
                                  shards=args.shards,
                                  dist_shards=args.dist_shards,
+                                 serve_requests=args.serve_requests,
+                                 serve_concurrency=args.serve_concurrency,
                                  output=args.output)
     print("repro.bench — compact pattern-execution engine vs mask-based dropout")
     print(f"batch={config.batch} steps={config.steps} repeats={config.repeats} "
@@ -142,6 +154,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"elastic recovery cycle at {result.shards} shards: "
                   f"{result.mode_ms['recover']:.0f}ms "
                   f"(~{result.speedup_pooled:.0f} ordinary steps)")
+        if result.family.startswith("serve_") and result.serving:
+            masked = result.serving["masked"]
+            pooled = result.serving["pooled"]
+            print(f"{result.family}: p99 {masked['p99_ms']:.2f}ms -> "
+                  f"{pooled['p99_ms']:.2f}ms, throughput "
+                  f"{masked['throughput_rps']:.0f} -> "
+                  f"{pooled['throughput_rps']:.0f} req/s "
+                  f"(occupancy {result.serving['mean_occupancy']:.1f})")
     print(f"report written to {path}")
     return 0
 

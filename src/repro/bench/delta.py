@@ -1,9 +1,9 @@
 """Benchmark-regression gate: compare a fresh run against a committed report.
 
 ``python -m repro.bench.delta`` runs a quick benchmark at the acceptance case
-(width 2048, rate 0.7; the row, tile, e2e, head, e2e_dist and e2e_elastic
-families — the e2e LSTM trainer-step case derives hidden size 256 from that
-sweep), loads
+(width 2048, rate 0.7; the row, tile, e2e, head, serve, e2e_dist and
+e2e_elastic families — the e2e LSTM trainer-step case derives hidden size 256
+from that sweep), loads
 the committed ``BENCH_compact_engine.json`` and **fails (exit code 1) when
 the freshly measured ``speedup_pooled`` regresses by more than 30%** relative
 to the committed value.  This is the CI hook that keeps the pooled engine's headline
@@ -24,6 +24,18 @@ must finish within ``DEFAULT_MAX_RECOVERY_S``, a missing case always fails,
 and a CPU-starved box (``cpu_count < shards + 1``) skips the budget with a
 printed note — there the respawn runs oversubscribed, so the wall-clock
 bound would measure the machine, not the recovery path.
+
+The ``serve`` family is gated on an absolute *dominance* bar
+(:func:`serving_failures`): the micro-batched frozen engine must beat the
+per-request dense baseline on **both** p99 latency and throughput under the
+same closed-loop load.  Entries stamped ``cpu_gated`` (a single-core box,
+where the baseline's concurrent request threads serialise and the comparison
+measures the machine) skip the bar with a printed note, exactly like the
+distributed bars; a gated case missing from the fresh run always fails.
+
+All three absolute gates prefer the entry's recorded ``cpu_gated`` stamp
+(written by the harness at measurement time) and fall back to recomputing
+``cpu_count < shards + 1`` for reports that predate the stamp.
 
 Usage::
 
@@ -82,6 +94,14 @@ ELASTIC_CASES: tuple[tuple[str, int, float], ...] = (
 #: single-digit seconds; a cycle this long means the recovery path regressed
 #: into a hang (e.g. a barrier that waits out its full timeout).
 DEFAULT_MAX_RECOVERY_S = 30.0
+
+#: Serving cases gated on the dominance bar: (family, width, rate).  The
+#: widths are the serve cases' derived hidden sizes — ``min(max(widths),
+#: 2048)`` for the MLP, ``min(max(widths) // 2, 256)`` for the LSTM.
+SERVE_CASES: tuple[tuple[str, int, float], ...] = (
+    ("serve_mlp", 2048, 0.7),
+    ("serve_lstm", 256, 0.7),
+)
 
 
 def load_report(path: str) -> dict:
@@ -182,6 +202,23 @@ def compare_reports(fresh: list[dict], baseline: list[dict],
     return failures
 
 
+def _entry_cpu_gated(entry: dict) -> bool:
+    """Whether the entry was measured on a machine too small for its bar.
+
+    Prefers the ``cpu_gated`` stamp the harness writes at measurement time;
+    reports that predate the stamp fall back to the original
+    ``cpu_count < shards + 1`` recomputation.
+    """
+    stamp = entry.get("cpu_gated")
+    if stamp is not None:
+        return bool(stamp)
+    shards = entry.get("shards")
+    cpu_count = entry.get("cpu_count")
+    if shards and cpu_count:
+        return int(cpu_count) < int(shards) + 1
+    return False
+
+
 def scaling_failures(entries: list[dict],
                      min_scaling: float = DEFAULT_MIN_SCALING,
                      cases: tuple[tuple[str, int, float], ...] = SCALING_CASES,
@@ -220,7 +257,7 @@ def scaling_failures(entries: list[dict],
                 f"machine (regenerate the report with `python -m repro.bench`)")
             continue
         measured = float(entry["speedup_pooled"])
-        if int(cpu_count) < int(shards) + 1:
+        if _entry_cpu_gated(entry):
             skips.append(
                 f"{label}: measured {measured:.2f}x at {shards} shards, but "
                 f"only {cpu_count} CPU core(s) — the {min_scaling:.1f}x bar "
@@ -281,7 +318,7 @@ def elastic_failures(entries: list[dict],
                 f"machine (regenerate the report with `python -m repro.bench`)")
             continue
         recover_s = float(mode_ms["recover"]) / 1000.0
-        if int(cpu_count) < int(shards) + 1:
+        if _entry_cpu_gated(entry):
             skips.append(
                 f"{label}: recovery cycle measured {recover_s:.1f}s at "
                 f"{shards} shards, but only {cpu_count} CPU core(s) — the "
@@ -294,6 +331,67 @@ def elastic_failures(entries: list[dict],
                 f"at {shards} shards, over the {max_recovery_s:.0f}s budget "
                 f"(cpu_count={cpu_count}) — the elastic respawn path "
                 f"regressed")
+    return failures, skips
+
+
+def serving_failures(entries: list[dict],
+                     cases: tuple[tuple[str, int, float], ...] = SERVE_CASES,
+                     ) -> tuple[list[str], list[str]]:
+    """Serving dominance gate; returns ``(failures, skips)``.
+
+    For each gated ``(family, width, rate)`` case, the fresh entry's pooled
+    (micro-batched engine) load report must beat the masked (per-request
+    dense) report on **both** p99 latency and throughput — batching that
+    wins throughput by giving up tail latency, or vice versa, fails.
+    Entries stamped ``cpu_gated`` (single-core box: the baseline's
+    concurrent request threads serialise, so the comparison measures the
+    machine) produce a *skip* instead.  A gated case missing from
+    ``entries``, or one without recorded ``serving`` load reports, fails:
+    the gate must not rot silently.
+    """
+    indexed = _case_entries(entries, "fresh")
+    failures: list[str] = []
+    skips: list[str] = []
+    for case in cases:
+        family, width, rate = case
+        label = f"{family} width={width} rate={rate}"
+        entry = indexed.get(case)
+        if entry is None:
+            failures.append(f"{label}: missing from the fresh run "
+                            f"(serving case not measured)")
+            continue
+        serving = entry.get("serving") or {}
+        masked = serving.get("masked") or {}
+        pooled = serving.get("pooled") or {}
+        required = ("p99_ms", "throughput_rps")
+        if any(key not in masked or key not in pooled for key in required):
+            failures.append(
+                f"{label}: entry does not record masked/pooled serving load "
+                f"reports (regenerate the report with `python -m repro.bench "
+                f"--families serve`)")
+            continue
+        summary = (
+            f"p99 {float(masked['p99_ms']):.2f}ms -> "
+            f"{float(pooled['p99_ms']):.2f}ms, throughput "
+            f"{float(masked['throughput_rps']):.0f} -> "
+            f"{float(pooled['throughput_rps']):.0f} req/s")
+        if _entry_cpu_gated(entry):
+            skips.append(
+                f"{label}: {summary}, but measured on "
+                f"{entry.get('cpu_count')} CPU core(s) — the per-request "
+                f"baseline's concurrent request threads serialise there, so "
+                f"the dominance bar would measure the machine; not enforced")
+            continue
+        problems = []
+        if float(pooled["p99_ms"]) >= float(masked["p99_ms"]):
+            problems.append("p99 latency")
+        if float(pooled["throughput_rps"]) <= float(masked["throughput_rps"]):
+            problems.append("throughput")
+        if problems:
+            failures.append(
+                f"{label}: the micro-batched engine does not beat the "
+                f"per-request dense baseline on {' or '.join(problems)} "
+                f"({summary})")
     return failures, skips
 
 
@@ -312,8 +410,8 @@ def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     return BenchmarkConfig(widths=(2048,), rates=(0.7,), batch=full.batch,
                            steps=full.steps, repeats=full.repeats,
                            warmup=full.warmup,
-                           families=("row", "tile", "e2e", "head", "e2e_dist",
-                                     "e2e_elastic"),
+                           families=("row", "tile", "e2e", "head", "serve",
+                                     "e2e_dist", "e2e_elastic"),
                            backend=backend)
 
 
@@ -384,6 +482,10 @@ def main(argv: list[str] | None = None) -> int:
     for skip in elastic_skips:
         print(f"\nelastic gate skipped — {skip}")
     failures += elastic
+    serving, serving_skips = serving_failures(fresh_entries)
+    for skip in serving_skips:
+        print(f"\nserving gate skipped — {skip}")
+    failures += serving
     if failures:
         print("\nBENCHMARK REGRESSION:")
         for failure in failures:

@@ -62,6 +62,20 @@ entry additionally records ``shards`` and ``cpu_count`` so the delta gate
 can skip the absolute scaling bar on machines with fewer cores than
 workers (where a >1x speedup is physically impossible).
 
+The ``serve`` family measures the *serving path*: for an MLP classifier and
+an LSTM language model it drives ``serve_requests`` single requests through
+(a) a per-request dense baseline — one eval-mode ``forward()`` per request,
+the way inference worked before :mod:`repro.serving` — and (b) the frozen
+:class:`~repro.serving.engine.InferenceEngine` behind a
+:class:`~repro.serving.batcher.MicroBatcher`, both under the same
+closed-loop load (``serve_concurrency`` in-flight requests).  ``mode_ms``
+records the mean per-request latency of each mode (``masked`` = per-request
+baseline, ``pooled`` = micro-batched engine, keeping ``speedup_pooled``
+meaningful), and the entry's ``serving`` dict carries the full
+p50/p99/throughput reports of both modes.  Entries are stamped
+``cpu_gated`` when the box has a single core — the baseline's concurrent
+request threads then serialise, so the comparison measures the machine.
+
 The ``e2e_elastic`` family measures the *elastic recovery* machinery: its
 ``step`` mode times one coordinator step of the same distributed MLP trainer
 (dirty-region gradient compression active under the sparse optimizer), and
@@ -119,6 +133,13 @@ class BenchmarkConfig:
     batch: int = 128
     in_features: int | None = None  # defaults to the layer width (square layer)
     steps: int = 12
+    #: Requests the ``serve`` family's MLP case drives through each mode (the
+    #: heavier LSTM case runs a tenth of this, floored at 200).
+    serve_requests: int = 10000
+    #: Concurrent in-flight requests of the ``serve`` family's closed-loop
+    #: driver (and the micro-batcher's batch bound, so a full wave of
+    #: in-flight requests executes as exactly one pooled step).
+    serve_concurrency: int = 8
     # Best-of estimation needs enough interleaved repeats that every mode
     # catches a quiet window on noisy single-core machines; 3 was too few.
     repeats: int = 6
@@ -126,8 +147,8 @@ class BenchmarkConfig:
     tile: int = 32
     max_period: int = 16
     seed: int = 0
-    families: tuple[str, ...] = ("row", "tile", "e2e", "head", "e2e_dist",
-                                 "e2e_elastic")
+    families: tuple[str, ...] = ("row", "tile", "e2e", "head", "serve",
+                                 "e2e_dist", "e2e_elastic")
     #: Floating dtype of the e2e trainer-step cases ("float64" or "float32").
     e2e_dtype: str = "float64"
     #: Execution backend of the compact/pooled modes (registry name).
@@ -153,14 +174,18 @@ class BenchmarkConfig:
 
     #: Valid benchmark family names (``lstm_rec`` = one recurrent projection,
     #: ``head`` = one loss-head step: vocab projection + cross-entropy,
-    #: ``e2e_dist`` = data-parallel scaling of one MLP trainer step,
+    #: ``serve`` = per-request dense inference vs the micro-batched frozen
+    #: engine, ``e2e_dist`` = data-parallel scaling of one MLP trainer step,
     #: ``e2e_elastic`` = distributed step + full worker-recovery cycle).
-    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head", "e2e_dist",
-                "e2e_elastic")
+    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head", "serve",
+                "e2e_dist", "e2e_elastic")
 
     def __post_init__(self):
         if self.batch <= 0 or self.steps <= 0 or self.repeats <= 0:
             raise ValueError("batch, steps and repeats must be positive")
+        if self.serve_requests < 1 or self.serve_concurrency < 1:
+            raise ValueError(
+                "serve_requests and serve_concurrency must be positive")
         if self.warmup < 0:
             raise ValueError("warmup must be >= 0")
         if self.shards < 1:
@@ -222,10 +247,19 @@ class BenchmarkResult:
     #: CPU cores the case was measured on (recorded for ``e2e_dist`` so the
     #: scaling gate can tell "regressed" from "machine too small to scale").
     cpu_count: int | None = None
+    #: True when the box is too small for the case's comparison to be
+    #: meaningful (``e2e_dist``/``e2e_elastic``: fewer cores than shards + 1;
+    #: ``serve``: a single core, so the baseline's concurrent request threads
+    #: serialise).  Gates treat such entries as machine facts, not
+    #: regressions.  None for families where the question doesn't arise.
+    cpu_gated: bool | None = None
     mode_ms: dict[str, float] = field(default_factory=dict)
     #: Mean fraction of the dense GEMM the compact modes execute over the
     #: case's shared pattern sequence (kept rows / kept tile area).
     keep_fraction: float | None = None
+    #: ``serve``-family detail: per-mode :class:`~repro.serving.loadgen.LoadReport`
+    #: dicts plus the driver's concurrency/batching knobs (None otherwise).
+    serving: dict | None = None
 
     @property
     def speedup_compact(self) -> float | None:
@@ -268,9 +302,11 @@ class BenchmarkResult:
             "optimizer": self.optimizer,
             "shards": self.shards,
             "cpu_count": self.cpu_count,
+            "cpu_gated": self.cpu_gated,
             "mode_ms": {mode: round(ms, 4) for mode, ms in self.mode_ms.items()},
             "keep_fraction": (round(self.keep_fraction, 4)
                               if self.keep_fraction is not None else None),
+            "serving": self.serving,
             "speedup_compact": round(compact, 3) if compact is not None else None,
             "speedup_pooled": round(self.speedup_pooled, 3),
         }
@@ -771,7 +807,9 @@ def _bench_e2e_dist_case(config: BenchmarkConfig,
                              repeats=config.repeats, backend=config.backend,
                              optimizer=config.optimizer,
                              shards=config.dist_shards,
-                             cpu_count=os.cpu_count())
+                             cpu_count=os.cpu_count(),
+                             cpu_gated=(os.cpu_count() or 1)
+                             < config.dist_shards + 1)
     with dist.session() as cluster:
         result.mode_ms = _timed_modes(
             {"single": lambda: single.train_step(images, labels),
@@ -830,7 +868,9 @@ def _bench_e2e_elastic_case(config: BenchmarkConfig,
                              repeats=config.repeats, backend=config.backend,
                              optimizer=config.optimizer,
                              shards=config.dist_shards,
-                             cpu_count=os.cpu_count())
+                             cpu_count=os.cpu_count(),
+                             cpu_gated=(os.cpu_count() or 1)
+                             < config.dist_shards + 1)
     cluster = _Cluster(trainer)
     try:
         cluster.start()
@@ -853,6 +893,116 @@ def _bench_e2e_elastic_case(config: BenchmarkConfig,
     return result
 
 
+def _bench_serve_case(config: BenchmarkConfig, kind: str,
+                      rng: np.random.Generator) -> BenchmarkResult:
+    """Per-request dense inference vs the micro-batched frozen engine.
+
+    Both modes serve the same frozen (eval-mode) model under the same
+    closed-loop load: ``serve_concurrency`` request threads, each keeping
+    one request in flight.  ``masked`` answers every request with its own
+    synchronous eval-mode ``forward()`` — the per-request GEMV-shaped path
+    inference took before :mod:`repro.serving` existed.  ``pooled`` routes
+    the same requests through an :class:`~repro.serving.engine.InferenceEngine`
+    behind a :class:`~repro.serving.batcher.MicroBatcher` whose batch bound
+    equals the concurrency, so each full wave of in-flight requests executes
+    as exactly one GEMM-shaped pooled step.  ``mode_ms`` records each mode's
+    mean per-request latency (keeping ``speedup_pooled`` the headline ratio);
+    the entry's ``serving`` dict carries both full
+    :class:`~repro.serving.loadgen.LoadReport` summaries plus the batcher's
+    realised occupancy.
+    """
+    from repro.execution import EngineRuntime, ExecutionConfig
+    from repro.serving import InferenceEngine, MicroBatcher, run_closed_loop
+    from repro.tensor.tensor import no_grad
+
+    concurrency = config.serve_concurrency
+    rate = max(config.rates)
+    exec_config = ExecutionConfig(
+        mode="pooled", dtype=config.e2e_dtype, backend=config.backend,
+        recurrent=config.recurrent, seed=config.seed,
+        serve_max_batch=concurrency)
+    runtime = EngineRuntime(exec_config)
+
+    if kind == "serve_mlp":
+        from repro.models.mlp import MLPClassifier, MLPConfig
+
+        hidden = min(max(config.widths), 2048)
+        in_features = 784
+        model = MLPClassifier(MLPConfig(
+            input_size=in_features, hidden_sizes=(hidden, hidden),
+            num_classes=10, drop_rates=(rate, rate), strategy="row",
+            seed=config.seed))
+        runtime.bind(model)
+        requests = [rng.normal(size=in_features).astype(runtime.np_dtype)
+                    for _ in range(config.serve_requests)]
+
+        def baseline(request):
+            with no_grad():
+                return model(Tensor(request[None, :],
+                                    dtype=runtime.np_dtype)).data[0]
+
+        width, recurrent = hidden, None
+    else:  # serve_lstm
+        from repro.models.lstm_lm import LSTMConfig, LSTMLanguageModel
+
+        hidden = min(max(config.widths) // 2, 256)
+        vocab = 8 * hidden
+        model = LSTMLanguageModel(LSTMConfig(
+            vocab_size=vocab, embed_size=hidden, hidden_size=hidden,
+            num_layers=2, drop_rates=(rate, rate), strategy="row",
+            seed=config.seed))
+        runtime.bind(model)
+        # Variable-length token requests so the pooled path pays its real
+        # padding cost; a tenth of the MLP request count (each request is a
+        # full sequence unroll, not one GEMV).
+        count = max(200, config.serve_requests // 10)
+        lengths = rng.integers(4, 17, size=count)
+        requests = [rng.integers(0, vocab, size=int(length))
+                    for length in lengths]
+
+        def baseline(request):
+            with no_grad():
+                logits, _ = model(np.asarray(request)[:, None])
+            return logits.data
+
+        width, in_features, recurrent = hidden, vocab, config.recurrent
+
+    model.eval()
+    engine = InferenceEngine(model, runtime=runtime)
+
+    # Warm both paths (interns the engine's workspace ring, faults the
+    # baseline's allocation patterns in) before anything is timed.
+    warm = requests[:min(len(requests), 2 * concurrency)]
+    for request in warm:
+        baseline(request)
+    engine.infer_requests(list(warm))
+
+    masked = run_closed_loop(baseline, requests, concurrency=concurrency)
+    with MicroBatcher(engine, max_batch=concurrency) as batcher:
+        pooled = run_closed_loop(batcher.submit, requests,
+                                 concurrency=concurrency)
+
+    result = BenchmarkResult(family=kind, width=width,
+                             in_features=in_features, batch=concurrency,
+                             rate=rate, steps=len(requests), repeats=1,
+                             backend=config.backend, recurrent=recurrent,
+                             cpu_count=os.cpu_count(),
+                             cpu_gated=(os.cpu_count() or 1) < 2)
+    result.mode_ms = {"masked": masked.mean_ms, "pooled": pooled.mean_ms}
+    occupancy = (batcher.requests_served / batcher.batches_formed
+                 if batcher.batches_formed else 0.0)
+    result.serving = {
+        "concurrency": concurrency,
+        "max_batch": batcher.max_batch,
+        "max_wait_ms": batcher.max_wait_ms,
+        "batches": batcher.batches_formed,
+        "mean_occupancy": round(occupancy, 3),
+        "masked": masked.to_dict(),
+        "pooled": pooled.to_dict(),
+    }
+    return result
+
+
 # ----------------------------------------------------------------------
 # case scheduling (in-process or sharded across worker processes)
 # ----------------------------------------------------------------------
@@ -869,6 +1019,10 @@ def case_descriptors(config: BenchmarkConfig) -> list[tuple[str, int | None, flo
         if family == "e2e":
             cases.append(("e2e_mlp", None, None))
             cases.append(("e2e_lstm", None, None))
+            continue
+        if family == "serve":
+            cases.append(("serve_mlp", None, None))
+            cases.append(("serve_lstm", None, None))
             continue
         if family in ("e2e_dist", "e2e_elastic"):
             cases.append((family, None, None))
@@ -893,6 +1047,8 @@ def run_case(config: BenchmarkConfig, index: int,
         return _bench_e2e_mlp_case(config, rng)
     if kind == "e2e_lstm":
         return _bench_e2e_lstm_case(config, rng)
+    if kind in ("serve_mlp", "serve_lstm"):
+        return _bench_serve_case(config, kind, rng)
     if kind == "e2e_dist":
         return _bench_e2e_dist_case(config, rng)
     if kind == "e2e_elastic":
@@ -985,6 +1141,8 @@ def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
             "optimizer": config.optimizer,
             "shards": config.shards,
             "dist_shards": config.dist_shards,
+            "serve_requests": config.serve_requests,
+            "serve_concurrency": config.serve_concurrency,
             "seed": config.seed,
         },
         "results": [result.to_dict() for result in results],

@@ -243,6 +243,16 @@ class ExecutionConfig:
         Patterns per batched pool draw for pooled sites.
     workspace_slots:
         Buffer-ring depth of each layer's :class:`CompactWorkspace`.
+    serve_max_batch:
+        Micro-batch row capacity of the serving path: the
+        :class:`~repro.serving.batcher.MicroBatcher` executes as soon as
+        this many requests are waiting, and the
+        :class:`~repro.serving.engine.InferenceEngine` interns its scratch
+        buffers at this capacity.  Ignored outside serving.
+    serve_max_wait_ms:
+        How long the micro-batcher lets the oldest queued request wait for
+        companions before executing a partial batch (0 = never wait:
+        every collect drains only what is already queued).
     """
 
     mode: str = "pooled"
@@ -258,6 +268,8 @@ class ExecutionConfig:
     compress_cutover: float = 0.5
     pool_size: int = 1024
     workspace_slots: int = 2
+    serve_max_batch: int = 64
+    serve_max_wait_ms: float = 2.0
 
     def __post_init__(self):
         self.validate()
@@ -308,6 +320,12 @@ class ExecutionConfig:
             raise ValueError("pool_size must be >= 1")
         if self.workspace_slots < 1:
             raise ValueError("workspace_slots must be >= 1")
+        if self.serve_max_batch < 1:
+            raise ValueError(
+                f"serve_max_batch must be >= 1, got {self.serve_max_batch}")
+        if self.serve_max_wait_ms < 0:
+            raise ValueError(
+                f"serve_max_wait_ms must be >= 0, got {self.serve_max_wait_ms}")
 
     @property
     def np_dtype(self) -> np.dtype:
@@ -372,6 +390,9 @@ class EngineRuntime:
         self.dirty_tracker = DirtyTracker()
         self._optimizers: list[SGD] = []
         self._archived_optim = self._zero_optimizer_totals()
+        #: Serving-side stat sources (engines and micro-batchers register
+        #: themselves here); folded into ``stats()["serving"]``.
+        self._serving_sources: list[Any] = []
         self.runs = 0
 
     @property
@@ -465,6 +486,30 @@ class EngineRuntime:
         self._bound.append((model, schedule))
         self._bind_call_baselines.append((model, dict(self.backend.calls)))
         return schedule
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def register_serving_source(self, source: Any) -> None:
+        """Attach a serving stat source (an engine or micro-batcher).
+
+        ``source`` must expose ``serving_stats() -> dict`` with integer
+        counters; :meth:`stats` sums them under the ``"serving"`` key and
+        derives the mean batch occupancy.  Called by
+        :class:`~repro.serving.engine.InferenceEngine` and
+        :class:`~repro.serving.batcher.MicroBatcher` at construction.
+        """
+        self._serving_sources.append(source)
+
+    def _serving_totals(self) -> dict[str, Any]:
+        totals = {"engines": 0, "batchers": 0, "infer_calls": 0, "rows": 0,
+                  "batches": 0, "requests": 0, "queue_depth": 0}
+        for source in self._serving_sources:
+            for key, value in source.serving_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        totals["mean_occupancy"] = (totals["requests"] / totals["batches"]
+                                    if totals["batches"] else 0.0)
+        return totals
 
     # ------------------------------------------------------------------
     # optimizers
@@ -648,6 +693,7 @@ class EngineRuntime:
             },
             "pools": pools,
             "workspace": workspace,
+            "serving": self._serving_totals(),
         }
 
     def __repr__(self) -> str:

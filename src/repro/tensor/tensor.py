@@ -15,6 +15,7 @@ broadcast operand are reduced back to the operand's shape by
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -23,28 +24,33 @@ from repro.tensor import dirty as _dirty
 
 ArrayLike = "np.ndarray | float | int | Sequence | Tensor"
 
-_GRAD_ENABLED = True
+# Per-thread, not global: the serving path runs eval-mode forwards under
+# no_grad() from batcher worker threads and concurrent load-generator
+# threads.  With one shared flag, two overlapping no_grad() blocks race on
+# the save/restore (the later entrant saves False and restores it last,
+# disabling the tape permanently), and a worker's no_grad() would silently
+# eat the tape of a training step on another thread.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient recording is currently active."""
-    return _GRAD_ENABLED
+    """Return whether gradient recording is active on this thread."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables gradient tape recording.
+    """Context manager that disables gradient tape recording (per thread).
 
-    Used by evaluation loops and by the GPU cost-model probes, where building
-    the tape would only waste memory.
+    Used by evaluation loops, the frozen inference engine and the GPU
+    cost-model probes, where building the tape would only waste memory.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

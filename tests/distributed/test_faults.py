@@ -7,10 +7,12 @@ covered pairwise (each trainer with each optimizer, each backend appearing
 with both trainers) rather than exhaustively: the fault machinery never
 branches on the combination, so pairwise coverage exercises every code path.
 
-The LSTM runs use ``recurrent="dense"`` deliberately: the tiled-recurrent
-backend caches worker-side context state that a respawned worker cannot
-rebuild mid-epoch, so elastic recovery guarantees bit-identity only for the
-dense recurrent path (documented in docs/architecture.md).
+The LSTM runs cover both recurrent paths: ``recurrent="dense"`` and the
+tiled-recurrent site.  The tiled path caches worker-side context state, but
+that cache is a pure function of the current parameters and the shared
+pattern schedule — a respawned worker rebuilds it deterministically during
+its fast-forward, so elastic recovery is bit-identical there too (the chaos
+matrix below proves it).
 
 These spawn real worker processes, so runs are kept tiny and baselines are
 shared module-wide.
@@ -61,13 +63,13 @@ def make_mlp(tiny_mnist, *, optimizer="dense", backend="numpy",
 
 
 def make_lstm(tiny_corpus, *, optimizer="dense", backend="numpy",
-              policy=FaultPolicy()):
+              recurrent="dense", policy=FaultPolicy()):
     model = LSTMLanguageModel(LSTMConfig(
         vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
         num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
     runtime = EngineRuntime(ExecutionConfig(
         mode="pooled", seed=11, shards=2, optimizer=optimizer,
-        backend=backend, recurrent="dense", fault_policy=policy))
+        backend=backend, recurrent=recurrent, fault_policy=policy))
     config = LanguageModelTrainingConfig(batch_size=10, seq_len=20, epochs=2,
                                          seed=3)
     return DistributedTrainer(model, tiny_corpus, config, runtime=runtime)
@@ -91,6 +93,11 @@ def baseline_lstm_dense_stacked(tiny_corpus):
 @pytest.fixture(scope="module")
 def baseline_lstm_sparse(tiny_corpus):
     return make_lstm(tiny_corpus, optimizer="sparse").train()
+
+
+@pytest.fixture(scope="module")
+def baseline_lstm_tiled(tiny_corpus):
+    return make_lstm(tiny_corpus, recurrent="tiled").train()
 
 
 class TestKillRecovery:
@@ -117,6 +124,16 @@ class TestKillRecovery:
         trainer._faults = (FaultSpec(shard=0, step=2, kind="kill"),)
         result = trainer.train()
         assert history_of(result) == history_of(baseline_lstm_sparse)
+        assert result.engine_stats["distributed"]["recoveries"] == 1
+
+    def test_lstm_tiled_recurrent(self, tiny_corpus, baseline_lstm_tiled):
+        # The tiled-recurrent site's worker-side context cache is rebuilt
+        # deterministically by the respawned worker's fast-forward, so the
+        # recovery stays bit-identical on the tiled path too.
+        trainer = make_lstm(tiny_corpus, recurrent="tiled")
+        trainer._faults = (FaultSpec(shard=1, step=2, kind="kill"),)
+        result = trainer.train()
+        assert history_of(result) == history_of(baseline_lstm_tiled)
         assert result.engine_stats["distributed"]["recoveries"] == 1
 
 

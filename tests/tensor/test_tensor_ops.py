@@ -168,6 +168,40 @@ class TestBackward:
             assert not y.requires_grad
         assert is_grad_enabled()
 
+    def test_no_grad_is_per_thread(self):
+        """Overlapping no_grad() blocks on different threads never interact.
+
+        With one shared flag, the later entrant saves False and restores it
+        last, leaving gradients disabled process-wide — the race the serving
+        path's concurrent eval threads used to hit.
+        """
+        import threading
+
+        entered = threading.Barrier(3)
+        leave = threading.Event()
+        inside = []
+
+        def worker():
+            with no_grad():
+                entered.wait(timeout=10)
+                inside.append(is_grad_enabled())
+                leave.wait(timeout=10)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        entered.wait(timeout=10)
+        # Both workers sit inside no_grad(); this thread is unaffected.
+        assert is_grad_enabled()
+        leave.set()
+        for thread in threads:
+            thread.join()
+        assert inside == [False, False]
+        # And their exits restored nothing on this thread either.
+        assert is_grad_enabled()
+        x = Tensor([1.0], requires_grad=True)
+        assert (x * 2).requires_grad
+
 
 @pytest.mark.parametrize("op_name", [
     "add", "sub", "mul", "div", "matmul", "pow", "exp", "log", "sqrt",
