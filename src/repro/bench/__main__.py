@@ -40,7 +40,15 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                              "micro-batched frozen engine, e2e_dist = "
                              "data-parallel scaling of one MLP trainer step, "
                              "e2e_elastic = distributed step + full "
-                             "worker-recovery cycle)")
+                             "worker-recovery cycle, head_vocab = dense vs "
+                             "sampled vs adaptive loss head across the "
+                             "--head-vocab vocabulary sweep; the head family "
+                             "sprouts it automatically)")
+    parser.add_argument("--head-vocab", type=int, nargs="+",
+                        default=[8192, 50000],
+                        help="vocabulary sizes of the head_vocab large-vocab "
+                             "loss-head cases (each runs dense, sampled and "
+                             "adaptive heads at a fixed hidden width)")
     parser.add_argument("--e2e-dtype", default="float64",
                         choices=["float64", "float32"],
                         help="floating dtype of the e2e trainer-step cases")
@@ -108,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick:
         config = BenchmarkConfig(widths=(256,), rates=(0.5,), batch=32, steps=3,
                                  repeats=1, warmup=1, families=tuple(args.families),
+                                 head_vocab=tuple(args.head_vocab),
                                  e2e_dtype=args.e2e_dtype, backend=args.backend,
                                  recurrent=args.recurrent,
                                  loss_head=args.loss_head,
@@ -122,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
                                  batch=args.batch, steps=args.steps,
                                  repeats=args.repeats, warmup=args.warmup,
                                  tile=args.tile, families=tuple(args.families),
+                                 head_vocab=tuple(args.head_vocab),
                                  e2e_dtype=args.e2e_dtype, backend=args.backend,
                                  recurrent=args.recurrent,
                                  loss_head=args.loss_head,

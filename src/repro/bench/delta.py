@@ -3,7 +3,8 @@
 ``python -m repro.bench.delta`` runs a quick benchmark at the acceptance case
 (width 2048, rate 0.7; the row, tile, e2e, head, serve, e2e_dist and
 e2e_elastic families — the e2e LSTM trainer-step case derives hidden size 256
-from that sweep), loads
+from that sweep, and the head family sprouts the 50k-vocabulary
+``head_vocab`` adaptive-head case), loads
 the committed ``BENCH_compact_engine.json`` and **fails (exit code 1) when
 the freshly measured ``speedup_pooled`` regresses by more than 30%** relative
 to the committed value.  This is the CI hook that keeps the pooled engine's headline
@@ -24,6 +25,12 @@ must finish within ``DEFAULT_MAX_RECOVERY_S``, a missing case always fails,
 and a CPU-starved box (``cpu_count < shards + 1``) skips the budget with a
 printed note — there the respawn runs oversubscribed, so the wall-clock
 bound would measure the machine, not the recovery path.
+
+The ``head_vocab`` large-vocabulary case is gated on an absolute bar too
+(:func:`adaptive_failures`): at 50k classes the adaptive loss head must beat
+the exact dense head's wall-clock by at least ``DEFAULT_MIN_ADAPTIVE``.  The
+case runs in a single process, so no CPU-count skip applies — a missing
+entry always fails.
 
 The ``serve`` family is gated on an absolute *dominance* bar
 (:func:`serving_failures`): the micro-batched frozen engine must beat the
@@ -65,6 +72,7 @@ ACCEPTANCE_CASES: tuple[tuple[str, int, float], ...] = (
     ("row", 2048, 0.7),
     ("tile", 2048, 0.7),
     ("head", 2048, 0.7),
+    ("head_vocab", 50000, 0.7),
     ("e2e_lstm", 256, 0.7),
 )
 
@@ -94,6 +102,20 @@ ELASTIC_CASES: tuple[tuple[str, int, float], ...] = (
 #: single-digit seconds; a cycle this long means the recovery path regressed
 #: into a hang (e.g. a barrier that waits out its full timeout).
 DEFAULT_MAX_RECOVERY_S = 30.0
+
+#: Large-vocabulary adaptive-head cases gated on an absolute bar: (family,
+#: width, rate).  The width is the swept vocabulary size.
+ADAPTIVE_CASES: tuple[tuple[str, int, float], ...] = (
+    ("head_vocab", 50000, 0.7),
+)
+
+#: Minimum dense / adaptive wall-clock ratio (``speedup_pooled`` of the
+#: ``head_vocab`` entry) the adaptive loss head must reach at 50k classes.
+#: Measured headroom: the interleaved best-of protocol lands ~1.7x on a
+#: loaded 4-core box; the bar sits below that so machine noise cannot trip
+#: it while a factorization regression (e.g. the head silently falling back
+#: to the dense path) still fails clearly.
+DEFAULT_MIN_ADAPTIVE = 1.3
 
 #: Serving cases gated on the dominance bar: (family, width, rate).  The
 #: widths are the serve cases' derived hidden sizes — ``min(max(widths),
@@ -395,6 +417,42 @@ def serving_failures(entries: list[dict],
     return failures, skips
 
 
+def adaptive_failures(entries: list[dict],
+                      min_speedup: float = DEFAULT_MIN_ADAPTIVE,
+                      cases: tuple[tuple[str, int, float], ...] = ADAPTIVE_CASES,
+                      ) -> list[str]:
+    """Absolute large-vocabulary adaptive-head gate; returns failures.
+
+    For each gated ``(family, width, rate)`` case, the fresh entry's
+    ``speedup_pooled`` (dense / adaptive loss-head step time for
+    ``head_vocab``) must reach ``min_speedup``.  The case runs in a single
+    process, so unlike the distributed/serving bars there is no CPU-count
+    skip — a gated case missing from ``entries`` always fails, keeping the
+    gate from rotting silently.
+    """
+    if min_speedup <= 0:
+        raise ValueError(f"min_speedup must be positive, got {min_speedup}")
+    indexed = _case_entries(entries, "fresh")
+    failures: list[str] = []
+    for case in cases:
+        family, width, rate = case
+        label = f"{family} width={width} rate={rate}"
+        entry = indexed.get(case)
+        if entry is None:
+            failures.append(f"{label}: missing from the fresh run "
+                            f"(large-vocabulary adaptive head case not "
+                            f"measured)")
+            continue
+        measured = float(entry["speedup_pooled"])
+        if measured < min_speedup:
+            failures.append(
+                f"{label}: the adaptive loss head beats the dense head by "
+                f"only {measured:.2f}x at vocab={width}, below the "
+                f"{min_speedup:.1f}x bar — the two-level factorization "
+                f"stopped paying for itself")
+    return failures
+
+
 def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
     """A reduced configuration that still measures the acceptance case.
 
@@ -412,6 +470,11 @@ def quick_acceptance_config(backend: str = "numpy") -> BenchmarkConfig:
                            warmup=full.warmup,
                            families=("row", "tile", "e2e", "head", "serve",
                                      "e2e_dist", "e2e_elastic"),
+                           # Only the gated 50k vocabulary: the head family
+                           # sprouts one head_vocab case per entry, and the
+                           # default 8192 point would double the dense
+                           # baseline's cost without being gated.
+                           head_vocab=(50_000,),
                            backend=backend)
 
 
@@ -431,6 +494,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="absolute data-parallel scaling bar of the "
                              "e2e_dist case (default 1.5; only enforced when "
                              "the entry's recorded cpu_count >= shards + 1)")
+    parser.add_argument("--min-adaptive-speedup", type=float,
+                        default=DEFAULT_MIN_ADAPTIVE,
+                        help="absolute dense/adaptive wall-clock bar of the "
+                             "head_vocab case at 50k classes (default 1.3)")
     parser.add_argument("--max-recovery-s", type=float,
                         default=DEFAULT_MAX_RECOVERY_S,
                         help="wall-clock budget of one e2e_elastic worker-"
@@ -486,6 +553,8 @@ def main(argv: list[str] | None = None) -> int:
     for skip in serving_skips:
         print(f"\nserving gate skipped — {skip}")
     failures += serving
+    failures += adaptive_failures(fresh_entries,
+                                  min_speedup=args.min_adaptive_speedup)
     if failures:
         print("\nBENCHMARK REGRESSION:")
         for failure in failures:

@@ -161,6 +161,11 @@ class BenchmarkConfig:
     #: ("dense" = exact full softmax, "sampled" = the class-pruned head).
     #: The ``head`` family always times the sampled loss.
     loss_head: str = "sampled"
+    #: Vocabulary sizes of the ``head_vocab`` cases (dense vs sampled vs
+    #: adaptive loss-head step at large vocab; sprouted by the ``head``
+    #: family, or selected directly as the ``head_vocab`` family).  Empty
+    #: disables the axis.
+    head_vocab: tuple[int, ...] = (8192, 50000)
     #: Optimizer execution of the e2e cases' compact/pooled modes ("dense" =
     #: the plain SGD update, "sparse" = the dirty-region SparseSGD).  The
     #: ``masked`` baseline always runs the dense update.
@@ -177,8 +182,8 @@ class BenchmarkConfig:
     #: ``serve`` = per-request dense inference vs the micro-batched frozen
     #: engine, ``e2e_dist`` = data-parallel scaling of one MLP trainer step,
     #: ``e2e_elastic`` = distributed step + full worker-recovery cycle).
-    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head", "serve",
-                "e2e_dist", "e2e_elastic")
+    FAMILIES = ("row", "tile", "lstm_rec", "e2e", "head", "head_vocab",
+                "serve", "e2e_dist", "e2e_elastic")
 
     def __post_init__(self):
         if self.batch <= 0 or self.steps <= 0 or self.repeats <= 0:
@@ -221,6 +226,10 @@ class BenchmarkConfig:
                 raise ValueError(
                     f"unknown benchmark family {family!r}; "
                     f"valid families: {', '.join(self.FAMILIES)}")
+        for vocab in self.head_vocab:
+            if vocab < 2:
+                raise ValueError(
+                    f"head_vocab sizes must be >= 2, got {vocab}")
 
 
 @dataclass
@@ -242,6 +251,9 @@ class BenchmarkResult:
     loss_head: str | None = None
     #: Optimizer execution of the case (None = not applicable).
     optimizer: str | None = None
+    #: Vocabulary size of the ``head_vocab`` cases (None for families whose
+    #: ``width`` is not a vocabulary).
+    vocab: int | None = None
     #: Data-parallel worker count of the ``e2e_dist`` case (None otherwise).
     shards: int | None = None
     #: CPU cores the case was measured on (recorded for ``e2e_dist`` so the
@@ -300,6 +312,7 @@ class BenchmarkResult:
             "recurrent": self.recurrent,
             "loss_head": self.loss_head,
             "optimizer": self.optimizer,
+            "vocab": self.vocab,
             "shards": self.shards,
             "cpu_count": self.cpu_count,
             "cpu_gated": self.cpu_gated,
@@ -631,6 +644,102 @@ def _bench_head_case(config: BenchmarkConfig, width: int, rate: float,
     return result
 
 
+#: Hidden width feeding the ``head_vocab`` cases' projection (overridable
+#: via ``BenchmarkConfig.in_features``): fixed rather than square because
+#: the axis sweeps the vocabulary, not the feature width.
+_HEAD_VOCAB_HIDDEN = 256
+
+
+def _bench_head_vocab_case(config: BenchmarkConfig, vocab: int, rate: float,
+                           rng: np.random.Generator) -> BenchmarkResult:
+    """Dense vs sampled vs adaptive loss-head step at large vocabulary.
+
+    The large-vocab companion of the ``head`` family: one loss-head step
+    (projection + cross-entropy, forward and backward) over a
+    Zipf-distributed target batch, at a fixed hidden width and with the
+    vocabulary as the swept axis.  The modes map the three head kinds onto
+    the report's standard keys so the existing gates read the entry
+    unchanged:
+
+    * ``masked`` — the exact dense head (full projection + full softmax);
+    * ``compact`` — the sampled head's importance-weighted loss with pooled
+      interned class patterns at the case ``rate``;
+    * ``pooled`` — the :class:`~repro.heads.AdaptiveSoftmaxHead` loss
+      (auto-sized shortlist, default cluster count), so ``speedup_pooled``
+      is the adaptive head's wall-clock win over the dense head — the
+      number the delta gate's adaptive acceptance case bounds.
+
+    Targets are Zipfian (matching the synthetic corpus and the adaptive
+    head's frequency-ordered-ids assumption), so the batch concentrates in
+    the shortlist and the frequent tail bands exactly as a real large-vocab
+    training step would.
+    """
+    from repro.data.synthetic_text import _zipf_weights
+    from repro.dropout.patterns import row_pattern
+    from repro.heads import AdaptiveSoftmaxHead, sampled_softmax_loss
+
+    hidden = config.in_features or _HEAD_VOCAB_HIDDEN
+    x, weight, bias = _make_operands(rng, config.batch, hidden, vocab)
+    unigram_cdf = np.cumsum(_zipf_weights(vocab, 1.05))
+    targets = np.minimum(np.searchsorted(unigram_cdf,
+                                         rng.random(config.batch)),
+                         vocab - 1).astype(np.int64)
+    sampler = PatternSampler(rate, min(config.max_period, vocab),
+                             rng=np.random.default_rng(config.seed))
+    sampler.result  # run the one-time distribution search outside the timers
+    sequence = _shared_pattern_sequence(sampler, vocab,
+                                        config.steps + config.warmup)
+    backend = create_backend(config.backend)
+
+    def masked_step():
+        _zero_grads(x, weight, bias)
+        loss = F.cross_entropy(F.linear(x, weight, bias), targets)
+        loss.backward()
+
+    sampled_seq = _Cycle([row_pattern(vocab, dp, b) for dp, b in sequence])
+    workspace = CompactWorkspace()
+
+    def sampled_step():
+        _zero_grads(x, weight, bias)
+        pattern = sampled_seq.next()  # interned pattern from the pre-drawn pool
+        loss = sampled_softmax_loss(x, weight, bias, targets, pattern,
+                                    workspace=workspace, backend=backend)
+        loss.backward()
+
+    head = AdaptiveSoftmaxHead(vocab)
+    head.train()
+    head.execution_mode = "compact"
+    head.use_workspace = True
+    head.backend = backend
+
+    def adaptive_step():
+        _zero_grads(x, weight, bias)
+        loss = head.loss(x, weight, bias, targets)
+        loss.backward()
+
+    # The dense mode's per-step cost grows linearly with the vocabulary, so
+    # the protocol is halved against the grid families to keep the sweep
+    # affordable; the speedups at this scale dwarf protocol noise.
+    steps = max(2, config.steps // 2)
+    repeats = max(2, config.repeats // 2)
+    result = BenchmarkResult(family="head_vocab", width=vocab,
+                             in_features=hidden, batch=config.batch,
+                             rate=rate, steps=steps, repeats=repeats,
+                             backend=config.backend, loss_head="adaptive",
+                             vocab=vocab)
+    result.mode_ms = _timed_modes(
+        {"masked": masked_step, "compact": sampled_step,
+         "pooled": adaptive_step},
+        steps, config.warmup, repeats)
+    # Mean fraction of the vocabulary the adaptive head actually projected
+    # (head level + expanded bands), averaged over every timed+warmup step.
+    counters = head.head_counters()
+    if counters["draws"]:
+        result.keep_fraction = float(
+            counters["kept_classes"] / (counters["draws"] * vocab))
+    return result
+
+
 # ----------------------------------------------------------------------
 # end-to-end trainer-step cases
 # ----------------------------------------------------------------------
@@ -909,10 +1018,14 @@ def _bench_serve_case(config: BenchmarkConfig, kind: str,
     mean per-request latency (keeping ``speedup_pooled`` the headline ratio);
     the entry's ``serving`` dict carries both full
     :class:`~repro.serving.loadgen.LoadReport` summaries plus the batcher's
-    realised occupancy.
+    realised occupancy, and a ``rate_sweep`` ladder — one open-loop
+    (Poisson-arrival) report per offered rate at 30/60/90% of the pooled
+    closed loop's realised throughput (see
+    :func:`~repro.serving.loadgen.run_rate_sweep`).
     """
     from repro.execution import EngineRuntime, ExecutionConfig
-    from repro.serving import InferenceEngine, MicroBatcher, run_closed_loop
+    from repro.serving import (InferenceEngine, MicroBatcher, run_closed_loop,
+                               run_rate_sweep)
     from repro.tensor.tensor import no_grad
 
     concurrency = config.serve_concurrency
@@ -981,6 +1094,20 @@ def _bench_serve_case(config: BenchmarkConfig, kind: str,
     with MicroBatcher(engine, max_batch=concurrency) as batcher:
         pooled = run_closed_loop(batcher.submit, requests,
                                  concurrency=concurrency)
+        # Latency-vs-offered-load ladder through the same batcher: Poisson
+        # arrivals at fractions of the closed loop's realised capacity, so
+        # the report shows how the engine's quantiles grow toward
+        # saturation.  Bounded request count per rung — the ladder is a
+        # characterisation, not the headline timing.
+        sweep_requests = requests[:min(len(requests), 50 * concurrency)]
+        sweep_rates = [round(pooled.throughput_rps * fraction, 2)
+                       for fraction in (0.3, 0.6, 0.9)]
+        if min(sweep_rates, default=0.0) > 0:
+            sweep_reports = run_rate_sweep(batcher.submit, sweep_requests,
+                                           rates_rps=sweep_rates,
+                                           seed=config.seed)
+        else:  # degenerate closed loop (zero throughput): nothing to sweep
+            sweep_rates, sweep_reports = [], []
 
     result = BenchmarkResult(family=kind, width=width,
                              in_features=in_features, batch=concurrency,
@@ -999,6 +1126,8 @@ def _bench_serve_case(config: BenchmarkConfig, kind: str,
         "mean_occupancy": round(occupancy, 3),
         "masked": masked.to_dict(),
         "pooled": pooled.to_dict(),
+        "rate_sweep": [{"rate_rps": rate, **report.to_dict()}
+                       for rate, report in zip(sweep_rates, sweep_reports)],
     }
     return result
 
@@ -1027,9 +1156,21 @@ def case_descriptors(config: BenchmarkConfig) -> list[tuple[str, int | None, flo
         if family in ("e2e_dist", "e2e_elastic"):
             cases.append((family, None, None))
             continue
+        if family == "head_vocab":
+            # One case per swept vocabulary at the top rate (the rate only
+            # drives the sampled mode; the dense/adaptive modes ignore it).
+            for vocab in config.head_vocab:
+                cases.append(("head_vocab", vocab, max(config.rates)))
+            continue
         for width in config.widths:
             for rate in config.rates:
                 cases.append((family, width, rate))
+        if family == "head" and "head_vocab" not in config.families:
+            # The head family sprouts its large-vocab axis so a plain
+            # `--families head` run (and the delta gate) measures it without
+            # naming the sub-family explicitly.
+            for vocab in config.head_vocab:
+                cases.append(("head_vocab", vocab, max(config.rates)))
     return cases
 
 
@@ -1054,7 +1195,8 @@ def run_case(config: BenchmarkConfig, index: int,
     if kind == "e2e_elastic":
         return _bench_e2e_elastic_case(config, rng)
     bench = {"row": _bench_row_case, "tile": _bench_tile_case,
-             "lstm_rec": _bench_lstm_rec_case, "head": _bench_head_case}[kind]
+             "lstm_rec": _bench_lstm_rec_case, "head": _bench_head_case,
+             "head_vocab": _bench_head_vocab_case}[kind]
     return bench(config, width, rate, rng)
 
 
@@ -1134,6 +1276,7 @@ def write_report(results: list[BenchmarkResult], config: BenchmarkConfig,
             "tile": config.tile,
             "max_period": config.max_period,
             "families": list(config.families),
+            "head_vocab": list(config.head_vocab),
             "e2e_dtype": config.e2e_dtype,
             "backend": config.backend,
             "recurrent": config.recurrent,

@@ -57,13 +57,17 @@ Loss head
 ---------
 
 ``loss_head`` selects how a bound model computes its training loss
-(:mod:`repro.heads`): ``"dense"`` keeps the exact full-softmax head, while
+(:mod:`repro.heads`): ``"dense"`` keeps the exact full-softmax head,
 ``"sampled"`` installs the :class:`~repro.heads.CompactSoftmaxHead` on every
 model exposing the ``set_loss_head`` hook — the vocabulary becomes one more
 pooled pattern site (class patterns drawn from the same seeded stream,
-targets always kept) and the projection + loss run compactly;
-``loss_head_rate`` is the target fraction of classes pruned per step.
-Evaluation always uses the head's exact dense path.
+targets always kept) and the projection + loss run compactly —
+and ``"adaptive"`` installs the :class:`~repro.heads.AdaptiveSoftmaxHead`:
+a two-level class factorization (dense shortlist + frequency-banded tail
+clusters expanded per batch) that draws no randomness at all.
+``loss_head_rate`` is the sampled head's target pruned fraction;
+``head_shortlist`` / ``head_clusters`` are the adaptive head's partition
+knobs.  Evaluation always uses the head's exact dense path.
 """
 
 from __future__ import annotations
@@ -198,13 +202,26 @@ class ExecutionConfig:
         pattern site pooled and executed like the other pattern layers).
     loss_head:
         Loss-head execution for models exposing ``set_loss_head`` (the LSTM
-        language model): ``"dense"`` (the default — exact full-softmax loss)
-        or ``"sampled"`` (the :class:`~repro.heads.CompactSoftmaxHead`: the
+        language model): ``"dense"`` (the default — exact full-softmax loss),
+        ``"sampled"`` (the :class:`~repro.heads.CompactSoftmaxHead`: the
         vocabulary becomes a pooled pattern site, targets always kept, the
-        training loss a compact sampled softmax; evaluation stays exact).
+        training loss a compact sampled softmax) or ``"adaptive"`` (the
+        :class:`~repro.heads.AdaptiveSoftmaxHead`: dense shortlist +
+        frequency-banded tail clusters expanded only for the clusters the
+        batch targets hit).  Evaluation stays exact under every head.
     loss_head_rate:
         Target fraction of vocabulary classes the sampled head prunes per
-        iteration (ignored by the dense head).
+        iteration (ignored by the other heads).
+    head_shortlist:
+        Shortlist size of the adaptive head — how many of the most frequent
+        classes get the exact dense projection every step.  ``0`` (the
+        default) auto-sizes it (``min(vocab // 4, 4096)``, at least 1);
+        explicit values must be positive and are validated against the
+        vocabulary at bind time.  Ignored by the other heads.
+    head_clusters:
+        Number of frequency-banded tail clusters of the adaptive head
+        (geometrically sized; short tails may yield fewer).  Ignored by the
+        other heads.
     optimizer:
         Parameter-update execution for optimizers built through
         :meth:`EngineRuntime.make_sgd`: ``"dense"`` (the default — the plain
@@ -261,6 +278,8 @@ class ExecutionConfig:
     recurrent: str = "dense"
     loss_head: str = "dense"
     loss_head_rate: float = 0.5
+    head_shortlist: int = 0
+    head_clusters: int = 4
     optimizer: str = "dense"
     seed: int | None = 0
     shards: int = 1
@@ -303,6 +322,13 @@ class ExecutionConfig:
         if not 0.0 <= self.loss_head_rate < 1.0:
             raise ValueError(
                 f"loss_head_rate must be in [0, 1), got {self.loss_head_rate}")
+        if self.head_shortlist < 0:
+            raise ValueError(
+                f"head_shortlist must be >= 0 (0 = auto-size), got "
+                f"{self.head_shortlist}")
+        if self.head_clusters < 1:
+            raise ValueError(
+                f"head_clusters must be >= 1, got {self.head_clusters}")
         if self.optimizer not in OPTIMIZER_MODES:
             raise ValueError(
                 f"unknown optimizer execution {self.optimizer!r}; "
@@ -433,7 +459,9 @@ class EngineRuntime:
         for module in list(model.modules()):
             installer = getattr(module, "set_loss_head", None)
             if callable(installer):
-                installer(config.loss_head, rate=config.loss_head_rate)
+                installer(config.loss_head, rate=config.loss_head_rate,
+                          shortlist=config.head_shortlist,
+                          clusters=config.head_clusters)
 
         layer_mode = "masked" if config.mode == "masked" else "compact"
         use_workspace = config.mode == "pooled"
@@ -546,7 +574,7 @@ class EngineRuntime:
             "steps": 0,
             "pools": {"sites": 0, "refills": 0, "consumed": 0, "remaining": 0},
             "workspace": {"num_buffers": 0, "hits": 0, "misses": 0},
-            "head": {"draws": 0, "kept_classes": 0},
+            "head": {"draws": 0, "kept_classes": 0, "cluster_activations": 0},
         }
 
     @staticmethod
@@ -594,6 +622,8 @@ class EngineRuntime:
                     head = counters()
                     totals["head"]["draws"] += head.get("draws", 0)
                     totals["head"]["kept_classes"] += head.get("kept_classes", 0)
+                    totals["head"]["cluster_activations"] += head.get(
+                        "cluster_activations", 0)
 
     def _archive_finished_runs(self) -> None:
         """Fold the previous binds' counters and release their models.
@@ -667,6 +697,8 @@ class EngineRuntime:
             "recurrent": config.recurrent,
             "loss_head": {"kind": config.loss_head,
                           "rate": config.loss_head_rate,
+                          "shortlist": config.head_shortlist,
+                          "clusters": config.head_clusters,
                           **totals["head"]},
             "optimizer": {"kind": config.optimizer,
                           **optim,

@@ -1,4 +1,4 @@
-"""repro.heads — compact loss heads (sampled / class-pruned softmax).
+"""repro.heads — compact loss heads (sampled and adaptive softmax).
 
 The loss-head subsystem applies the pattern-site treatment to the output end
 of a large-vocabulary model: a :class:`LossHead` turns hidden features into a
@@ -11,12 +11,21 @@ selects which implementation a run binds —
 * ``"sampled"`` → :class:`CompactSoftmaxHead`: the vocabulary pruned by a
   pooled :class:`~repro.dropout.patterns.RowDropoutPattern` each iteration
   (targets always kept), executed as a compact gather-GEMM with an
-  importance-weighted sampled softmax — see :mod:`repro.heads.softmax`.
+  importance-weighted sampled softmax — see :mod:`repro.heads.softmax`;
+* ``"adaptive"`` → :class:`AdaptiveSoftmaxHead`: two-level class
+  factorization — an exact dense shortlist over the most frequent classes
+  plus frequency-banded tail clusters, each expanded only when it appears in
+  the batch targets — see :mod:`repro.heads.adaptive`.
 
-Exact dense evaluation (perplexity reporting) is preserved under either
-head: :meth:`LossHead.logits` never samples.
+Exact dense evaluation (perplexity reporting) is preserved under every
+head: :meth:`LossHead.logits` never samples or factorizes.
 """
 
+from repro.heads.adaptive import (
+    AdaptiveSoftmaxHead,
+    cluster_boundaries,
+    default_shortlist,
+)
 from repro.heads.base import DenseSoftmaxHead, LossHead
 from repro.heads.softmax import (
     CompactSoftmaxHead,
@@ -25,16 +34,20 @@ from repro.heads.softmax import (
 )
 
 #: Loss-head selectors understood by ``ExecutionConfig.loss_head``.
-LOSS_HEAD_KINDS: tuple[str, ...] = ("dense", "sampled")
+LOSS_HEAD_KINDS: tuple[str, ...] = ("dense", "sampled", "adaptive")
 
 
 def build_loss_head(kind: str, vocab_size: int | None = None, *,
                     rate: float = 0.5, max_period: int | None = None,
-                    rng=None) -> LossHead:
-    """Instantiate a loss head by registry name (``"dense"`` or ``"sampled"``).
+                    rng=None, shortlist: int = 0,
+                    clusters: int = 4) -> LossHead:
+    """Instantiate a loss head by registry name.
 
-    ``vocab_size`` (and optionally ``rate``/``max_period``/``rng``) are only
-    consumed by the sampled head; the dense head is stateless.
+    ``vocab_size`` is required by both compact heads; ``rate`` /
+    ``max_period`` / ``rng`` are only consumed by the sampled head and
+    ``shortlist`` / ``clusters`` only by the adaptive one (``shortlist=0``
+    selects :func:`~repro.heads.adaptive.default_shortlist`).  The dense
+    head is stateless.
     """
     if kind == "dense":
         return DenseSoftmaxHead()
@@ -43,6 +56,11 @@ def build_loss_head(kind: str, vocab_size: int | None = None, *,
             raise ValueError("the sampled loss head needs a vocab_size")
         return CompactSoftmaxHead(vocab_size, drop_rate=rate,
                                   max_period=max_period, rng=rng)
+    if kind == "adaptive":
+        if vocab_size is None:
+            raise ValueError("the adaptive loss head needs a vocab_size")
+        return AdaptiveSoftmaxHead(vocab_size, shortlist=shortlist,
+                                   clusters=clusters)
     raise ValueError(
         f"unknown loss head {kind!r}; available: {LOSS_HEAD_KINDS}")
 
@@ -52,7 +70,10 @@ __all__ = [
     "LossHead",
     "DenseSoftmaxHead",
     "CompactSoftmaxHead",
+    "AdaptiveSoftmaxHead",
     "build_loss_head",
+    "cluster_boundaries",
+    "default_shortlist",
     "sampled_class_set",
     "sampled_softmax_loss",
 ]

@@ -185,16 +185,21 @@ class LSTMLanguageModel(Module):
                                    input_pattern=pattern)
         return loss, new_state
 
-    def set_loss_head(self, kind: str, rate: float = 0.5) -> None:
+    def set_loss_head(self, kind: str, rate: float = 0.5,
+                      shortlist: int = 0, clusters: int = 4) -> None:
         """Install a fresh loss head (the ``ExecutionConfig.loss_head`` hook).
 
         Called by :meth:`repro.execution.EngineRuntime.bind` before the
         engine attributes are applied and the pattern sites enumerated, so a
         sampled head joins the pooled schedule and the pool-wide reseeding
-        like any other pattern site.
+        like any other pattern site.  ``rate`` configures the sampled head,
+        ``shortlist``/``clusters`` the adaptive one (``shortlist=0`` =
+        auto-size); each head ignores the knobs it does not own.
         """
         self.loss_head = build_loss_head(kind, self.config.vocab_size,
-                                         rate=rate, rng=self.rng)
+                                         rate=rate, rng=self.rng,
+                                         shortlist=shortlist,
+                                         clusters=clusters)
 
     def init_state(self, batch: int) -> list[tuple[Tensor, Tensor]]:
         return self.lstm.init_state(batch)

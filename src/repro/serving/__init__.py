@@ -15,7 +15,12 @@ benchmark family.
 
 from repro.serving.batcher import MicroBatcher
 from repro.serving.engine import InferenceEngine
-from repro.serving.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serving.loadgen import (
+    LoadReport,
+    run_closed_loop,
+    run_open_loop,
+    run_rate_sweep,
+)
 
 __all__ = [
     "InferenceEngine",
@@ -23,4 +28,5 @@ __all__ = [
     "LoadReport",
     "run_closed_loop",
     "run_open_loop",
+    "run_rate_sweep",
 ]

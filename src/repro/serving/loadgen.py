@@ -135,3 +135,23 @@ def run_open_loop(submit, requests: list, *, rate_rps: float,
         done.acquire()
     elapsed = time.perf_counter() - started
     return _report(latencies, elapsed)
+
+
+def run_rate_sweep(submit, requests: list, *, rates_rps: list[float] | tuple,
+                   seed: int | None = 0) -> list[LoadReport]:
+    """Latency vs offered rate: one :func:`run_open_loop` per Poisson rate.
+
+    Returns one :class:`LoadReport` per entry of ``rates_rps`` (in order) —
+    the standard latency/throughput-vs-offered-load ladder.  Each rung
+    replays the same ``requests`` list on a fresh seeded arrival process, so
+    the rungs differ only in their offered rate; quantiles rise as the rate
+    approaches the service's capacity (the queueing delay the open-loop
+    driver charges against each request's *scheduled* arrival).
+    """
+    if not rates_rps:
+        raise ValueError("rates_rps must contain at least one rate")
+    for rate in rates_rps:
+        if rate <= 0:
+            raise ValueError(f"every swept rate must be > 0, got {rate}")
+    return [run_open_loop(submit, requests, rate_rps=float(rate), seed=seed)
+            for rate in rates_rps]

@@ -53,13 +53,15 @@ def run_mlp(tiny_mnist, shards, *, exec_seed=11, optimizer="dense",
 
 
 def run_lstm(tiny_corpus, shards, *, exec_seed=11, optimizer="dense",
-             backend="numpy", recurrent="dense", distributed=True):
+             backend="numpy", recurrent="dense", loss_head="dense",
+             distributed=True):
     model = LSTMLanguageModel(LSTMConfig(
         vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
         num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
     runtime = EngineRuntime(ExecutionConfig(
         mode="pooled", seed=exec_seed, shards=shards, optimizer=optimizer,
-        backend=backend, recurrent=recurrent))
+        backend=backend, recurrent=recurrent, loss_head=loss_head,
+        head_shortlist=12 if loss_head == "adaptive" else 0))
     config = LanguageModelTrainingConfig(batch_size=10, seq_len=20, epochs=2,
                                          seed=3)
     if distributed:
@@ -120,6 +122,14 @@ class TestShardedDeterminism:
     def test_lstm_two_shards_dense(self, tiny_corpus):
         first = run_lstm(tiny_corpus, shards=2)
         second = run_lstm(tiny_corpus, shards=2)
+        assert history_of(first) == history_of(second)
+
+    def test_lstm_two_shards_adaptive_head(self, tiny_corpus):
+        """ISSUE 10: the adaptive loss head composes with sharded data-
+        parallel training — its computed class set depends only on each
+        shard's targets, so replays stay bit-identical."""
+        first = run_lstm(tiny_corpus, shards=2, loss_head="adaptive")
+        second = run_lstm(tiny_corpus, shards=2, loss_head="adaptive")
         assert history_of(first) == history_of(second)
 
     def test_lstm_two_shards_sparse_stacked_tiled(self, tiny_corpus):

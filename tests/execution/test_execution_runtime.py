@@ -44,6 +44,8 @@ class TestExecutionConfig:
         {"loss_head": "hierarchical"},
         {"loss_head_rate": 1.0},
         {"loss_head_rate": -0.1},
+        {"head_shortlist": -1},
+        {"head_clusters": 0},
         {"pool_size": 0},
         {"workspace_slots": 0},
     ])
@@ -259,6 +261,51 @@ class TestLossHeadToggle:
         # ...and the head joins the pooled schedule as one more site.
         assert sum("CompactSoftmaxHead" in name
                    for name in schedule.pooled_sites()) == 1
+
+    def test_bind_adaptive_installs_and_configures_the_head(self):
+        from repro.heads import AdaptiveSoftmaxHead
+
+        model = make_lstm("row")
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled",
+                                                loss_head="adaptive",
+                                                head_shortlist=20,
+                                                head_clusters=3, seed=0))
+        schedule = runtime.bind(model)
+        head = model.loss_head
+        assert isinstance(head, AdaptiveSoftmaxHead)
+        assert head.vocab_size == model.config.vocab_size
+        assert head.shortlist == 20
+        # Engine attributes applied like any head's...
+        assert head.execution_mode == "compact"
+        assert head.use_workspace is True
+        assert head.backend is runtime.backend
+        # ...but the head draws no randomness, so it is NOT a pattern site.
+        assert not any("AdaptiveSoftmaxHead" in name
+                       for name in schedule.pooled_sites())
+
+    def test_stats_report_adaptive_head_counters(self, tiny_corpus):
+        model = make_lstm("row", vocab=tiny_corpus.vocab_size)
+        runtime = EngineRuntime(ExecutionConfig(mode="pooled",
+                                                loss_head="adaptive",
+                                                head_shortlist=12,
+                                                head_clusters=3, seed=0))
+        trainer = LanguageModelTrainer(
+            model, tiny_corpus,
+            LanguageModelTrainingConfig(batch_size=5, seq_len=8, epochs=1,
+                                        seed=0),
+            runtime=runtime)
+        inputs = tiny_corpus.train[:40].reshape(8, 5)
+        targets = tiny_corpus.train[1:41].reshape(8, 5)
+        loss, _ = trainer.train_step(inputs, targets, model.init_state(5))
+        assert np.isfinite(loss)
+        stats = runtime.stats(model=model)
+        assert stats["loss_head"]["kind"] == "adaptive"
+        assert stats["loss_head"]["shortlist"] == 12
+        assert stats["loss_head"]["clusters"] == 3
+        assert stats["loss_head"]["draws"] == 1
+        assert stats["loss_head"]["cluster_activations"] >= 0
+        assert stats["loss_head"]["kept_classes"] >= len(
+            model.loss_head.head_classes)
 
     def test_bind_back_to_dense_removes_the_sampled_site(self):
         model = make_lstm("row")
@@ -502,6 +549,61 @@ class TestPoolWideDeterminism:
         assert first.engine_stats["loss_head"]["draws"] > 0
         assert (first.engine_stats["loss_head"]["kept_classes"]
                 == second.engine_stats["loss_head"]["kept_classes"])
+
+    def test_adaptive_head_bit_identical_across_backends(self, tiny_corpus):
+        """ISSUE 10 contract: the adaptive head draws no randomness, so a
+        fixed ExecutionConfig.seed gives bit-identical training histories not
+        just run-to-run but across every registered backend."""
+        def run(backend):
+            model = LSTMLanguageModel(LSTMConfig(
+                vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
+                num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
+            runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=9,
+                                                    recurrent="tiled",
+                                                    loss_head="adaptive",
+                                                    head_shortlist=12,
+                                                    head_clusters=3,
+                                                    backend=backend))
+            trainer = LanguageModelTrainer(
+                model, tiny_corpus,
+                LanguageModelTrainingConfig(batch_size=5, seq_len=10, epochs=1,
+                                            seed=0),
+                runtime=runtime)
+            return trainer.train()
+
+        results = {backend: run(backend)
+                   for backend in ("numpy", "fused", "stacked")}
+        rerun = run("numpy")
+        reference = results["numpy"]
+        assert reference.history.train_loss == rerun.history.train_loss
+        for backend, result in results.items():
+            assert (result.history.train_loss
+                    == reference.history.train_loss), backend
+            assert (result.history.eval_metric
+                    == reference.history.eval_metric), backend
+        assert reference.engine_stats["loss_head"]["kind"] == "adaptive"
+        assert reference.engine_stats["loss_head"]["draws"] > 0
+        assert reference.engine_stats["loss_head"]["cluster_activations"] > 0
+
+    def test_adaptive_and_dense_head_runs_differ(self, tiny_corpus):
+        """Sanity: the factorized loss actually changes the training
+        computation (gradients flow through the two-level softmax)."""
+        def run(loss_head):
+            model = LSTMLanguageModel(LSTMConfig(
+                vocab_size=tiny_corpus.vocab_size, embed_size=12, hidden_size=16,
+                num_layers=2, drop_rates=(0.5, 0.5), strategy="row", seed=0))
+            runtime = EngineRuntime(ExecutionConfig(mode="pooled", seed=9,
+                                                    loss_head=loss_head,
+                                                    head_shortlist=12))
+            trainer = LanguageModelTrainer(
+                model, tiny_corpus,
+                LanguageModelTrainingConfig(batch_size=5, seq_len=10, epochs=1,
+                                            seed=0),
+                runtime=runtime)
+            return trainer.train()
+
+        assert (run("adaptive").history.train_loss
+                != run("dense").history.train_loss)
 
     def test_sampled_and_dense_head_runs_differ(self, tiny_corpus):
         """Sanity: the loss-head toggle actually changes the training

@@ -1,0 +1,278 @@
+"""Tests for the adaptive-softmax loss head (`repro.heads.adaptive`).
+
+Covers the band geometry (`cluster_boundaries`, auto shortlist), the
+registry round-trip, constructor validation, the *exact* two-level
+factorization (hand-computed NLL, gradcheck, zero gradient on inactive
+bands), the dense fallbacks (eval / masked execution), counters, tolerance
+against the dense loss under Zipfian targets, and the LSTM integration —
+including the ISSUE 10 contract: training through the adaptive head never
+changes dense evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.heads import (
+    AdaptiveSoftmaxHead,
+    build_loss_head,
+    cluster_boundaries,
+    default_shortlist,
+)
+from repro.tensor import Tensor, check_gradients, functional as F
+
+
+def zipf_targets(rng, vocab, batch, exponent=1.05):
+    ranks = np.arange(1, vocab + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    cdf = np.cumsum(weights / weights.sum())
+    return np.minimum(np.searchsorted(cdf, rng.random(batch)),
+                      vocab - 1).astype(np.int64)
+
+
+def make_inputs(rng, batch=8, hidden=6, vocab=24):
+    features = Tensor(rng.normal(size=(batch, hidden)), requires_grad=True)
+    weight = Tensor(rng.normal(size=(vocab, hidden)) * 0.1, requires_grad=True)
+    bias = Tensor(rng.normal(size=vocab) * 0.1, requires_grad=True)
+    targets = zipf_targets(rng, vocab, batch)
+    return features, weight, bias, targets
+
+
+def make_head(vocab=24, shortlist=8, clusters=3) -> AdaptiveSoftmaxHead:
+    head = AdaptiveSoftmaxHead(vocab, shortlist=shortlist, clusters=clusters)
+    head.train()
+    head.execution_mode = "compact"
+    return head
+
+
+def factorized_nll(head, features, weight, bias, targets):
+    """The adaptive loss recomputed with plain numpy, example by example."""
+    logits = features @ weight.T + bias
+    head_logits = logits[:, head.head_classes]
+    head_log_p = head_logits - np.log(
+        np.exp(head_logits - head_logits.max(axis=1, keepdims=True)).sum(axis=1)
+    )[:, None] - head_logits.max(axis=1, keepdims=True)
+    nll = np.zeros(len(targets))
+    for index, target in enumerate(targets):
+        if target < head.shortlist:
+            nll[index] = -head_log_p[index, target]
+            continue
+        cluster = int(np.searchsorted(head.cluster_bounds, target,
+                                      side="right") - 1)
+        nll[index] = -head_log_p[index, head.shortlist + cluster]
+        lo = int(head.cluster_bounds[cluster])
+        hi = int(head.cluster_bounds[cluster + 1])
+        if hi - lo > 1:
+            band = logits[index, lo:hi]
+            log_z = np.log(np.exp(band - band.max()).sum()) + band.max()
+            nll[index] += log_z - logits[index, target]
+    return nll.mean()
+
+
+class TestClusterBoundaries:
+    def test_edges_span_the_tail(self):
+        edges = cluster_boundaries(1000, 100, 4)
+        assert edges[0] == 100
+        assert edges[-1] == 1000
+        assert np.all(np.diff(edges) > 0)
+
+    def test_bands_grow_geometrically(self):
+        edges = cluster_boundaries(100_000, 1000, 5)
+        sizes = np.diff(edges)
+        assert np.all(np.diff(sizes) > 0)  # each band larger than the last
+
+    def test_short_tail_produces_fewer_bands(self):
+        edges = cluster_boundaries(12, 10, 8)  # tail of 2 cannot hold 8 bands
+        assert edges[0] == 10 and edges[-1] == 12
+        assert len(edges) - 1 <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shortlist"):
+            cluster_boundaries(100, 0, 4)
+        with pytest.raises(ValueError, match="shortlist"):
+            cluster_boundaries(100, 100, 4)
+        with pytest.raises(ValueError, match="clusters"):
+            cluster_boundaries(100, 10, 0)
+
+
+class TestDefaultShortlist:
+    def test_quarter_of_small_vocab(self):
+        assert default_shortlist(100) == 25
+        assert default_shortlist(2) == 1  # never zero
+
+    def test_capped_at_4096(self):
+        assert default_shortlist(500_000) == 4096
+
+
+class TestRegistry:
+    def test_build_adaptive_head(self):
+        head = build_loss_head("adaptive", vocab_size=200, shortlist=50,
+                               clusters=3)
+        assert isinstance(head, AdaptiveSoftmaxHead)
+        assert head.vocab_size == 200
+        assert head.shortlist == 50
+
+    def test_adaptive_requires_vocab_size(self):
+        with pytest.raises(ValueError, match="vocab_size"):
+            build_loss_head("adaptive")
+
+    def test_auto_shortlist(self):
+        head = build_loss_head("adaptive", vocab_size=400)
+        assert head.shortlist == default_shortlist(400)
+
+    def test_not_a_pattern_site(self):
+        from repro.dropout.sampler import is_pattern_site
+
+        assert not is_pattern_site(build_loss_head("adaptive", vocab_size=50))
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="vocab_size"):
+            AdaptiveSoftmaxHead(1)
+        with pytest.raises(ValueError, match="shortlist"):
+            AdaptiveSoftmaxHead(10, shortlist=-1)
+        with pytest.raises(ValueError, match="shortlist"):
+            AdaptiveSoftmaxHead(10, shortlist=10)
+        with pytest.raises(ValueError, match="clusters"):
+            AdaptiveSoftmaxHead(10, clusters=0)
+
+    def test_weight_shape_mismatch_fails(self, rng):
+        features, weight, bias, targets = make_inputs(rng, vocab=24)
+        head = make_head(vocab=25)
+        with pytest.raises(ValueError, match="25"):
+            head.loss(features, weight, bias, targets)
+
+
+class TestFactorization:
+    def test_loss_matches_hand_computed_factorized_nll(self, rng):
+        features, weight, bias, targets = make_inputs(rng)
+        # Force tail coverage: plant one target in every band.
+        head = make_head()
+        targets[: head.num_clusters] = head.cluster_bounds[:-1] + 1
+        expected = factorized_nll(head, features.data, weight.data, bias.data,
+                                  targets)
+        loss = head.loss(features, weight, bias, targets)
+        np.testing.assert_allclose(float(loss.data), expected,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_gradients_match_numerical(self, rng):
+        features, weight, bias, targets = make_inputs(rng, batch=5, hidden=4,
+                                                      vocab=18)
+        head = make_head(vocab=18, shortlist=6, clusters=2)
+        check_gradients(
+            lambda: head.loss(features, weight, bias, targets),
+            [features, weight, bias], rtol=1e-3, atol=1e-5)
+
+    def test_inactive_band_rows_receive_zero_gradient(self, rng):
+        vocab = 30
+        features, weight, bias, _ = make_inputs(rng, vocab=vocab)
+        head = make_head(vocab=vocab, shortlist=10, clusters=2)
+        # All targets in the shortlist: no band expands, so only the
+        # shortlist rows and the pilot rows can receive gradient.
+        targets = np.arange(8) % 10
+        head.loss(features, weight, bias, targets).backward()
+        touched = head.head_classes
+        untouched = np.setdiff1d(np.arange(vocab), touched)
+        assert untouched.size  # the setup actually leaves rows inactive
+        assert np.all(weight.grad[untouched] == 0.0)
+        assert np.all(bias.grad[untouched] == 0.0)
+        assert np.any(weight.grad[touched] != 0.0)
+
+    def test_pilot_rows_receive_gradient_from_the_head_level(self, rng):
+        features, weight, bias, _ = make_inputs(rng, vocab=24)
+        head = make_head()
+        targets = np.zeros(8, dtype=np.int64)  # shortlist-only batch
+        head.loss(features, weight, bias, targets).backward()
+        # Pilots compete in the head softmax, so they get gradient even when
+        # no tail target appears.
+        assert np.all(np.any(weight.grad[head.pilots] != 0.0, axis=1))
+
+    def test_singleton_bands_contribute_no_cluster_loss(self, rng):
+        # vocab=6, shortlist=4 leaves a 2-class tail that splits into two
+        # singleton bands: the factorized loss is the head loss alone.
+        features, weight, bias, _ = make_inputs(rng, batch=4, vocab=6)
+        head = make_head(vocab=6, shortlist=4, clusters=2)
+        assert np.all(np.diff(head.cluster_bounds) == 1)
+        targets = np.array([0, 4, 5, 1])
+        expected = factorized_nll(head, features.data, weight.data, bias.data,
+                                  targets)
+        loss = head.loss(features, weight, bias, targets)
+        np.testing.assert_allclose(float(loss.data), expected, rtol=1e-12)
+
+    def test_loss_tracks_dense_cross_entropy_under_zipf_targets(self, rng):
+        """The factorization is not the dense loss, but at init (near-uniform
+        logits) the two stay within a modest relative tolerance."""
+        features, weight, bias, _ = make_inputs(rng, batch=32, hidden=12,
+                                                vocab=64)
+        targets = zipf_targets(rng, 64, 32)
+        head = make_head(vocab=64, shortlist=16, clusters=3)
+        adaptive = float(head.loss(features, weight, bias, targets).data)
+        dense = float(F.cross_entropy(F.linear(features, weight, bias),
+                                      targets).data)
+        assert abs(adaptive - dense) / dense < 0.25
+
+
+class TestFallbacksAndCounters:
+    @pytest.mark.parametrize("setup", ["eval", "masked"])
+    def test_fallbacks_compute_the_exact_dense_loss(self, rng, setup):
+        features, weight, bias, targets = make_inputs(rng)
+        head = make_head()
+        if setup == "eval":
+            head.eval()
+        else:
+            head.execution_mode = "masked"
+        dense = F.cross_entropy(F.linear(features, weight, bias), targets)
+        np.testing.assert_allclose(
+            head.loss(features, weight, bias, targets).data, dense.data)
+        assert head.head_counters()["draws"] == 0
+
+    def test_counters_track_steps_bands_and_projected_classes(self, rng):
+        features, weight, bias, _ = make_inputs(rng, batch=3, vocab=24)
+        head = make_head(vocab=24, shortlist=8, clusters=2)
+        # One target in the first band only.
+        lo, hi = int(head.cluster_bounds[0]), int(head.cluster_bounds[1])
+        targets = np.array([0, 1, lo])
+        head.loss(features, weight, bias, targets)
+        counters = head.head_counters()
+        assert counters["draws"] == 1
+        assert counters["cluster_activations"] == 1
+        assert counters["kept_classes"] == len(head.head_classes) + (hi - lo)
+
+    def test_deterministic_given_targets(self, rng):
+        features, weight, bias, targets = make_inputs(rng)
+        head = make_head()
+        first = float(head.loss(features, weight, bias, targets).data)
+        second = float(head.loss(features, weight, bias, targets).data)
+        assert first == second
+
+
+class TestLSTMIntegration:
+    def make_model(self, vocab=80):
+        from repro.models.lstm_lm import LSTMConfig, LSTMLanguageModel
+
+        return LSTMLanguageModel(LSTMConfig(
+            vocab_size=vocab, embed_size=12, hidden_size=16, num_layers=2,
+            drop_rates=(0.5, 0.5), strategy="row", seed=0))
+
+    def test_set_loss_head_installs_adaptive_head_sized_to_vocab(self):
+        model = self.make_model(vocab=80)
+        model.set_loss_head("adaptive", shortlist=20, clusters=3)
+        assert isinstance(model.loss_head, AdaptiveSoftmaxHead)
+        assert model.loss_head.vocab_size == 80
+        assert model.loss_head.shortlist == 20
+        assert model.loss_head in list(model.modules())
+
+    def test_forward_logits_identical_under_adaptive_head(self, rng):
+        """ISSUE 10 contract: dense evaluation is never approximated —
+        swapping in the adaptive training head leaves the exact logits (and
+        hence perplexity) bit-identical."""
+        tokens = rng.integers(0, 80, size=(5, 4))
+        dense_model = self.make_model()
+        adaptive_model = self.make_model()
+        adaptive_model.set_loss_head("adaptive", shortlist=20)
+        adaptive_model.load_state_dict(dense_model.state_dict())
+        for model in (dense_model, adaptive_model):
+            model.eval()
+        dense_logits, _ = dense_model(tokens)
+        adaptive_logits, _ = adaptive_model(tokens)
+        np.testing.assert_array_equal(dense_logits.data, adaptive_logits.data)

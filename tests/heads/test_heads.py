@@ -48,8 +48,8 @@ class TestBuildLossHead:
         with pytest.raises(ValueError, match="vocab_size"):
             build_loss_head("sampled")
 
-    def test_kinds_cover_both_heads(self):
-        assert set(LOSS_HEAD_KINDS) == {"dense", "sampled"}
+    def test_kinds_cover_all_heads(self):
+        assert set(LOSS_HEAD_KINDS) == {"dense", "sampled", "adaptive"}
 
 
 class TestDenseSoftmaxHead:

@@ -9,7 +9,8 @@ from concurrent.futures import Future
 import numpy as np
 import pytest
 
-from repro.serving import LoadReport, run_closed_loop, run_open_loop
+from repro.serving import (LoadReport, run_closed_loop, run_open_loop,
+                           run_rate_sweep)
 from repro.serving.loadgen import _report
 
 
@@ -110,6 +111,49 @@ class TestOpenLoop:
     def test_invalid_rate(self):
         with pytest.raises(ValueError):
             run_open_loop(lambda request: request, [1], rate_rps=0.0)
+
+
+class TestRateSweep:
+    def test_one_report_per_rate_in_order(self):
+        def submit(request):
+            return request
+
+        reports = run_rate_sweep(submit, list(range(20)),
+                                 rates_rps=[500.0, 2000.0, 8000.0], seed=0)
+        assert len(reports) == 3
+        assert all(isinstance(report, LoadReport) for report in reports)
+        assert all(report.requests == 20 for report in reports)
+        # Higher offered rates compress the arrival schedule.
+        elapsed = [report.elapsed_s for report in reports]
+        assert elapsed[0] > elapsed[-1]
+
+    def test_quantiles_rise_toward_saturation(self):
+        """A fixed-service-time server shows queueing delay at rates beyond
+        its capacity (1 / 2ms = 500 req/s) but not far below it."""
+        def submit(request):
+            time.sleep(0.002)
+            return request
+
+        relaxed, saturated = run_rate_sweep(submit, list(range(25)),
+                                            rates_rps=[100.0, 5000.0], seed=0)
+        assert saturated.p99_ms > relaxed.p99_ms
+
+    def test_seeded_sweep_is_deterministic(self):
+        def submit(request):
+            return request
+
+        first = run_rate_sweep(submit, list(range(15)), rates_rps=(3000.0,),
+                               seed=4)[0]
+        second = run_rate_sweep(submit, list(range(15)), rates_rps=(3000.0,),
+                                seed=4)[0]
+        assert first.requests == second.requests == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_rate_sweep(lambda request: request, [1], rates_rps=[])
+        with pytest.raises(ValueError, match="> 0"):
+            run_rate_sweep(lambda request: request, [1],
+                           rates_rps=[100.0, 0.0])
 
 
 class TestDeterminism:
